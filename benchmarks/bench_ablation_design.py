@@ -1,0 +1,145 @@
+"""Ablations of design choices called out in DESIGN.md section 4 and the
+paper's Section 7 discussion, beyond the per-figure studies:
+
+* HAC linkage for the dendrogram (average vs single vs complete, §7.3);
+* hierarchical tree versus flat clustering index;
+* anytime ``t^(-1/3)`` exploration versus the fixed-budget front-loaded
+  Theta(T^(2/3)) variant (§7.2) at the deadline;
+* optimistic initialization (visit-unvisited-first) on versus off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, ours_factory, run_suite
+from repro.baselines.base import EngineAlgorithm
+from repro.core.budgeted import budgeted_config
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.policies import ConstantEpsilon
+from repro.experiments.report import format_curve_table, format_rows
+from repro.index.builder import IndexConfig, build_index
+
+
+def test_linkage_and_flat_index(benchmark, capsys, usedcars_world):
+    world = usedcars_world
+    features = world.dataset.features()
+    ids = world.dataset.ids()
+    n_clusters = world.index_builder(0).n_leaves()
+
+    def index_with(linkage=None, flat=False):
+        config = IndexConfig(n_clusters=n_clusters, flat=flat,
+                             linkage=linkage or "average")
+        cache = {}
+
+        def build(seed):
+            if seed not in cache:
+                cache[seed] = build_index(features, ids, config, rng=seed)
+            return cache[seed]
+
+        return build
+
+    def algo_with(builder):
+        def make(seed):
+            engine = TopKEngine(builder(seed),
+                                EngineConfig(k=world.k, seed=seed))
+            return EngineAlgorithm(engine,
+                                   scoring_latency=world.scoring_latency)
+        return make
+
+    variants = {
+        "average-linkage": algo_with(index_with("average")),
+        "single-linkage": algo_with(index_with("single")),
+        "complete-linkage": algo_with(index_with("complete")),
+        "flat-index": algo_with(index_with(flat=True)),
+    }
+
+    def run():
+        return run_suite(world, variants, budget=len(ids) // 2,
+                         n_checkpoints=20)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title="Ablation: dendrogram linkage & tree vs flat (UsedCars)",
+        ))
+
+    finals = {c.name: c.final_stk for c in curves}
+    best = max(finals.values())
+    # All index shapes should land in the same quality neighbourhood --
+    # the bandit (plus fallback) is robust to the tree construction.
+    for name, final in finals.items():
+        assert final >= 0.8 * best, name
+
+
+def test_exploration_schedules_at_deadline(benchmark, capsys, synthetic_world):
+    world = synthetic_world
+    deadline = len(world.ids()) // 4
+
+    def anytime(seed):
+        engine = TopKEngine(world.index_builder(seed),
+                            EngineConfig(k=world.k, seed=seed))
+        return EngineAlgorithm(engine, scoring_latency=world.scoring_latency)
+
+    def front_loaded(seed):
+        config = budgeted_config(EngineConfig(k=world.k, seed=seed),
+                                 budget=deadline)
+        engine = TopKEngine(world.index_builder(seed), config)
+        return EngineAlgorithm(engine, scoring_latency=world.scoring_latency)
+
+    def constant(seed):
+        engine = TopKEngine(
+            world.index_builder(seed),
+            EngineConfig(k=world.k, seed=seed,
+                         exploration=ConstantEpsilon(0.1)),
+        )
+        return EngineAlgorithm(engine, scoring_latency=world.scoring_latency)
+
+    variants = {
+        "anytime t^(-1/3)": anytime,
+        "front-loaded T^(2/3)": front_loaded,
+        "constant eps=0.1": constant,
+    }
+
+    def run():
+        return run_suite(world, variants, budget=deadline, n_checkpoints=20)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title=f"Ablation: exploration schedules at deadline T={deadline}",
+        ))
+
+    finals = {c.name: c.final_stk for c in curves}
+    # Section 7.2: knowing the budget should not hurt at the deadline.
+    assert finals["front-loaded T^(2/3)"] >= 0.9 * finals["anytime t^(-1/3)"]
+
+
+def test_optimism_ablation(benchmark, capsys, usedcars_world):
+    world = usedcars_world
+    variants = {
+        "optimism-on": ours_factory(world, visit_unvisited_first=True),
+        "optimism-off": ours_factory(world, visit_unvisited_first=False),
+    }
+
+    def run():
+        return run_suite(world, variants, budget=len(world.ids()) // 2,
+                         n_checkpoints=20)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title="Ablation: optimistic initialization",
+        ))
+    finals = {c.name: c.final_stk for c in curves}
+    assert finals["optimism-on"] >= 0.9 * finals["optimism-off"]

@@ -1,0 +1,94 @@
+"""Figure 4 — synthetic data: STK (a), Precision@K (b), ablation (c).
+
+Selecting the k highest numbers from L-cluster normally distributed data;
+Ours versus UCB / ExplorationOnly / UniformSample / ScanBest / ScanWorst,
+averaged over multiple runs, plus the feature-ablation study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, ours_factory, run_suite, standard_baselines
+from repro.core.fallback import FallbackConfig
+from repro.experiments.report import (
+    format_curve_table,
+    format_speedup_table,
+)
+
+
+def test_fig4ab_quality_vs_iterations(benchmark, capsys, synthetic_world):
+    world = synthetic_world
+
+    def run():
+        return run_suite(world, standard_baselines(world))
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, x_axis="iterations", y_axis="stk", normalize_by=opt,
+            title=f"Figure 4a: synthetic n={len(world.ids())}, "
+                  f"k={world.k}, {world.runs} runs",
+        ))
+        print()
+        print(format_curve_table(
+            curves, x_axis="iterations", y_axis="precision",
+            title="Figure 4b: Precision@K vs iterations",
+        ))
+        print()
+        print(format_speedup_table(
+            curves, opt, title="Time-to-quality (virtual seconds)"
+        ))
+
+    by_name = {c.name: c for c in curves}
+    quarter = len(world.ids()) // 4
+
+    def stk_at(curve, iteration):
+        mask = curve.iterations <= iteration
+        return curve.stks[mask][-1] if mask.any() else 0.0
+
+    # Paper shape: Ours reaches near-optimal STK rapidly and beats the
+    # sampling baselines at early budgets; the scans bound everything.
+    assert stk_at(by_name["Ours"], quarter) >= 0.9 * opt
+    assert stk_at(by_name["Ours"], quarter) > stk_at(
+        by_name["UniformSample"], quarter
+    )
+    assert stk_at(by_name["ScanBest"], quarter) >= stk_at(
+        by_name["Ours"], quarter
+    ) - 1e-9
+    assert stk_at(by_name["Ours"], quarter) > stk_at(
+        by_name["ScanWorst"], quarter
+    )
+
+
+def test_fig4c_ablation(benchmark, capsys, synthetic_world):
+    world = synthetic_world
+    variants = {
+        "Ours": ours_factory(world),
+        "no-fallback": ours_factory(
+            world, fallback=FallbackConfig(enabled=False)
+        ),
+        "no-rebinning": ours_factory(world, enable_rebinning=False),
+        "no-subtraction": ours_factory(world, enable_subtraction=False),
+        "flat-exploration": ours_factory(world, per_layer_exploration=True),
+    }
+
+    def run():
+        return run_suite(world, variants)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title="Figure 4c: ablation study (fraction of optimal STK)",
+        ))
+
+    # Paper: turning off features does not significantly impact performance.
+    finals = {c.name: c.final_stk for c in curves}
+    for name, final in finals.items():
+        assert final >= 0.85 * finals["Ours"], name

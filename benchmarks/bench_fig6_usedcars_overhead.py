@@ -1,0 +1,105 @@
+"""Figure 6 — UsedCars: ablation (a), per-iteration overhead (b),
+fallback-frequency parameter study (c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, ours_factory, run_suite, standard_baselines
+from repro.core.fallback import FallbackConfig
+from repro.experiments.report import format_curve_table, format_rows
+
+
+def test_fig6a_ablation(benchmark, capsys, usedcars_world):
+    world = usedcars_world
+    variants = {
+        "Ours": ours_factory(world),
+        "no-fallback": ours_factory(world,
+                                    fallback=FallbackConfig(enabled=False)),
+        "no-rebinning": ours_factory(world, enable_rebinning=False),
+        "no-subtraction": ours_factory(world, enable_subtraction=False),
+    }
+
+    def run():
+        return run_suite(world, variants, budget=len(world.ids()) // 2)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title="Figure 6a: UsedCars ablation (fraction of optimal STK)",
+        ))
+
+    finals = {c.name: c.final_stk for c in curves}
+    # Paper: all variants perform similarly, with minor degradations.
+    for name, final in finals.items():
+        assert final >= 0.8 * finals["Ours"], name
+
+
+def test_fig6b_overhead_per_iteration(benchmark, capsys, usedcars_world):
+    world = usedcars_world
+    algorithms = standard_baselines(world)
+    algorithms["Ours(no-fallback)"] = ours_factory(
+        world, fallback=FallbackConfig(enabled=False)
+    )
+    algorithms["Ours(no-rebinning)"] = ours_factory(
+        world, enable_rebinning=False
+    )
+
+    def run():
+        return run_suite(world, algorithms, budget=len(world.ids()) // 4,
+                         n_checkpoints=5)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [curve.name, curve.overhead_per_iteration * 1e6]
+        for curve in curves
+    ]
+    with capsys.disabled():
+        print()
+        print(format_rows(
+            ["algorithm", "overhead (us/iter)"], rows,
+            title="Figure 6b: per-iteration overhead, excluding the "
+                  f"{world.scoring_latency * 1e3:.0f}ms scoring call",
+        ))
+
+    overheads = {c.name: c.overhead_per_iteration for c in curves}
+    # Scoring latency dominates every algorithm's overhead (paper: 18-25x).
+    assert overheads["Ours"] < world.scoring_latency
+    # The bandit costs more per iteration than a blind scan.
+    assert overheads["Ours"] > overheads["UniformSample"]
+
+
+def test_fig6c_fallback_frequency(benchmark, capsys, usedcars_world):
+    world = usedcars_world
+    variants = {
+        f"F={freq}": ours_factory(
+            world, fallback=FallbackConfig(check_frequency=freq)
+        )
+        for freq in (0.002, 0.01, 0.05)
+    }
+    variants["no-fallback"] = ours_factory(
+        world, fallback=FallbackConfig(enabled=False)
+    )
+
+    def run():
+        return run_suite(world, variants, budget=len(world.ids()) // 2)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    with capsys.disabled():
+        print()
+        print(format_curve_table(
+            curves, normalize_by=opt,
+            title="Figure 6c: fallback checking frequency (F) study",
+        ))
+
+    finals = {c.name: c.final_stk for c in curves}
+    # Paper: modifying F has minor impact.
+    best = max(finals.values())
+    for name, final in finals.items():
+        assert final >= 0.85 * best, name

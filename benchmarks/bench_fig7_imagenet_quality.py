@@ -1,0 +1,66 @@
+"""Figure 7 — image fuzzy classification: STK (a-c) and Precision@K (d-f)
+versus time, for three target labels, with GPU-style batched scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, run_suite, standard_baselines
+from repro.experiments.metrics import time_to_fraction
+from repro.experiments.report import format_curve_table
+
+
+def test_fig7_three_labels(benchmark, capsys, image_worlds):
+    def run():
+        results = []
+        for world in image_worlds:
+            results.append((world, run_suite(world, standard_baselines(world),
+                                             n_checkpoints=30)))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        for world, curves in results:
+            opt = world.truth.optimal_stk(world.k)
+            print()
+            print(format_curve_table(
+                curves, x_axis="time", y_axis="stk", normalize_by=opt,
+                title=f"Figure 7 ({world.name}): STK vs time, "
+                      f"n={len(world.ids())}, k={world.k}, "
+                      f"batch={world.batch_size}",
+            ))
+            print()
+            print(format_curve_table(
+                curves, x_axis="time", y_axis="precision",
+                title=f"Figure 7 ({world.name}): Precision@K vs time",
+            ))
+
+    # Paper shape: Ours almost always out-performs the sampling baselines;
+    # the advantage varies across labels; require a win on at least 2 of 3.
+    wins = 0
+    for world, curves in results:
+        opt = world.truth.optimal_stk(world.k)
+        by_name = {c.name: c for c in curves}
+        t_ours = time_to_fraction(by_name["Ours"].times,
+                                  by_name["Ours"].stks, opt, 0.9)
+        t_uniform = time_to_fraction(by_name["UniformSample"].times,
+                                     by_name["UniformSample"].stks, opt, 0.9)
+        if t_ours is not None and (t_uniform is None or t_ours <= t_uniform):
+            wins += 1
+    assert wins >= 2
+
+
+def test_fig7_precision_tracks_stk(benchmark, image_worlds):
+    """STK and Precision@K move together (the paper's correlation claim)."""
+    world = image_worlds[0]
+
+    def run():
+        return run_suite(world, {"Ours": standard_baselines(world)["Ours"]},
+                         n_checkpoints=25)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    curve = curves[0]
+    correlation = np.corrcoef(curve.stks, curve.precisions)[0, 1]
+    assert correlation > 0.8

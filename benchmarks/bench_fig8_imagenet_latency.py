@@ -1,0 +1,120 @@
+"""Figure 8 — image workload latency analysis.
+
+(a) batch size versus scoring latency and accelerator memory;
+(b) end-to-end latency including index building;
+(c) per-iteration algorithm overhead (excluding scoring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, ours_factory, run_suite, standard_baselines
+from repro.experiments.metrics import time_to_fraction
+from repro.experiments.report import format_rows
+from repro.scoring.base import AmortizedBatchLatency
+
+
+def test_fig8a_batch_size_vs_latency_and_memory(benchmark, capsys):
+    model = AmortizedBatchLatency()
+
+    def run():
+        rows = []
+        for batch in (1, 25, 50, 100, 200, 400, 800, 1600, 3200):
+            rows.append([
+                batch,
+                model.per_element_cost(batch) * 1e3,
+                model.memory_bytes(batch) / 1e9,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_rows(
+            ["batch size", "latency (ms/element)", "memory (GB)"], rows,
+            title="Figure 8a: scoring latency & GPU memory vs batch size",
+        ))
+
+    latencies = [row[1] for row in rows]
+    memories = [row[2] for row in rows]
+    # Latency decreases with diminishing returns; memory grows linearly and
+    # stays far below accelerator capacity (paper: not a bottleneck).
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    drops = [a - b for a, b in zip(latencies, latencies[1:])]
+    assert all(a >= b - 1e-9 for a, b in zip(drops, drops[1:]))
+    assert all(b > a for a, b in zip(memories, memories[1:]))
+    assert memories[-1] < 20.0
+
+
+def test_fig8b_end_to_end_latency(benchmark, capsys, image_worlds):
+    world = image_worlds[0]
+    build = world.index_build_seconds
+    costs = {name: build for name in
+             ("Ours", "UCB", "ExplorationOnly")}
+
+    def run():
+        return run_suite(world, standard_baselines(world),
+                         setup_costs=costs, n_checkpoints=20)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt = world.truth.optimal_stk(world.k)
+    rows = []
+    for curve in curves:
+        t90 = time_to_fraction(curve.times, curve.stks, opt, 0.9)
+        rows.append([
+            curve.name,
+            costs.get(curve.name, 0.0),
+            t90 if t90 is not None else float("nan"),
+            float(curve.times[-1]),
+        ])
+    with capsys.disabled():
+        print()
+        print(format_rows(
+            ["algorithm", "index build(s)", "t@90%(s)", "exhaustive(s)"],
+            rows,
+            title="Figure 8b: end-to-end latency (batched GPU scoring)",
+        ))
+
+    by_name = {c.name: c for c in curves}
+    t_ours = time_to_fraction(by_name["Ours"].times, by_name["Ours"].stks,
+                              opt, 0.9)
+    # Index build cost is recouped within one approximate query.
+    assert t_ours is not None
+    assert t_ours < by_name["UniformSample"].times[-1]
+
+
+def test_fig8c_overhead_per_iteration(benchmark, capsys, image_worlds):
+    world = image_worlds[0]
+    from repro.core.fallback import FallbackConfig
+    algorithms = standard_baselines(world)
+    algorithms["Ours(no-rebinning)"] = ours_factory(
+        world, enable_rebinning=False
+    )
+    algorithms["Ours(no-subtraction)"] = ours_factory(
+        world, enable_subtraction=False
+    )
+    algorithms["Ours(no-fallback)"] = ours_factory(
+        world, fallback=FallbackConfig(enabled=False)
+    )
+
+    def run():
+        return run_suite(world, algorithms, budget=len(world.ids()) // 2,
+                         n_checkpoints=5)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[c.name, c.overhead_per_iteration * 1e6] for c in curves]
+    with capsys.disabled():
+        print()
+        print(format_rows(
+            ["algorithm", "overhead (us/iter)"], rows,
+            title="Figure 8c: per-iteration overhead "
+                  f"(scoring {world.scoring_latency * 1e3:.1f}ms/iter "
+                  "amortized, excluded)",
+        ))
+
+    overheads = {c.name: c.overhead_per_iteration for c in curves}
+    # Scoring latency dwarfs algorithm overhead (paper: 70x).
+    assert overheads["Ours"] < world.scoring_latency * len(world.ids())
+    assert overheads["Ours"] < 5e-3

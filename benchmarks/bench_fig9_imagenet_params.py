@@ -1,0 +1,59 @@
+"""Figure 9 — image workload parameter study: batch size x fallback
+frequency F, one sub-figure per target label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import World, ours_factory, run_suite
+from repro.core.fallback import FallbackConfig
+from repro.experiments.report import format_curve_table
+
+
+def variants_for(world: World):
+    base_batch = world.batch_size
+    variants = {}
+    for batch in (max(1, base_batch // 2), base_batch, base_batch * 2):
+        variants[f"batch={batch}"] = ours_factory(world, batch_size=batch)
+    for freq in (0.002, 0.05):
+        variants[f"F={freq}"] = ours_factory(
+            world, fallback=FallbackConfig(check_frequency=freq)
+        )
+    return variants
+
+
+def test_fig9_parameter_study(benchmark, capsys, image_worlds):
+    def run():
+        results = []
+        for world in image_worlds:
+            results.append(
+                (world, run_suite(world, variants_for(world),
+                                  budget=len(world.ids()) // 2,
+                                  n_checkpoints=20))
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        for world, curves in results:
+            opt = world.truth.optimal_stk(world.k)
+            print()
+            print(format_curve_table(
+                curves, x_axis="time", y_axis="stk", normalize_by=opt,
+                title=f"Figure 9 ({world.name}): batch size and F study",
+            ))
+
+    # Paper shape: larger batches amortize GPU latency and win on time;
+    # modifying F has negligible impact.
+    for world, curves in results:
+        by_name = {c.name: c for c in curves}
+        base = by_name[f"batch={world.batch_size}"]
+        double = by_name[f"batch={world.batch_size * 2}"]
+        # At equal element budgets, the bigger batch finishes sooner.
+        assert double.times[-1] <= base.times[-1] * 1.05
+        finals = {name: c.final_stk for name, c in by_name.items()
+                  if name.startswith("F=")}
+        for name, final in finals.items():
+            assert final >= 0.8 * base.final_stk, name

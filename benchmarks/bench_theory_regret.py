@@ -1,0 +1,93 @@
+"""Theorem 4.4 sanity — the discrete bandit approaches a constant factor
+of the known-distribution adaptive optimum.
+
+The bound: E[STK(S_T)] >= (1 - e^{-1 - 1/2T}) OPT - O(T^{2/3}).  At modest
+T on easy instances the measured ratio should comfortably exceed the
+asymptotic 1 - 1/e ~ 0.63 factor against the *adaptive greedy* oracle
+(itself a (1 - 1/e)-approximation of OPT, making the check conservative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import adaptive_greedy_known
+from repro.core.discrete import DiscreteArm, DiscreteTopKBandit
+from repro.experiments.report import format_rows
+
+N_SEEDS = 8
+K = 15
+
+
+def make_instances():
+    rng = np.random.default_rng(3)
+    instances = {}
+    # Easy: well-separated arms.
+    instances["separated"] = [
+        DiscreteArm("lo", [0, 1], [0.5, 0.5]),
+        DiscreteArm("mid", [5, 6], [0.5, 0.5]),
+        DiscreteArm("hi", [9, 10], [0.5, 0.5]),
+    ]
+    # Tail: the best arm rarely pays out.
+    instances["fat-tail"] = [
+        DiscreteArm("solid", [4], [1.0]),
+        DiscreteArm("tail", [0, 30], [0.9, 0.1]),
+    ]
+    # Random: 8 arbitrary arms.
+    arms = []
+    for index in range(8):
+        support = sorted(set(int(v) for v in rng.integers(0, 40, size=5)))
+        probs = rng.dirichlet(np.ones(len(support)))
+        arms.append(DiscreteArm(f"r{index}", support, probs))
+    instances["random-8"] = arms
+    return instances
+
+
+def measure(instances, budget):
+    rows = []
+    ratios = {}
+    for name, arms in instances.items():
+        ours = np.mean([
+            DiscreteTopKBandit(arms, k=K, rng=seed).run(budget).stk
+            for seed in range(N_SEEDS)
+        ])
+        oracle = np.mean([
+            adaptive_greedy_known(arms, K, budget, rng=seed)[-1]
+            for seed in range(N_SEEDS)
+        ])
+        ratio = ours / max(oracle, 1e-12)
+        ratios[name] = ratio
+        rows.append([name, float(ours), float(oracle), float(ratio)])
+    return rows, ratios
+
+
+def test_theorem44_constant_factor(benchmark, capsys):
+    instances = make_instances()
+    budget = 600
+
+    rows, ratios = benchmark.pedantic(
+        measure, args=(instances, budget), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_rows(
+            ["instance", "Ours STK", "AdaptiveGreedy STK", "ratio"], rows,
+            title=f"Theorem 4.4 sanity at T={budget} "
+                  f"(bound: ratio >= 1 - 1/e = {1 - np.e**-1:.3f} asympt.)",
+        ))
+
+    for name, ratio in ratios.items():
+        assert ratio >= 1 - 1 / np.e, (name, ratio)
+
+
+def test_theorem44_ratio_improves_with_budget(benchmark):
+    instances = {"fat-tail": make_instances()["fat-tail"]}
+
+    def run():
+        _rows_small, small = measure(instances, budget=80)
+        _rows_large, large = measure(instances, budget=800)
+        return small["fat-tail"], large["fat-tail"]
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert large >= small - 0.05

@@ -1,0 +1,262 @@
+"""Shared session-scoped worlds for the per-figure benchmarks.
+
+Each "world" bundles a dataset, its scorer, the exhaustive ground truth, and
+the prebuilt index, mirroring one of the paper's three evaluation domains
+(Section 5.1).  Sizes are laptop-scale fractions of the paper's n —
+controlled by the ``REPRO_SCALE`` env var (see
+:mod:`repro.experiments.configs`) — chosen so the full benchmark suite runs
+in minutes while preserving every curve's shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import EngineAlgorithm, SamplingAlgorithm
+from repro.baselines.exploration_only import ExplorationOnly
+from repro.baselines.scan import ScanBest, ScanWorst, SortedScan
+from repro.baselines.ucb import UCBBandit
+from repro.baselines.uniform import UniformSample
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.fallback import FallbackConfig
+from repro.data.images import SyntheticImageDataset
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.data.usedcars import UsedCarsDataset
+from repro.experiments.configs import (
+    ImageNetConfig,
+    SyntheticConfig,
+    UsedCarsConfig,
+)
+from repro.experiments.ground_truth import GroundTruth, compute_ground_truth
+from repro.experiments.runner import (
+    RunCurve,
+    ScoreOracle,
+    average_curves,
+    checkpoint_grid,
+    run_algorithm,
+)
+from repro.index.builder import IndexConfig, build_index
+from repro.index.tree import ClusterTree
+from repro.scoring.base import FixedPerCallLatency, Scorer
+from repro.scoring.gbdt_scorer import GBDTValuationScorer
+from repro.scoring.mlp import MLPClassifier
+from repro.scoring.relu import ReluScorer
+from repro.scoring.softmax import SoftmaxConfidenceScorer
+
+
+@dataclass
+class World:
+    """One evaluation domain, fully prepared."""
+
+    name: str
+    dataset: object
+    scorer: Scorer
+    truth: GroundTruth
+    index_builder: Callable[[int], ClusterTree]  # seed -> fresh index
+    k: int
+    batch_size: int
+    runs: int
+    index_build_seconds: float
+    scoring_latency: float
+
+    def oracle(self) -> ScoreOracle:
+        return ScoreOracle(self.truth, self.scorer.latency)
+
+    def ids(self) -> List[str]:
+        return self.dataset.ids()
+
+
+def run_suite(world: World, algorithms: Dict[str, Callable[[int], SamplingAlgorithm]],
+              budget: int | None = None, n_checkpoints: int = 40,
+              setup_costs: Dict[str, float] | None = None
+              ) -> List[RunCurve]:
+    """Run each named algorithm factory over ``world.runs`` seeds; average."""
+    budget = budget or len(world.ids())
+    grid = checkpoint_grid(budget, n_checkpoints)
+    oracle = world.oracle()
+    setup_costs = setup_costs or {}
+    averaged = []
+    for name, factory in algorithms.items():
+        curves = []
+        for seed in range(world.runs):
+            algo = factory(seed)
+            algo.name = name
+            curves.append(
+                run_algorithm(algo, oracle, world.k, budget, grid, world.truth,
+                              setup_cost=setup_costs.get(name, 0.0))
+            )
+        averaged.append(average_curves(curves))
+    return averaged
+
+
+def ours_factory(world: World, **config_overrides):
+    """Factory producing the engine adapter with paper-default settings."""
+
+    def make(seed: int) -> SamplingAlgorithm:
+        settings = dict(k=world.k, batch_size=world.batch_size, seed=seed)
+        settings.update(config_overrides)
+        engine = TopKEngine(world.index_builder(seed), EngineConfig(**settings))
+        return EngineAlgorithm(engine, scoring_latency=world.scoring_latency)
+
+    return make
+
+
+def standard_baselines(world: World) -> Dict[str, Callable[[int], SamplingAlgorithm]]:
+    """The paper's baseline lineup (Section 5.1.1)."""
+    ids = world.ids()
+    scores = world.truth.score_of
+    return {
+        "Ours": ours_factory(world),
+        "UCB": lambda seed: UCBBandit(
+            world.index_builder(seed), batch_size=world.batch_size,
+            exploration=1.0, prior_mean=float(np.mean(world.truth.scores)),
+            rng=seed,
+        ),
+        "ExplorationOnly": lambda seed: ExplorationOnly(
+            world.index_builder(seed), batch_size=world.batch_size, rng=seed
+        ),
+        "UniformSample": lambda seed: UniformSample(
+            ids, batch_size=world.batch_size, rng=seed
+        ),
+        "ScanBest": lambda seed: ScanBest(ids, scores, world.batch_size),
+        "ScanWorst": lambda seed: ScanWorst(ids, scores, world.batch_size),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Session-scoped worlds.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def synthetic_world() -> World:
+    """Figure 4 domain: normal mixtures + ReLU (iterations = latency)."""
+    exp = SyntheticConfig().scaled()
+    per_cluster = exp.n // exp.n_clusters
+    dataset = SyntheticClustersDataset.generate(
+        n_clusters=exp.n_clusters, per_cluster=per_cluster, rng=0
+    )
+    scorer = ReluScorer(FixedPerCallLatency(1e-3))
+    truth = compute_ground_truth(dataset, scorer)
+    started = time.perf_counter()
+    dataset.true_index()
+    build_seconds = time.perf_counter() - started
+    return World(
+        name="synthetic",
+        dataset=dataset,
+        scorer=scorer,
+        truth=truth,
+        index_builder=lambda seed: dataset.true_index(),
+        k=exp.k,
+        batch_size=1,
+        runs=exp.runs,
+        index_build_seconds=build_seconds,
+        scoring_latency=1e-3,
+    )
+
+
+@pytest.fixture(scope="session")
+def usedcars_world() -> World:
+    """Figures 5-6 domain: UsedCars + GBDT valuation at 2 ms/call."""
+    config = UsedCarsConfig()
+    exp = config.scaled()
+    train_rows, dataset = UsedCarsDataset.generate_split(
+        n_train=min(config.train_rows, exp.n * 2), n_query=exp.n, rng=0
+    )
+    scorer = GBDTValuationScorer.train(train_rows, n_estimators=30, rng=0)
+    truth = compute_ground_truth(dataset, scorer, batch_size=2048)
+    features = dataset.features()
+    ids = dataset.ids()
+
+    started = time.perf_counter()
+    reference_index = build_index(
+        features, ids, IndexConfig(n_clusters=exp.n_clusters), rng=0
+    )
+    build_seconds = time.perf_counter() - started
+    cache = {0: reference_index}
+
+    def builder(seed: int) -> ClusterTree:
+        if seed not in cache:
+            cache[seed] = build_index(
+                features, ids, IndexConfig(n_clusters=exp.n_clusters), rng=seed
+            )
+        return cache[seed]
+
+    return World(
+        name="usedcars",
+        dataset=dataset,
+        scorer=scorer,
+        truth=truth,
+        index_builder=builder,
+        k=exp.k,
+        batch_size=1,
+        runs=exp.runs,
+        index_build_seconds=build_seconds,
+        scoring_latency=config.scoring_latency,
+    )
+
+
+@pytest.fixture(scope="session")
+def image_worlds() -> List[World]:
+    """Figures 7-9 domain: one world per target label (paper picks three)."""
+    config = ImageNetConfig()
+    exp = config.scaled()
+    train = SyntheticImageDataset.generate(
+        n=max(600, exp.n // 4), n_classes=config.n_classes, side=8,
+        noise=0.2, rng=0,
+    )
+    query = SyntheticImageDataset.generate(
+        n=exp.n, n_classes=config.n_classes, side=8, noise=0.2, rng=1,
+        templates=train.templates,
+    )
+    model = MLPClassifier(hidden=48, epochs=25, rng=0).fit(
+        *train.train_arrays()
+    )
+    features = query.features()
+    ids = query.ids()
+
+    started = time.perf_counter()
+    reference_index = build_index(
+        features, ids,
+        IndexConfig(n_clusters=exp.n_clusters, subsample=min(len(ids), 2000)),
+        rng=0,
+    )
+    build_seconds = time.perf_counter() - started
+    cache = {0: reference_index}
+
+    def builder(seed: int) -> ClusterTree:
+        if seed not in cache:
+            cache[seed] = build_index(
+                features, ids,
+                IndexConfig(n_clusters=exp.n_clusters,
+                            subsample=min(len(ids), 2000)),
+                rng=seed,
+            )
+        return cache[seed]
+
+    labels = [2, 5, 8]  # three target labels, as in the paper
+    worlds = []
+    for label in labels:
+        scorer = SoftmaxConfidenceScorer(model, label=label)
+        truth = compute_ground_truth(query, scorer, batch_size=2048)
+        worlds.append(
+            World(
+                name=f"images-label{label}",
+                dataset=query,
+                scorer=scorer,
+                truth=truth,
+                index_builder=builder,
+                k=exp.k,
+                batch_size=exp.batch_size,
+                runs=exp.runs,
+                index_build_seconds=build_seconds,
+                scoring_latency=scorer.latency.per_element_cost(
+                    exp.batch_size
+                ),
+            )
+        )
+    return worlds

@@ -1,0 +1,79 @@
+"""Anytime query monitoring: watch the solution improve and stop when
+satisfied (the paper's any-time query model, Example 3.1 step 6).
+
+Drives the engine through its pull interface, printing a live quality
+report every few hundred UDF calls, and stops as soon as the running
+solution stops improving meaningfully — exactly how an interactive analyst
+would use the library.  Also shows fallback events surfacing in the trace.
+
+Run:  python examples/anytime_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EngineConfig,
+    FallbackConfig,
+    FixedPerCallLatency,
+    ReluScorer,
+    SyntheticClustersDataset,
+    TopKEngine,
+)
+
+K = 50
+REPORT_EVERY = 400
+PATIENCE = 3          # stop after this many reports without >0.5% improvement
+
+
+def main() -> None:
+    dataset = SyntheticClustersDataset.generate(n_clusters=15,
+                                                per_cluster=400, rng=3)
+    index = dataset.true_index()
+    scorer = ReluScorer(FixedPerCallLatency(1e-3))
+    engine = TopKEngine(
+        index,
+        EngineConfig(
+            k=K, seed=0,
+            fallback=FallbackConfig(warmup_fraction=0.2,
+                                    check_frequency=0.02),
+        ),
+    )
+
+    print(f"monitoring top-{K} over {len(dataset):,} elements "
+          f"(ctrl-c to stop early and keep the current answer)\n")
+    last_stk = 0.0
+    stale_reports = 0
+    next_report = REPORT_EVERY
+    while not engine.exhausted:
+        ids = engine.next_batch()
+        scores = scorer.score_batch(dataset.fetch_batch(ids))
+        engine.observe(ids, scores)
+
+        if engine.n_scored >= next_report:
+            next_report += REPORT_EVERY
+            stk = engine.stk
+            improved = (stk - last_stk) / max(stk, 1e-9)
+            marker = "  <- improving" if improved > 0.005 else ""
+            print(f"after {engine.n_scored:6,} calls: STK = {stk:10.1f} "
+                  f"threshold = {engine.threshold or 0:6.2f}{marker}")
+            stale_reports = 0 if improved > 0.005 else stale_reports + 1
+            last_stk = stk
+            if stale_reports >= PATIENCE:
+                print("\nsolution has plateaued — retrieving the answer.")
+                break
+
+    for iteration, kind in engine.fallback_events:
+        print(f"(fallback event at iteration {iteration}: {kind})")
+
+    answer = engine.topk_items()
+    print(f"\nfinal top-5 of {len(answer)} results:")
+    for element_id, score in answer[:5]:
+        print(f"  {element_id}  score={score:.3f}")
+    print(f"\nscored {engine.n_scored:,}/{len(dataset):,} elements "
+          f"({engine.n_scored / len(dataset):.0%} of exhaustive)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Data acquisition for model improvement (the paper's Section 7.1 idea).
+
+A team maintains a binary classifier and can acquire labelled points from
+three vendors of very different usefulness: one sells points the model
+already classifies confidently, one sells random points, one sells points
+near the decision boundary.  Scoring a candidate (running the model) is the
+expensive opaque UDF; the top-k bandit finds the most uncertain points
+without scoring every candidate from every vendor — then we retrain and
+measure the accuracy gain versus acquiring uniformly at random.
+
+Run:  python examples/data_acquisition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DataSourceUnion, UncertaintyScorer, acquire_topk
+from repro.scoring.linear import LogisticRegressionModel
+
+RNG = np.random.default_rng(5)
+K = 60
+BUDGET = 400
+
+
+def true_label(points: np.ndarray) -> np.ndarray:
+    """Ground-truth concept: a diagonal boundary with a margin."""
+    return (points @ np.asarray([1.0, 0.7]) > 0.3).astype(float)
+
+
+def make_world():
+    # Small seed training set -> a mediocre initial model.
+    seed_x = RNG.normal(0, 2.0, size=(40, 2))
+    seed_y = true_label(seed_x)
+    model = LogisticRegressionModel(rng=0).fit(seed_x, seed_y)
+
+    union = DataSourceUnion()
+    offsets = {
+        "confident-vendor": RNG.normal(4.0, 0.8, size=(400, 2)),
+        "random-vendor": RNG.normal(0.0, 3.0, size=(400, 2)),
+        "boundary-vendor": RNG.normal(0.0, 0.6, size=(400, 2)),
+    }
+    for name, points in offsets.items():
+        union.add_source(name, [str(i) for i in range(len(points))],
+                         list(points), features=points)
+    return model, union, seed_x, seed_y
+
+
+def retrain_with(union, model, seed_x, seed_y, acquired_ids):
+    new_x = np.stack([union.fetch(eid) for eid in acquired_ids])
+    new_y = true_label(new_x)
+    X = np.vstack([seed_x, new_x])
+    y = np.concatenate([seed_y, new_y])
+    return LogisticRegressionModel(rng=0).fit(X, y)
+
+
+def accuracy(model) -> float:
+    test_x = RNG.normal(0, 2.0, size=(4000, 2))
+    test_y = true_label(test_x)
+    return float(((model.predict_proba(test_x) > 0.5) == test_y).mean())
+
+
+def main() -> None:
+    model, union, seed_x, seed_y = make_world()
+    print(f"initial model accuracy: {accuracy(model):.1%}\n")
+
+    # Bandit-driven acquisition: score candidates by uncertainty.
+    report = acquire_topk(union, UncertaintyScorer(model), k=K,
+                          budget=BUDGET, seed=0)
+    print("bandit acquisition:", report.summary())
+    bandit_model = retrain_with(union, model, seed_x, seed_y,
+                                report.acquired_ids)
+    print(f"  -> retrained accuracy: {accuracy(bandit_model):.1%}\n")
+
+    # Baseline: acquire the same number of points uniformly at random,
+    # scoring the same number of candidates.
+    all_ids = union.ids()
+    random_ids = list(RNG.choice(all_ids, size=K, replace=False))
+    random_model = retrain_with(union, model, seed_x, seed_y, random_ids)
+    counts = {}
+    for eid in random_ids:
+        counts[union.source_of(eid)] = counts.get(union.source_of(eid), 0) + 1
+    print(f"random acquisition: {counts}")
+    print(f"  -> retrained accuracy: {accuracy(random_model):.1%}")
+
+
+if __name__ == "__main__":
+    main()

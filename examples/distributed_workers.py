@@ -1,0 +1,49 @@
+"""Distributed opaque top-k: the Section 6 MapReduce combination.
+
+Partitions a dataset across simulated workers, each running its own index
+plus bandit; a coordinator merges running solutions every sync round and
+broadcasts the global threshold back.  Wall-clock time scales ~1/W while
+the merged answer stays exact.
+
+Run:  python examples/distributed_workers.py
+"""
+
+from __future__ import annotations
+
+from repro import DistributedTopKExecutor, FixedPerCallLatency, ReluScorer
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.experiments.ground_truth import compute_ground_truth
+from repro.index.builder import IndexConfig
+
+K = 40
+
+
+def main() -> None:
+    dataset = SyntheticClustersDataset.generate(n_clusters=12,
+                                                per_cluster=500, rng=1)
+    scorer = ReluScorer(FixedPerCallLatency(1e-3))
+    truth = compute_ground_truth(dataset, scorer)
+    optimal = truth.optimal_stk(K)
+    budget = len(dataset) // 3
+
+    print(f"n={len(dataset):,}, k={K}, budget={budget:,} scoring calls "
+          f"(1 ms each)\n")
+    print("workers | wall time | STK (fraction of optimal)")
+    for n_workers in (1, 2, 4, 8):
+        executor = DistributedTopKExecutor(
+            dataset, scorer, k=K, n_workers=n_workers,
+            index_config=IndexConfig(n_clusters=6),
+            sync_interval=100, seed=0,
+        )
+        result = executor.run(budget=budget)
+        print(f"{n_workers:7d} | {result.wall_time:8.2f}s | "
+              f"{result.stk / optimal:.1%}  "
+              f"({result.n_rounds} sync rounds)")
+
+    print("\nsame total budget, ~1/W wall time, no quality loss: the "
+          "coordinator merge plus threshold broadcast keeps the partitioned "
+          "bandits honest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Further applications of the top-k bandit (Section 7.1 of the paper).
+
+The bandit's analysis is generic over any partition of a search domain into
+arms, so beyond the k-means index it applies to classic database indexes
+(see :mod:`repro.index.btree`) and to *data acquisition*: selecting the most
+valuable points to label/acquire from a union of heterogeneous data sources,
+where the scoring function measures training value (e.g., proximity to a
+model's decision boundary).
+"""
+
+from repro.applications.acquisition import (
+    AcquisitionReport,
+    DataSourceUnion,
+    UncertaintyScorer,
+    acquire_topk,
+)
+
+__all__ = [
+    "DataSourceUnion",
+    "UncertaintyScorer",
+    "acquire_topk",
+    "AcquisitionReport",
+]

@@ -1,0 +1,35 @@
+"""Baseline query-execution algorithms from Section 5.1.1 of the paper,
+plus the known-distribution oracles used in the Section 4 analysis and
+Figure 2: UCB over the same tree index, ExplorationOnly, UniformSample,
+ScanBest / ScanWorst, SortedScan, adaptive greedy with known distributions,
+and non-adaptive budget allocation.  All sample without replacement and
+speak the same pull interface as the engine, so the experiment harness
+treats every algorithm identically.
+"""
+
+from repro.baselines.base import EngineAlgorithm, SamplingAlgorithm
+from repro.baselines.uniform import UniformSample
+from repro.baselines.exploration_only import ExplorationOnly
+from repro.baselines.ucb import UCBBandit
+from repro.baselines.scan import ScanBest, ScanWorst, SortedScan
+from repro.baselines.oracle import (
+    adaptive_greedy_known,
+    nonadaptive_greedy_allocation,
+    offline_optimal_curve,
+    simulate_allocation,
+)
+
+__all__ = [
+    "SamplingAlgorithm",
+    "EngineAlgorithm",
+    "UniformSample",
+    "ExplorationOnly",
+    "UCBBandit",
+    "ScanBest",
+    "ScanWorst",
+    "SortedScan",
+    "adaptive_greedy_known",
+    "nonadaptive_greedy_allocation",
+    "offline_optimal_curve",
+    "simulate_allocation",
+]

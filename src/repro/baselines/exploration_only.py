@@ -1,0 +1,53 @@
+"""ExplorationOnly baseline (Section 5.1.1 (3)).
+
+"A bandit which chooses a uniformly random non-empty child in each layer of
+the index."  Note this is *not* uniform over elements: shallow leaves and
+low-fanout subtrees are over-sampled, which is exactly why it sometimes
+shines on the UsedCars workload (Section 5.3's analysis).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.base import SamplingAlgorithm
+from repro.core.bandit import BanditConfig
+from repro.core.hierarchical import BanditNode, HierarchicalBanditPolicy
+from repro.errors import ExhaustedError
+from repro.index.tree import ClusterTree
+from repro.utils.rng import SeedLike
+
+
+class ExplorationOnly(SamplingAlgorithm):
+    """Uniform-random root-to-leaf descent over the tree index."""
+
+    name = "ExplorationOnly"
+
+    def __init__(self, index: ClusterTree, batch_size: int = 1,
+                 rng: SeedLike = None) -> None:
+        # Reuse the hierarchical policy with a permanent epsilon of 1.0; its
+        # histograms are never consulted, so updates are skipped entirely.
+        self._policy = HierarchicalBanditPolicy(
+            index, BanditConfig(), rng=rng, enable_subtraction=False
+        )
+        self.batch_size = max(1, int(batch_size))
+        self._pending_leaf: BanditNode | None = None
+
+    def next_batch(self) -> List[str]:
+        if self._policy.exhausted:
+            raise ExhaustedError("ExplorationOnly exhausted")
+        leaf = self._policy.select_leaf(threshold=None, epsilon=1.0)
+        assert leaf.arm is not None
+        batch = leaf.arm.draw_batch(self.batch_size)
+        self._pending_leaf = leaf
+        return batch
+
+    def observe(self, ids: Sequence[str], scores: Sequence[float]) -> None:
+        leaf = self._pending_leaf
+        self._pending_leaf = None
+        if leaf is not None and leaf.arm is not None and leaf.arm.is_empty:
+            self._policy.handle_exhausted(leaf)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._policy.exhausted

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands, mirroring how the library is used:
+
+* ``demo``    — run the quickstart scenario end to end and print the
+  quality report (dataset size / k / budget configurable).
+* ``query``   — execute one SQL-ish opaque top-k query (see
+  :mod:`repro.session`) against a generated demo table.
+* ``info``    — print version, module inventory, and the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate opaque top-k queries "
+                    "(SIGMOD 2025 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument("--clusters", type=int, default=20)
+    demo.add_argument("--per-cluster", type=int, default=500)
+    demo.add_argument("--k", type=int, default=100)
+    demo.add_argument("--budget-fraction", type=float, default=0.25)
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="run one SQL-ish query on a demo table")
+    query.add_argument("sql", help='e.g. "SELECT TOP 50 FROM demo ORDER BY '
+                                   'relu BUDGET 20%%"')
+    query.add_argument("--rows", type=int, default=5_000)
+    query.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="print version and inventory")
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import EngineConfig, FixedPerCallLatency, ReluScorer, TopKEngine
+    from repro.data.synthetic import SyntheticClustersDataset
+    from repro.experiments.ground_truth import compute_ground_truth
+    from repro.experiments.metrics import precision_at_k
+
+    dataset = SyntheticClustersDataset.generate(
+        n_clusters=args.clusters, per_cluster=args.per_cluster, rng=args.seed
+    )
+    index = dataset.true_index()
+    scorer = ReluScorer(FixedPerCallLatency(1e-3))
+    engine = TopKEngine(index, EngineConfig(k=args.k, seed=args.seed))
+    budget = max(args.k, int(args.budget_fraction * len(dataset)))
+    result = engine.run(dataset, scorer, budget=budget)
+    truth = compute_ground_truth(dataset, scorer)
+    optimal = truth.optimal_stk(args.k)
+    print(result.summary())
+    print(f"STK fraction of optimal: {result.stk / optimal:.1%}")
+    print(f"Precision@{args.k}: "
+          f"{precision_at_k(result.ids, truth, args.k):.1%}")
+    print(f"UDF calls: {result.n_scored:,} of {len(dataset):,} "
+          f"({result.n_scored / len(dataset):.0%})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import OpaqueQuerySession, ReluScorer
+    from repro.data.synthetic import SyntheticClustersDataset
+    from repro.index.builder import IndexConfig
+    from repro.scoring.base import FunctionScorer
+
+    dataset = SyntheticClustersDataset.generate(
+        n_clusters=max(2, args.rows // 250),
+        per_cluster=250,
+        rng=args.seed,
+    )
+    session = OpaqueQuerySession()
+    session.register_table(
+        "demo", dataset,
+        index_config=IndexConfig(n_clusters=dataset.n_clusters),
+    )
+    session.register_udf("relu", ReluScorer())
+    session.register_udf("squared",
+                         FunctionScorer(lambda v: float(v) ** 2))
+    result = session.execute(args.sql)
+    print(result.summary())
+    for element_id, score in result.items[:10]:
+        print(f"  {element_id}\t{score:.4f}")
+    if len(result.items) > 10:
+        print(f"  ... {len(result.items) - 10} more rows")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Approximating Opaque Top-k Queries "
+          "(SIGMOD 2025 reproduction)")
+    print("\nsubsystems:")
+    inventory = [
+        ("repro.core", "STK objective, histograms, epsilon-greedy bandit, "
+                       "fallbacks, engine"),
+        ("repro.index", "vectorizers, k-means, HAC, cluster tree, B+ tree"),
+        ("repro.baselines", "UCB, ExplorationOnly, UniformSample, scans, "
+                            "oracles"),
+        ("repro.scoring", "GBDT, MLP softmax, linear models, latency models"),
+        ("repro.data", "synthetic / UsedCars-style / image generators"),
+        ("repro.experiments", "ground truth, metrics, runner, reports"),
+        ("repro.applications", "data acquisition over source unions"),
+        ("repro.session", "SQL-ish declarative interface"),
+    ]
+    for module, description in inventory:
+        print(f"  {module:20s} {description}")
+    print("\nexperiments: benchmarks/bench_fig{2,4,5,6,7,8,9}_*.py "
+          "+ bench_theory_regret.py + bench_ablation_design.py")
+    print("run: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"demo": _cmd_demo, "query": _cmd_query, "info": _cmd_info}
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

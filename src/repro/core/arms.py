@@ -1,0 +1,74 @@
+"""Arm state: uniform sampling without replacement from a cluster.
+
+The abstract problem (Definition 2.2) samples i.i.d. from each arm's
+distribution; "in practice, Alice samples listings from each cluster without
+replacement" (Section 2.3).  :class:`ArmState` implements the practical
+behaviour with O(1) swap-pop draws.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExhaustedError
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ArmState:
+    """Remaining members of one cluster, drawn uniformly without replacement.
+
+    Parameters
+    ----------
+    arm_id:
+        Stable identifier of the cluster (matches the index's leaf id).
+    member_ids:
+        Element IDs belonging to this cluster.
+    rng:
+        Seed or generator for the draw order.
+    """
+
+    def __init__(self, arm_id: str, member_ids: Iterable[str],
+                 rng: SeedLike = None) -> None:
+        self.arm_id = arm_id
+        self._members: List[str] = list(member_ids)
+        self._rng = as_generator(rng)
+        self.n_drawn = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def remaining(self) -> int:
+        """Number of elements not yet drawn."""
+        return len(self._members)
+
+    @property
+    def is_empty(self) -> bool:
+        """True once the cluster has been exhausted."""
+        return not self._members
+
+    def draw(self) -> str:
+        """Draw one member uniformly at random, removing it (O(1))."""
+        if not self._members:
+            raise ExhaustedError(f"arm {self.arm_id!r} is exhausted")
+        index = int(self._rng.integers(len(self._members)))
+        last = len(self._members) - 1
+        self._members[index], self._members[last] = (
+            self._members[last],
+            self._members[index],
+        )
+        self.n_drawn += 1
+        return self._members.pop()
+
+    def draw_batch(self, size: int) -> List[str]:
+        """Draw up to ``size`` members (fewer if the arm runs dry)."""
+        batch: List[str] = []
+        while len(batch) < size and self._members:
+            batch.append(self.draw())
+        return batch
+
+    def peek_members(self) -> Sequence[str]:
+        """Read-only view of the not-yet-drawn member IDs (test helper)."""
+        return tuple(self._members)

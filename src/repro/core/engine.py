@@ -1,0 +1,367 @@
+"""End-to-end opaque top-k query engine — Algorithm 1 over the index.
+
+:class:`TopKEngine` composes the hierarchical epsilon-greedy policy, the
+cardinality-constrained priority queue, batched execution (Section 3.2.5),
+and the fallback controller (Section 3.2.3) into the full workflow of
+Example 3.1:
+
+1. initialize an empty histogram for every tree node and a priority queue
+   with capacity ``k``;
+2. each iteration, pick a leaf by per-layer epsilon-greedy descent;
+3. draw a (batch of) sample(s) from the leaf and apply the opaque UDF;
+4. update the priority queue and the histograms of the leaf and all its
+   ancestors (with the re-binning rules of Section 3.2.4);
+5. after a warmup, periodically check the failure conditions and fall back
+   to a flat index or a uniform scan over the remaining elements;
+6. stop any time and read the priority queue.
+
+The engine exposes two equivalent driving styles:
+
+* ``next_batch()`` / ``observe(ids, scores)`` — the *pull* interface the
+  experiment harness uses, so that the scoring/latency accounting lives in
+  one place for every algorithm;
+* ``run(dataset, scorer, ...)`` — the standalone anytime loop a library
+  user calls, which also records quality checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bandit import BanditConfig
+from repro.core.fallback import FallbackConfig, FallbackController, FallbackDecision
+from repro.core.hierarchical import BanditNode, HierarchicalBanditPolicy
+from repro.core.minmax_heap import TopKBuffer
+from repro.core.policies import ExplorationSchedule, PolynomialDecay
+from repro.core.result import Checkpoint, QueryResult
+from repro.errors import ConfigurationError, ExhaustedError
+from repro.index.tree import ClusterTree
+from repro.utils.rng import RngFactory, SeedLike
+from repro.utils.timer import Stopwatch, VirtualClock
+from repro.utils.validation import check_positive_int
+
+
+class SupportsFetch(Protocol):
+    """Structural type for datasets: the paper's user-defined sampler."""
+
+    def fetch_batch(self, ids: Sequence[str]) -> List[object]:
+        """Materialize the elements for ``ids`` (arrays accepted for batching)."""
+
+
+class SupportsScore(Protocol):
+    """Structural type for scorers: the opaque UDF plus its latency model."""
+
+    def score_batch(self, objects: Sequence[object]) -> np.ndarray:
+        """Score a batch of elements; must return non-negative floats."""
+
+    def batch_cost(self, batch_size: int) -> float:
+        """Latency-model cost (seconds) of scoring one batch of this size."""
+
+
+@dataclass
+class EngineConfig:
+    """All knobs of Algorithm 1 plus engine-level execution settings.
+
+    Defaults are the paper's: ``B=8``, ``alpha=0.1``, ``beta=1.1``,
+    ``F=0.01``, warmup 30%, exploration ``t^(-1/3)``, batch size 1.
+    """
+
+    k: int = 10
+    n_bins: int = 8
+    initial_range: float = 0.1
+    beta: float = 1.1
+    batch_size: int = 1
+    exploration: ExplorationSchedule = field(default_factory=PolynomialDecay)
+    per_layer_exploration: bool = False
+    enable_rebinning: bool = True
+    enable_subtraction: bool = True
+    visit_unvisited_first: bool = True
+    sketch_factory: Optional[Callable] = None
+    fallback: FallbackConfig = field(default_factory=FallbackConfig)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.k, "k")
+        check_positive_int(self.batch_size, "batch_size")
+
+    def bandit_config(self) -> BanditConfig:
+        """Project the histogram/exploration settings for the policy."""
+        return BanditConfig(
+            n_bins=self.n_bins,
+            initial_range=self.initial_range,
+            beta=self.beta,
+            enable_rebinning=self.enable_rebinning,
+            exploration=self.exploration,
+            visit_unvisited_first=self.visit_unvisited_first,
+            sketch_factory=self.sketch_factory,
+        )
+
+
+class TopKEngine:
+    """Anytime approximate top-k execution over a prebuilt cluster index.
+
+    Parameters
+    ----------
+    index:
+        The hierarchical (or flat) cluster tree.
+    config:
+        Engine configuration; paper defaults if omitted.
+    scoring_latency_hint:
+        Estimated per-element scoring latency in seconds, used by the
+        clustering-fallback slope test before real measurements accumulate
+        (the harness refreshes it from the scorer's latency model).
+    """
+
+    def __init__(self, index: ClusterTree, config: EngineConfig | None = None,
+                 *, scoring_latency_hint: float = 2e-3) -> None:
+        self.config = config or EngineConfig()
+        factory = RngFactory(self.config.seed)
+        self._rng = factory.named("engine")
+        self.policy = HierarchicalBanditPolicy(
+            index,
+            self.config.bandit_config(),
+            rng=factory.named("tree"),
+            enable_subtraction=self.config.enable_subtraction,
+        )
+        self.buffer: TopKBuffer[str] = TopKBuffer(self.config.k)
+        self.n_total = index.n_elements()
+        self.fallback = FallbackController(self.config.fallback, self.n_total)
+        self.scoring_latency_hint = float(scoring_latency_hint)
+        self.overhead = Stopwatch()
+        # Execution state.
+        self.mode = "bandit"  # or "scan" after clustering fallback
+        self._scan_queue: List[str] = []
+        self._pending: List[Tuple[Optional[BanditNode], str]] = []
+        self.t_batches = 0
+        self.n_scored = 0
+        self.n_explore = 0
+        self.n_exploit = 0
+        self.fallback_events: List[Tuple[int, str]] = []
+        # Optional externally-imposed kick-out floor: a distributed
+        # coordinator broadcasts the *global* k-th score so workers stop
+        # chasing elements that can no longer enter the merged answer.
+        self.threshold_floor: Optional[float] = None
+
+    # -- read-only state ---------------------------------------------------------
+
+    @property
+    def stk(self) -> float:
+        """Running Sum-of-Top-k."""
+        return self.buffer.stk
+
+    @property
+    def threshold(self) -> float | None:
+        """Current kick-out threshold ``(S)_(k)``."""
+        return self.buffer.threshold
+
+    @property
+    def effective_threshold(self) -> float | None:
+        """Local threshold, raised to any coordinator-broadcast floor.
+
+        Used for gain estimation and fallback checks; the local buffer still
+        accepts everything (merging stays correct), but the bandit targets
+        only scores that can enter the *global* answer.
+        """
+        local = self.buffer.threshold
+        if self.threshold_floor is None:
+            return local
+        if local is None:
+            return self.threshold_floor
+        return max(local, self.threshold_floor)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every element has been (or is about to be) scored."""
+        if self._pending:
+            return False
+        if self.mode == "scan":
+            return not self._scan_queue
+        return self.policy.exhausted
+
+    def topk_items(self) -> List[Tuple[str, float]]:
+        """Current (id, score) answer rows in descending score order."""
+        return [(payload, score) for score, payload in self.buffer.items()]
+
+    @property
+    def bandit_latency_per_element(self) -> float:
+        """Measured algorithm overhead per scored element (seconds)."""
+        if self.n_scored == 0:
+            return 0.0
+        return self.overhead.elapsed / self.n_scored
+
+    # -- pull interface -------------------------------------------------------------
+
+    def next_batch(self) -> List[str]:
+        """Choose the next batch of element IDs to fetch and score.
+
+        In bandit mode this performs one epsilon-greedy descent and draws up
+        to ``batch_size`` members from the selected leaf; in scan mode it
+        pops from the pre-shuffled remainder.  Raises
+        :class:`~repro.errors.ExhaustedError` when nothing is left.
+        """
+        if self._pending:
+            raise ConfigurationError(
+                "observe() must be called before the next next_batch()"
+            )
+        with self.overhead:
+            batch = self._select_batch()
+        return [element_id for _leaf, element_id in batch]
+
+    def _select_batch(self) -> List[Tuple[Optional[BanditNode], str]]:
+        size = self.config.batch_size
+        if self.mode == "scan":
+            if not self._scan_queue:
+                raise ExhaustedError("scan queue exhausted")
+            take = self._scan_queue[:size]
+            del self._scan_queue[:size]
+            self._pending = [(None, element_id) for element_id in take]
+            return self._pending
+        if self.policy.exhausted:
+            raise ExhaustedError("all clusters exhausted")
+        self.t_batches += 1
+        epsilon = self.config.exploration.effective_rate(
+            max(1, self.n_scored + 1), self.config.batch_size
+        )
+        explore_roll = self._rng.random() < epsilon
+        if explore_roll:
+            self.n_explore += 1
+        else:
+            self.n_exploit += 1
+        leaf = self.policy.select_leaf(
+            self.effective_threshold,
+            epsilon=1.0 if explore_roll else 0.0,
+            per_layer=self.config.per_layer_exploration,
+        )
+        assert leaf.arm is not None
+        ids = leaf.arm.draw_batch(size)
+        self._pending = [(leaf, element_id) for element_id in ids]
+        return self._pending
+
+    def observe(self, ids: Sequence[str], scores: Sequence[float]) -> float:
+        """Report the scores for the batch returned by :meth:`next_batch`.
+
+        Returns the total marginal STK gain of the batch.  Performs all of
+        Algorithm 1's bookkeeping: priority-queue offers, histogram updates
+        with re-binning, empty-leaf drops, and periodic fallback checks.
+        """
+        if len(ids) != len(self._pending):
+            raise ConfigurationError(
+                f"observe() got {len(ids)} ids for {len(self._pending)} pending"
+            )
+        if len(scores) != len(ids):
+            raise ConfigurationError(
+                f"observe() got {len(scores)} scores for {len(ids)} ids"
+            )
+        for (_leaf, expected_id), got_id in zip(self._pending, ids):
+            if expected_id != got_id:
+                raise ConfigurationError(
+                    f"observe() ids out of order: expected {expected_id!r}, "
+                    f"got {got_id!r}"
+                )
+        total_gain = 0.0
+        with self.overhead:
+            for (leaf, element_id), score in zip(self._pending, scores):
+                score = float(score)
+                if score < 0.0:
+                    raise ConfigurationError(
+                        f"opaque scores must be non-negative, got {score!r}"
+                    )
+                total_gain += self.buffer.offer(score, element_id)
+                if leaf is not None:
+                    self.policy.update(
+                        leaf, score, self.effective_threshold,
+                        enable_rebinning=self.config.enable_rebinning,
+                    )
+                self.n_scored += 1
+            leaf_nodes = {leaf for leaf, _ in self._pending if leaf is not None}
+            for leaf in leaf_nodes:
+                if leaf.arm is not None and leaf.arm.is_empty:
+                    self.policy.handle_exhausted(leaf)
+            self._pending = []
+            if self.mode == "bandit" and self.fallback.should_check(self.n_scored):
+                self._apply_fallback()
+        return total_gain
+
+    def _apply_fallback(self) -> None:
+        decision = self.fallback.evaluate(
+            self.policy,
+            self.effective_threshold,
+            scoring_latency=self.scoring_latency_hint,
+            bandit_latency=self.bandit_latency_per_element,
+        )
+        if decision is FallbackDecision.FLATTEN_TREE:
+            self.policy.flatten()
+            self.fallback_events.append((self.n_scored, decision.value))
+        elif decision is FallbackDecision.UNIFORM_SCAN:
+            remaining = self.policy.remaining_ids()
+            self._rng.shuffle(remaining)
+            self._scan_queue = remaining
+            self.mode = "scan"
+            self.fallback_events.append((self.n_scored, decision.value))
+
+    # -- standalone anytime loop -----------------------------------------------------
+
+    def run(self, dataset: SupportsFetch, scorer: SupportsScore,
+            budget: Optional[int] = None,
+            checkpoint_every: Optional[int] = None) -> QueryResult:
+        """Execute the query end to end and return the result with its trace.
+
+        Parameters
+        ----------
+        dataset:
+            Provides ``fetch_batch(ids)`` (the user-defined sampler).
+        scorer:
+            Provides ``score_batch(objects)`` and ``batch_cost(n)`` — the
+            opaque UDF and its latency model.  Scoring latency is charged to
+            a virtual clock; algorithm overhead is measured for real.
+        budget:
+            Maximum number of scoring calls (default: the whole dataset).
+        checkpoint_every:
+            Record a :class:`Checkpoint` after every this many scored
+            elements (default: ~200 checkpoints across the budget).
+        """
+        limit = self.n_total if budget is None else min(budget, self.n_total)
+        if checkpoint_every is None:
+            checkpoint_every = max(1, limit // 200)
+        clock = VirtualClock()
+        checkpoints: List[Checkpoint] = []
+        next_checkpoint = checkpoint_every
+        self.scoring_latency_hint = scorer.batch_cost(self.config.batch_size) / max(
+            1, self.config.batch_size
+        )
+        while self.n_scored < limit and not self.exhausted:
+            ids = self.next_batch()
+            if not ids:
+                break
+            objects = dataset.fetch_batch(ids)
+            scores = scorer.score_batch(objects)
+            clock.charge(scorer.batch_cost(len(ids)))
+            self.observe(ids, scores)
+            if self.n_scored >= next_checkpoint:
+                checkpoints.append(
+                    Checkpoint(
+                        iteration=self.n_scored,
+                        virtual_time=clock.now,
+                        overhead_time=self.overhead.elapsed,
+                        stk=self.stk,
+                        threshold=self.threshold,
+                    )
+                )
+                next_checkpoint += checkpoint_every
+        items = self.topk_items()
+        return QueryResult(
+            k=self.config.k,
+            items=items,
+            stk=self.stk,
+            n_scored=self.n_scored,
+            n_batches=self.t_batches,
+            n_explore=self.n_explore,
+            n_exploit=self.n_exploit,
+            virtual_time=clock.now,
+            overhead_time=self.overhead.elapsed,
+            fallback_events=list(self.fallback_events),
+            checkpoints=checkpoints,
+        )

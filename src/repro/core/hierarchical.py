@@ -1,0 +1,265 @@
+"""Hierarchical epsilon-greedy bandit over the cluster tree (Section 3.2.2).
+
+"Similar to He et al., we run our bandit algorithm over clusters in each
+layer of the index.  The histogram of each cluster approximates the scores
+of the UDF for all points in its descendant clusters.  Upon selecting a
+cluster, its children constitute the collection of arms that the agent can
+pull in the next bandit loop."
+
+:class:`HierarchicalBanditPolicy` mirrors a :class:`~repro.index.tree.ClusterTree`
+into bandit nodes (one adaptive histogram per node, one sampling arm per
+leaf), performs root-to-leaf epsilon-greedy descent, updates the full
+root-to-leaf histogram path on every observation, and implements the
+empty-child handling of Section 3.2.4: dropped leaves are subtracted from
+every ancestor's histogram, and childless internal nodes are removed
+recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.arms import ArmState
+from repro.core.bandit import BanditConfig
+from repro.core.histogram import AdaptiveHistogram
+from repro.core.sketches import ScoreSketch
+from repro.errors import ConfigurationError, ExhaustedError
+from repro.index.tree import ClusterNode, ClusterTree
+from repro.utils.rng import RngFactory, SeedLike
+
+
+class BanditNode:
+    """One node of the bandit's mirror of the cluster tree."""
+
+    __slots__ = ("node_id", "parent", "children", "arm", "histogram")
+
+    def __init__(self, node_id: str, histogram: ScoreSketch,
+                 parent: Optional["BanditNode"] = None) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.children: List["BanditNode"] = []
+        self.arm: Optional[ArmState] = None
+        self.histogram = histogram
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff this node carries a sampling arm."""
+        return self.arm is not None
+
+    @property
+    def remaining(self) -> int:
+        """Undrawn elements beneath this node."""
+        if self.arm is not None:
+            return self.arm.remaining
+        return sum(child.remaining for child in self.children)
+
+    def path_to_root(self) -> Iterator["BanditNode"]:
+        """Yield this node, then each ancestor up to and including the root."""
+        node: Optional[BanditNode] = self
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal[{len(self.children)}]"
+        return f"BanditNode({self.node_id!r}, {kind})"
+
+
+class HierarchicalBanditPolicy:
+    """Per-layer epsilon-greedy selection over the mirrored cluster tree.
+
+    Parameters
+    ----------
+    tree:
+        The prebuilt cluster index.
+    config:
+        Histogram / exploration settings (shared with the flat bandit).
+    rng:
+        Seed or generator; leaf arms get independent derived streams.
+    enable_subtraction:
+        If False, dropped children are *not* subtracted from ancestor
+        histograms (the paper's "skip subtraction" ablation).
+    """
+
+    def __init__(self, tree: ClusterTree, config: BanditConfig | None = None,
+                 rng: SeedLike = None, *, enable_subtraction: bool = True) -> None:
+        self.config = config or BanditConfig()
+        self.enable_subtraction = enable_subtraction
+        factory = RngFactory(rng)
+        self._rng = factory.named("policy")
+        self.root = self._mirror(tree.root, parent=None, factory=factory)
+        if self.root.is_leaf and self.root.arm is not None and not len(self.root.arm):
+            raise ConfigurationError("index contains no elements")
+        self.leaves_by_id: Dict[str, BanditNode] = {
+            node.node_id: node for node in self._iter_leaves(self.root)
+        }
+        self.n_drops = 0
+        self.flattened = False
+
+    # -- construction ------------------------------------------------------------
+
+    def _mirror(self, cluster: ClusterNode, parent: Optional[BanditNode],
+                factory: RngFactory) -> BanditNode:
+        node = BanditNode(cluster.node_id, self.config.new_sketch(), parent)
+        if cluster.is_leaf:
+            node.arm = ArmState(cluster.node_id, cluster.member_ids,
+                                rng=factory.named(f"arm:{cluster.node_id}"))
+        else:
+            node.children = [
+                self._mirror(child, node, factory) for child in cluster.children
+            ]
+        return node
+
+    @staticmethod
+    def _iter_leaves(node: BanditNode) -> Iterator[BanditNode]:
+        if node.is_leaf:
+            yield node
+        else:
+            for child in node.children:
+                yield from HierarchicalBanditPolicy._iter_leaves(child)
+
+    # -- state queries -------------------------------------------------------------
+
+    def active_leaves(self) -> List[BanditNode]:
+        """Leaves that still have elements to draw."""
+        return [
+            node for node in self.leaves_by_id.values()
+            if node.arm is not None and not node.arm.is_empty
+        ]
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every leaf arm has run dry."""
+        return not self.active_leaves()
+
+    def remaining_ids(self) -> List[str]:
+        """All undrawn element IDs (used when falling back to a scan)."""
+        ids: List[str] = []
+        for leaf in self.active_leaves():
+            assert leaf.arm is not None
+            ids.extend(leaf.arm.peek_members())
+        return ids
+
+    # -- selection --------------------------------------------------------------------
+
+    def _greedy_child(self, node: BanditNode, threshold: float | None,
+                      *, deterministic: bool) -> BanditNode:
+        candidates = [child for child in node.children if child.remaining > 0]
+        if not candidates:
+            raise ExhaustedError(f"node {node.node_id!r} has no sampleable children")
+        if not deterministic and self.config.visit_unvisited_first:
+            # Optimistic initialization: sweep unseen subtrees before
+            # trusting gain estimates (see BanditConfig docs).
+            unvisited = [child for child in candidates
+                         if child.histogram.is_empty]
+            if unvisited:
+                return unvisited[int(self._rng.integers(len(unvisited)))]
+        gains = [
+            child.histogram.expected_marginal_gain(threshold)
+            for child in candidates
+        ]
+        best = max(gains)
+        tied = [child for child, gain in zip(candidates, gains)
+                if gain >= best - 1e-15]
+        if deterministic or len(tied) == 1:
+            return tied[0]
+        return tied[int(self._rng.integers(len(tied)))]
+
+    def _random_child(self, node: BanditNode) -> BanditNode:
+        candidates = [child for child in node.children if child.remaining > 0]
+        if not candidates:
+            raise ExhaustedError(f"node {node.node_id!r} has no sampleable children")
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+    def select_leaf(self, threshold: float | None, epsilon: float,
+                    *, per_layer: bool = False) -> BanditNode:
+        """Descend from the root to a leaf with epsilon-greedy choices.
+
+        With ``per_layer=False`` (default) a single coin flip decides whether
+        the *whole descent* explores (uniform random child per layer — the
+        behaviour of the ExplorationOnly baseline) or exploits greedily; with
+        ``per_layer=True`` each layer flips its own coin.
+        """
+        node = self.root
+        explore_all = (not per_layer) and self._rng.random() < epsilon
+        while not node.is_leaf:
+            if explore_all or (per_layer and self._rng.random() < epsilon):
+                node = self._random_child(node)
+            else:
+                node = self._greedy_child(node, threshold, deterministic=False)
+        return node
+
+    def greedy_leaf(self, threshold: float | None) -> BanditNode:
+        """Leaf with the highest histogram gain estimate (deterministic ties).
+
+        This is "the greedy arm" of the tree-fallback test (Section 3.2.3).
+        """
+        leaves = self.active_leaves()
+        if not leaves:
+            raise ExhaustedError("all leaves are exhausted")
+        gains = [leaf.histogram.expected_marginal_gain(threshold) for leaf in leaves]
+        return leaves[int(np.argmax(gains))]
+
+    def greedy_descent_leaf(self, threshold: float | None) -> BanditNode:
+        """Leaf reached by greedy-only descent (deterministic ties).
+
+        This simulates "the hierarchical bandit navigating down the tree
+        index, choosing the greedy child in each layer" for the fallback test.
+        """
+        node = self.root
+        while not node.is_leaf:
+            node = self._greedy_child(node, threshold, deterministic=True)
+        return node
+
+    # -- updates -------------------------------------------------------------------------
+
+    def update(self, leaf: BanditNode, score: float,
+               threshold: float | None, *, enable_rebinning: bool = True) -> None:
+        """Fold one observed score into every histogram on the leaf's path."""
+        for node in leaf.path_to_root():
+            if enable_rebinning:
+                node.histogram.maybe_extend_lowest(threshold)
+            node.histogram.add(score)
+
+    def handle_exhausted(self, leaf: BanditNode) -> None:
+        """Drop an exhausted leaf (Section 3.2.4 empty-child handling).
+
+        The leaf's histogram is subtracted from every ancestor (so a parent
+        whose "good" child ran dry stops looking good), then the leaf is
+        unlinked; ancestors left childless are removed recursively.
+        """
+        if leaf.arm is None or not leaf.arm.is_empty:
+            return
+        if leaf.node_id not in self.leaves_by_id:
+            return  # already dropped
+        if self.enable_subtraction:
+            for ancestor in leaf.path_to_root():
+                if ancestor is leaf:
+                    continue
+                ancestor.histogram.subtract(leaf.histogram)
+        del self.leaves_by_id[leaf.node_id]
+        self.n_drops += 1
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            parent.children = [c for c in parent.children if c is not node]
+            if parent.children or parent.parent is None:
+                break
+            node = parent
+
+    # -- tree fallback ----------------------------------------------------------------------
+
+    def flatten(self) -> None:
+        """Turn the index into a flat partition, preserving the clustering.
+
+        After the tree-fallback fires, the root's children become the active
+        leaves directly; the root histogram (aggregate of everything) is
+        retained, and each leaf keeps its own sketch and remaining members.
+        """
+        leaves = self.active_leaves()
+        for leaf in leaves:
+            leaf.parent = self.root
+        self.root.children = leaves
+        self.flattened = True

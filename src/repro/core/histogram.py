@@ -1,0 +1,311 @@
+"""Adaptive histogram sketches — Section 3.2.4 and Figure 3 of the paper.
+
+Each bandit arm models its unknown score distribution with an
+:class:`AdaptiveHistogram`.  The sketch stores bin borders and per-bin
+counts, starts as an empty equi-width histogram over ``[0, alpha]``, and
+supports the paper's three maintenance operations, all under the
+*uniform value assumption* (mass is uniformly distributed within a bin):
+
+* **Range extension** (Fig. 3b): when a sampled score exceeds the current
+  maximum range, the range grows to ``[low, beta * score]`` with
+  ``beta >= 1`` slightly overestimating the new maximum, and existing mass
+  is redistributed onto the new equal-width grid.
+* **Lowest-bin extension / re-binning** (Fig. 3a): once the running
+  solution's threshold ``(S)_(k)`` passes the upper border of the second
+  lowest bin, the two lowest bins are merged (they carry no useful
+  distinction any more) and the widest high bin is split in two, shifting
+  resolution toward the upper tail where it matters.
+* **Subtraction** (Fig. 3c): when an exhausted child cluster is dropped
+  from the tree, its histogram is subtracted from each ancestor's.  Bins
+  that would go negative are clamped to zero, as the paper prescribes.
+
+The sketch also evaluates the expected marginal STK gain ``E[Delta_{t,l}]``
+of Equation 2 in closed form under the uniform value assumption, which is
+what the epsilon-greedy bandit maximizes during exploitation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def _overlap_redistribute(
+    old_edges: np.ndarray, old_counts: np.ndarray, new_edges: np.ndarray
+) -> np.ndarray:
+    """Redistribute ``old_counts`` onto ``new_edges`` by interval overlap.
+
+    Under the uniform value assumption each old bin's mass is spread evenly
+    across its interval, so the mass landing in a new bin is proportional to
+    the length of the intersection.  Total mass is conserved whenever the new
+    grid covers the old one.
+    """
+    new_counts = np.zeros(len(new_edges) - 1, dtype=float)
+    for i in range(len(old_counts)):
+        count = old_counts[i]
+        if count <= 0.0:
+            continue
+        lo, hi = old_edges[i], old_edges[i + 1]
+        width = hi - lo
+        if width <= 0.0:
+            # Degenerate zero-width bin: treat as a point mass at ``lo``.
+            j = int(np.clip(np.searchsorted(new_edges, lo, side="right") - 1,
+                            0, len(new_counts) - 1))
+            new_counts[j] += count
+            continue
+        first = int(np.clip(np.searchsorted(new_edges, lo, side="right") - 1,
+                            0, len(new_counts) - 1))
+        for j in range(first, len(new_counts)):
+            seg_lo = max(lo, new_edges[j])
+            seg_hi = min(hi, new_edges[j + 1])
+            if seg_hi <= seg_lo:
+                if new_edges[j] >= hi:
+                    break
+                continue
+            new_counts[j] += count * (seg_hi - seg_lo) / width
+    return new_counts
+
+
+class AdaptiveHistogram:
+    """Histogram sketch of one arm's score distribution.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of buckets ``B`` (paper default: 8).
+    initial_range:
+        Initial maximum ``alpha``; the histogram starts equi-width over
+        ``[0, alpha]`` (paper default: 0.1).
+    beta:
+        Range-extension overestimation factor in ``[1, 2]`` (default 1.1).
+    """
+
+    def __init__(self, n_bins: int = 8, initial_range: float = 0.1,
+                 beta: float = 1.1) -> None:
+        check_positive_int(n_bins, "n_bins")
+        if n_bins < 2:
+            raise ConfigurationError(f"n_bins must be >= 2, got {n_bins}")
+        check_positive(initial_range, "initial_range")
+        if not 1.0 <= beta <= 2.0:
+            raise ConfigurationError(f"beta must lie in [1, 2], got {beta!r}")
+        self.n_bins = int(n_bins)
+        self.beta = float(beta)
+        self.edges = np.linspace(0.0, float(initial_range), n_bins + 1)
+        self.counts = np.zeros(n_bins, dtype=float)
+        self.n_rebins = 0
+        self.n_extensions = 0
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def total_mass(self) -> float:
+        """Total (possibly fractional, after maintenance) sample mass."""
+        return float(self.counts.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the sketch holds no mass."""
+        return self.total_mass <= 0.0
+
+    @property
+    def max_range(self) -> float:
+        """Current upper border of the highest bin."""
+        return float(self.edges[-1])
+
+    def copy(self) -> "AdaptiveHistogram":
+        """Return an independent deep copy of this sketch."""
+        clone = AdaptiveHistogram.__new__(AdaptiveHistogram)
+        clone.n_bins = self.n_bins
+        clone.beta = self.beta
+        clone.edges = self.edges.copy()
+        clone.counts = self.counts.copy()
+        clone.n_rebins = self.n_rebins
+        clone.n_extensions = self.n_extensions
+        return clone
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one observed score, auto-extending the range if needed."""
+        value = float(value)
+        if value < 0.0:
+            raise ConfigurationError(
+                f"scores must be non-negative (opaque top-k setting), got {value!r}"
+            )
+        if value > self.max_range:
+            self.extend_range(self.beta * value)
+        index = int(np.searchsorted(self.edges, value, side="right") - 1)
+        index = min(max(index, 0), self.n_bins - 1)
+        self.counts[index] += 1.0
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Record each score of ``values`` in order."""
+        for value in values:
+            self.add(value)
+
+    def extend_range(self, new_max: float) -> None:
+        """Grow the covered range to ``[low, new_max]`` (Fig. 3b).
+
+        The new grid is equal-width; existing mass is redistributed by
+        interval overlap under the uniform value assumption.
+        """
+        if new_max <= self.max_range:
+            return
+        new_edges = np.linspace(float(self.edges[0]), float(new_max),
+                                self.n_bins + 1)
+        self.counts = _overlap_redistribute(self.edges, self.counts, new_edges)
+        self.edges = new_edges
+        self.n_extensions += 1
+
+    def maybe_extend_lowest(self, threshold: float | None) -> bool:
+        """Apply the Fig. 3a re-binning if ``threshold`` passed bin 2's border.
+
+        When the running solution's ``(S)_(k)`` exceeds the upper border of
+        the *second* lowest bin, the two lowest bins no longer carry useful
+        distinction: they are merged, and the widest remaining bin above the
+        merge point is split in half (splitting its mass evenly, per the
+        uniform value assumption) so the bucket budget ``B`` is preserved and
+        resolution shifts toward the tail.  Returns True iff a re-bin happened.
+        """
+        if threshold is None or self.n_bins < 3:
+            return False
+        if threshold <= self.edges[2]:
+            return False
+        # Merge bins 0 and 1.
+        merged_edges = np.delete(self.edges, 1)
+        merged_counts = np.concatenate(
+            ([self.counts[0] + self.counts[1]], self.counts[2:])
+        )
+        # Split the widest bin above the merged one to restore B bins.
+        widths = np.diff(merged_edges[1:])
+        split = 1 + int(np.argmax(widths))
+        mid = 0.5 * (merged_edges[split] + merged_edges[split + 1])
+        new_edges = np.insert(merged_edges, split + 1, mid)
+        half = merged_counts[split] / 2.0
+        new_counts = np.concatenate(
+            (merged_counts[:split], [half, half], merged_counts[split + 1:])
+        )
+        self.edges = new_edges
+        self.counts = new_counts
+        self.n_rebins += 1
+        return True
+
+    def subtract(self, other: "AdaptiveHistogram") -> None:
+        """Remove ``other``'s mass from this sketch (Fig. 3c).
+
+        The child's mass is projected onto this histogram's grid by interval
+        overlap, then subtracted; any bin that would become negative is
+        clamped to zero ("we always round up the histogram's bin counts to
+        zero if they become negative").
+        """
+        if other.is_empty:
+            return
+        projected = _overlap_redistribute(other.edges, other.counts, self.edges)
+        # Mass of the child falling beyond this sketch's range cannot be
+        # located; it is dropped, which the clamp-at-zero rule tolerates.
+        self.counts = np.maximum(self.counts - projected, 0.0)
+
+    def merge(self, other: "AdaptiveHistogram") -> None:
+        """Fold ``other``'s mass into this sketch (used when flattening)."""
+        if other.is_empty:
+            return
+        if other.max_range > self.max_range:
+            self.extend_range(other.max_range)
+        self.counts += _overlap_redistribute(other.edges, other.counts, self.edges)
+
+    # -- queries ---------------------------------------------------------------
+
+    def expected_marginal_gain(self, threshold: float | None) -> float:
+        """Closed-form ``E[Delta_{t,l}]`` of Equation 2 under the sketch.
+
+        With ``X`` uniform on a bin ``[a, b)`` holding probability ``p``:
+
+        * ``threshold <= a``  ->  ``p * ((a + b)/2 - threshold)``
+        * ``threshold >= b``  ->  0
+        * otherwise           ->  ``p * (b - threshold)^2 / (2 (b - a))``
+
+        ``threshold=None`` (solution not yet full) means every score is pure
+        gain, so the estimate is the sketch's mean.  An empty sketch scores 0.
+        """
+        mass = self.total_mass
+        if mass <= 0.0:
+            return 0.0
+        lows = self.edges[:-1]
+        highs = self.edges[1:]
+        probs = self.counts / mass
+        if threshold is None:
+            return float(np.dot(probs, 0.5 * (lows + highs)))
+        tau = float(threshold)
+        widths = highs - lows
+        gain = np.zeros_like(probs)
+        below = tau <= lows
+        gain[below] = probs[below] * (0.5 * (lows[below] + highs[below]) - tau)
+        inside = (~below) & (tau < highs)
+        safe_width = np.where(widths[inside] > 0.0, widths[inside], 1.0)
+        gain[inside] = probs[inside] * (highs[inside] - tau) ** 2 / (2.0 * safe_width)
+        return float(gain.sum())
+
+    def mean_estimate(self) -> float:
+        """Mean of the sketched distribution under the uniform value assumption."""
+        mass = self.total_mass
+        if mass <= 0.0:
+            return 0.0
+        mids = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return float(np.dot(self.counts / mass, mids))
+
+    def tail_mass(self, threshold: float) -> float:
+        """Estimated probability that a sample exceeds ``threshold``."""
+        mass = self.total_mass
+        if mass <= 0.0:
+            return 0.0
+        lows = self.edges[:-1]
+        highs = self.edges[1:]
+        widths = np.where(highs - lows > 0.0, highs - lows, 1.0)
+        frac_above = np.clip((highs - threshold) / widths, 0.0, 1.0)
+        return float(np.dot(self.counts / mass, frac_above))
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-safe representation of this sketch."""
+        return {
+            "n_bins": self.n_bins,
+            "beta": self.beta,
+            "edges": [float(edge) for edge in self.edges],
+            "counts": [float(count) for count in self.counts],
+            "n_rebins": self.n_rebins,
+            "n_extensions": self.n_extensions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AdaptiveHistogram":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        try:
+            edges = np.asarray(payload["edges"], dtype=float)
+            counts = np.asarray(payload["counts"], dtype=float)
+            n_bins = int(payload["n_bins"])  # type: ignore[arg-type]
+            beta = float(payload["beta"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed histogram payload: {exc}") from exc
+        if len(edges) != len(counts) + 1 or len(counts) != n_bins:
+            raise SerializationError(
+                "histogram payload has inconsistent edges/counts lengths"
+            )
+        sketch = cls.__new__(cls)
+        sketch.n_bins = n_bins
+        sketch.beta = beta
+        sketch.edges = edges
+        sketch.counts = counts
+        sketch.n_rebins = int(payload.get("n_rebins", 0))  # type: ignore[arg-type]
+        sketch.n_extensions = int(payload.get("n_extensions", 0))  # type: ignore[arg-type]
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveHistogram(bins={self.n_bins}, range=[{self.edges[0]:.4g}, "
+            f"{self.max_range:.4g}], mass={self.total_mass:.4g})"
+        )

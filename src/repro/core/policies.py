@@ -1,0 +1,85 @@
+"""Exploration-rate schedules for the epsilon-greedy bandit.
+
+Algorithm 1 explores a uniformly random arm with probability
+``epsilon_t = t^(-1/3)`` — refining the empirical histogram estimates is most
+valuable early, and the schedule's cumulative Theta(T^(2/3)) exploration
+rounds are exactly the additive regret term of Theorem 4.4.  The batched
+variant divides ``t`` by the batch size (Section 3.2.5), and the fixed-budget
+discussion (Section 7.2) suggests front-loading Theta(T^(2/3)) exploration
+rounds, implemented here as :class:`FrontLoadedExploration`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+class ExplorationSchedule(ABC):
+    """Maps the (effective) iteration count to an exploration probability."""
+
+    @abstractmethod
+    def rate(self, t: int) -> float:
+        """Exploration probability at iteration ``t`` (1-based)."""
+
+    def effective_rate(self, t: int, batch_size: int = 1) -> float:
+        """Exploration rate with the batched correction of Section 3.2.5.
+
+        "Batching complicates the exploration rate guarantees ... we find
+        that dividing t by the batch size suffices."
+        """
+        effective_t = max(1, t // max(1, batch_size))
+        return self.rate(effective_t)
+
+
+class PolynomialDecay(ExplorationSchedule):
+    """The paper's schedule: ``epsilon_t = t ** exponent`` (default -1/3)."""
+
+    def __init__(self, exponent: float = -1.0 / 3.0) -> None:
+        if exponent >= 0:
+            raise ValueError(f"decay exponent must be negative, got {exponent!r}")
+        self.exponent = float(exponent)
+
+    def rate(self, t: int) -> float:
+        if t < 1:
+            return 1.0
+        return min(1.0, float(t) ** self.exponent)
+
+    def __repr__(self) -> str:
+        return f"PolynomialDecay(exponent={self.exponent:.4g})"
+
+
+class ConstantEpsilon(ExplorationSchedule):
+    """Fixed exploration probability — an ablation/baseline schedule."""
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_fraction(epsilon, "epsilon")
+
+    def rate(self, t: int) -> float:
+        return self.epsilon
+
+    def __repr__(self) -> str:
+        return f"ConstantEpsilon({self.epsilon:.4g})"
+
+
+class FrontLoadedExploration(ExplorationSchedule):
+    """Explore with probability 1 for the first ``ceil(c * T^(2/3))`` rounds.
+
+    The fixed-budget variant of Section 7.2: "batch all exploration at the
+    beginning; the number of exploration rounds should be in the order of
+    Theta(T^(2/3))."  Requires the budget ``T`` to be known up front.
+    """
+
+    def __init__(self, budget: int, c: float = 1.0) -> None:
+        check_positive(budget, "budget")
+        check_positive(c, "c")
+        self.budget = int(budget)
+        self.c = float(c)
+        self.cutoff = max(1, int(round(c * budget ** (2.0 / 3.0))))
+
+    def rate(self, t: int) -> float:
+        return 1.0 if t <= self.cutoff else 0.0
+
+    def __repr__(self) -> str:
+        return f"FrontLoadedExploration(budget={self.budget}, c={self.c:.4g})"

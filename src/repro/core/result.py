@@ -1,0 +1,82 @@
+"""Result and trace records returned by the query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Snapshot of the anytime solution after some number of scoring calls.
+
+    Attributes
+    ----------
+    iteration:
+        Number of scoring-function invocations so far (the paper's ``t``).
+    virtual_time:
+        Simulated seconds of scoring latency charged so far.
+    overhead_time:
+        Real measured seconds spent inside the algorithm itself.
+    stk:
+        Sum-of-Top-k of the running solution.
+    threshold:
+        Current kick-out threshold ``(S)_(k)`` (None while |S| < k).
+    """
+
+    iteration: int
+    virtual_time: float
+    overhead_time: float
+    stk: float
+    threshold: Optional[float]
+
+    @property
+    def total_time(self) -> float:
+        """Virtual scoring time plus real algorithm overhead."""
+        return self.virtual_time + self.overhead_time
+
+
+@dataclass
+class QueryResult:
+    """Final answer plus execution trace of one top-k query.
+
+    ``items`` holds (element_id, score) in descending score order — the rows
+    the user would read.  ``checkpoints`` is the anytime quality trace used
+    for every figure in the paper's evaluation.
+    """
+
+    k: int
+    items: List[Tuple[str, float]]
+    stk: float
+    n_scored: int
+    n_batches: int
+    n_explore: int
+    n_exploit: int
+    virtual_time: float
+    overhead_time: float
+    fallback_events: List[Tuple[int, str]] = field(default_factory=list)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+
+    @property
+    def ids(self) -> List[str]:
+        """Element IDs of the answer, best first."""
+        return [element_id for element_id, _score in self.items]
+
+    @property
+    def scores(self) -> List[float]:
+        """Scores of the answer, descending."""
+        return [score for _id, score in self.items]
+
+    @property
+    def total_time(self) -> float:
+        """Virtual scoring time plus real algorithm overhead."""
+        return self.virtual_time + self.overhead_time
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        fallbacks = ", ".join(kind for _t, kind in self.fallback_events) or "none"
+        return (
+            f"top-{self.k}: STK={self.stk:.4f} after {self.n_scored} scores "
+            f"({self.n_explore} explore / {self.n_exploit} exploit batches), "
+            f"time={self.total_time:.3f}s, fallbacks: {fallbacks}"
+        )

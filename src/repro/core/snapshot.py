@@ -1,0 +1,155 @@
+"""Pause/resume support for running queries.
+
+The paper's query model is *anytime*: "the user monitors the running
+solution and retrieves the result as soon as satisfied" (Section 2.2).  A
+natural companion is pausing: an analyst stops a long-running query, shuts
+the notebook, and resumes tomorrow against the same (immutable) index
+without re-scoring anything.
+
+:func:`snapshot_engine` captures everything the engine learned — the
+priority queue, every node's histogram sketch, each arm's remaining
+members, counters, fallback state, and the scan queue if the clustering
+fallback already fired — as a JSON-safe dict.  :func:`restore_engine`
+rebuilds a live engine from it.
+
+One documented caveat: random-generator state is *not* captured.  A resumed
+engine derives fresh streams from ``resume_seed``, so a paused-and-resumed
+run is a valid execution of Algorithm 1 but not bit-identical to the
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.hierarchical import BanditNode
+from repro.core.histogram import AdaptiveHistogram
+from repro.errors import ConfigurationError, SerializationError
+from repro.index.tree import ClusterTree
+
+_FORMAT = "repro-engine-snapshot/1"
+
+
+def _node_state(node: BanditNode) -> dict:
+    payload: dict = {"node_id": node.node_id}
+    if isinstance(node.histogram, AdaptiveHistogram):
+        payload["histogram"] = node.histogram.to_dict()
+    else:
+        raise ConfigurationError(
+            "snapshotting requires the default histogram sketch; custom "
+            "sketch factories are not serializable"
+        )
+    if node.arm is not None:
+        payload["remaining"] = list(node.arm.peek_members())
+    else:
+        payload["children"] = [_node_state(child) for child in node.children]
+    return payload
+
+
+def snapshot_engine(engine: TopKEngine) -> dict:
+    """Capture a running engine's full learned state (JSON-safe)."""
+    if engine._pending:
+        raise ConfigurationError(
+            "cannot snapshot between next_batch() and observe(); finish the "
+            "in-flight batch first"
+        )
+    return {
+        "format": _FORMAT,
+        "k": engine.config.k,
+        "mode": engine.mode,
+        "scan_queue": list(engine._scan_queue),
+        "buffer": [[score, payload] for score, payload in
+                   engine.buffer.items()],
+        "tree": _node_state(engine.policy.root),
+        "flattened": engine.policy.flattened,
+        "counters": {
+            "t_batches": engine.t_batches,
+            "n_scored": engine.n_scored,
+            "n_explore": engine.n_explore,
+            "n_exploit": engine.n_exploit,
+            "n_drops": engine.policy.n_drops,
+            "overhead_elapsed": engine.overhead.elapsed,
+            "fallback_next_check": engine.fallback.next_check_at,
+            "fallback_n_checks": engine.fallback.n_checks,
+        },
+        "fallback_events": [[t, kind] for t, kind in engine.fallback_events],
+        "threshold_floor": engine.threshold_floor,
+        "n_total": engine.n_total,
+    }
+
+
+def _restore_node(node: BanditNode, payload: dict) -> None:
+    if node.node_id != payload.get("node_id"):
+        raise SerializationError(
+            f"snapshot tree mismatch: engine node {node.node_id!r} vs "
+            f"snapshot {payload.get('node_id')!r}"
+        )
+    node.histogram = AdaptiveHistogram.from_dict(payload["histogram"])
+    if node.arm is not None:
+        remaining = payload.get("remaining")
+        if remaining is None:
+            raise SerializationError(
+                f"snapshot missing arm members for leaf {node.node_id!r}"
+            )
+        node.arm._members = list(remaining)
+    else:
+        child_payloads = {p["node_id"]: p for p in payload.get("children", ())}
+        kept: List[BanditNode] = []
+        for child in node.children:
+            if child.node_id in child_payloads:
+                _restore_node(child, child_payloads[child.node_id])
+                kept.append(child)
+        node.children = kept
+
+
+def restore_engine(index: ClusterTree, snapshot: dict,
+                   config: Optional[EngineConfig] = None,
+                   resume_seed: Optional[int] = None,
+                   scoring_latency_hint: float = 2e-3) -> TopKEngine:
+    """Rebuild a live engine from :func:`snapshot_engine` output.
+
+    ``index`` must be the same immutable index the original engine ran
+    over (node IDs are checked).  ``config`` defaults to paper settings
+    with the snapshot's ``k``; ``resume_seed`` seeds the fresh random
+    streams of the resumed run.
+    """
+    if snapshot.get("format") != _FORMAT:
+        raise SerializationError(
+            f"unrecognized snapshot format {snapshot.get('format')!r}"
+        )
+    if config is None:
+        config = EngineConfig(k=int(snapshot["k"]), seed=resume_seed)
+    elif config.k != int(snapshot["k"]):
+        raise ConfigurationError("config.k must match the snapshot's k")
+    engine = TopKEngine(index, config,
+                        scoring_latency_hint=scoring_latency_hint)
+    # Rehydrate learned state.
+    _restore_node(engine.policy.root, snapshot["tree"])
+    engine.policy.leaves_by_id = {
+        leaf.node_id: leaf
+        for leaf in engine.policy._iter_leaves(engine.policy.root)
+        if leaf.arm is not None and not leaf.arm.is_empty
+    }
+    engine.policy.flattened = bool(snapshot.get("flattened", False))
+    if engine.policy.flattened:
+        engine.policy.flatten()
+    for score, payload in snapshot["buffer"]:
+        engine.buffer.offer(float(score), payload)
+    engine.mode = snapshot["mode"]
+    engine._scan_queue = list(snapshot.get("scan_queue", ()))
+    counters = snapshot["counters"]
+    engine.t_batches = int(counters["t_batches"])
+    engine.n_scored = int(counters["n_scored"])
+    engine.n_explore = int(counters["n_explore"])
+    engine.n_exploit = int(counters["n_exploit"])
+    engine.policy.n_drops = int(counters.get("n_drops", 0))
+    engine.overhead.elapsed = float(counters.get("overhead_elapsed", 0.0))
+    engine.fallback._next_check = int(counters.get("fallback_next_check", 0))
+    engine.fallback.n_checks = int(counters.get("fallback_n_checks", 0))
+    engine.fallback_events = [
+        (int(t), str(kind)) for t, kind in snapshot.get("fallback_events", ())
+    ]
+    floor = snapshot.get("threshold_floor")
+    engine.threshold_floor = None if floor is None else float(floor)
+    return engine

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class EmptyStructureError(ReproError):
+    """An operation required a non-empty container (heap, arm, index)."""
+
+
+class ExhaustedError(ReproError):
+    """A sampling source ran out of elements and cannot produce more."""
+
+
+class IndexError_(ReproError):
+    """The cluster index is malformed or inconsistent.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class SerializationError(ReproError):
+    """A structure could not be serialized or deserialized."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` was called."""

@@ -1,0 +1,53 @@
+"""Experiment harness: ground-truth oracles, quality metrics, the uniform
+multi-seed anytime runner, report formatting, and one configuration per
+paper experiment (Figures 2 and 4-9).
+"""
+
+from repro.experiments.ground_truth import GroundTruth, compute_ground_truth
+from repro.experiments.metrics import precision_at_k, time_to_fraction
+from repro.experiments.runner import (
+    RunCurve,
+    ScoreOracle,
+    average_curves,
+    run_algorithm,
+)
+from repro.experiments.report import format_curve_table, format_rows
+from repro.experiments.configs import (
+    ImageNetConfig,
+    SyntheticConfig,
+    UsedCarsConfig,
+    scale_factor,
+)
+from repro.experiments.export import (
+    curves_to_json,
+    curves_to_rows,
+    result_to_dict,
+    write_curves_csv,
+    write_curves_json,
+    write_result_json,
+)
+from repro.experiments.plotting import ascii_chart
+
+__all__ = [
+    "GroundTruth",
+    "compute_ground_truth",
+    "precision_at_k",
+    "time_to_fraction",
+    "RunCurve",
+    "ScoreOracle",
+    "run_algorithm",
+    "average_curves",
+    "format_curve_table",
+    "format_rows",
+    "SyntheticConfig",
+    "UsedCarsConfig",
+    "ImageNetConfig",
+    "scale_factor",
+    "curves_to_rows",
+    "curves_to_json",
+    "write_curves_csv",
+    "write_curves_json",
+    "result_to_dict",
+    "write_result_json",
+    "ascii_chart",
+]

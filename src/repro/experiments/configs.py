@@ -1,0 +1,108 @@
+"""Per-experiment configurations mirroring Section 5.1 of the paper.
+
+Paper-scale parameters are recorded verbatim; benchmark runs default to a
+laptop-scale fraction controlled by the ``REPRO_SCALE`` environment
+variable (1.0 = paper scale).  Scaling shrinks ``n`` while keeping the
+cluster count, ``k``:``n`` ratio, and batch-size:cluster-size ratios
+roughly proportional, which preserves the shape of every curve.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def scale_factor(default: float = 0.1) -> float:
+    """Read the global experiment scale from ``REPRO_SCALE`` (default 0.1)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    if value <= 0.0:
+        return default
+    return min(value, 1.0)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Figure 4: synthetic normals, 20 clusters x 2,500, k=100, 25 runs."""
+
+    paper_n_clusters: int = 20
+    paper_per_cluster: int = 2500
+    paper_k: int = 100
+    paper_runs: int = 25
+    mu_range: Tuple[float, float] = (0.0, 20.0)
+    sigma_range: Tuple[float, float] = (0.0, 5.0)
+
+    def scaled(self, scale: float | None = None) -> "ScaledExperiment":
+        scale = scale_factor() if scale is None else scale
+        per_cluster = max(50, int(self.paper_per_cluster * scale))
+        n = self.paper_n_clusters * per_cluster
+        return ScaledExperiment(
+            n=n,
+            n_clusters=self.paper_n_clusters,
+            k=max(10, int(self.paper_k * scale)),
+            runs=max(3, int(self.paper_runs * scale)),
+            batch_size=1,
+        )
+
+
+@dataclass(frozen=True)
+class UsedCarsConfig:
+    """Figures 5-6: UsedCars, n=100k, L=500, k=250, 10 runs, 2 ms scoring."""
+
+    paper_n: int = 100_000
+    paper_n_clusters: int = 500
+    paper_k: int = 250
+    paper_runs: int = 10
+    scoring_latency: float = 2e-3
+    train_rows: int = 20_000
+
+    def scaled(self, scale: float | None = None) -> "ScaledExperiment":
+        scale = scale_factor() if scale is None else scale
+        n = max(2_000, int(self.paper_n * scale))
+        return ScaledExperiment(
+            n=n,
+            n_clusters=max(20, int(self.paper_n_clusters * scale)),
+            k=max(25, int(self.paper_k * scale)),
+            runs=max(3, int(self.paper_runs * scale * 3)),
+            batch_size=1,
+        )
+
+
+@dataclass(frozen=True)
+class ImageNetConfig:
+    """Figures 7-9: images, n=320k, L=25, k=1000, batch 400, 10 runs."""
+
+    paper_n: int = 320_000
+    paper_n_clusters: int = 25
+    paper_k: int = 1000
+    paper_runs: int = 10
+    paper_batch_size: int = 400
+    n_classes: int = 10
+    side: int = 16
+
+    def scaled(self, scale: float | None = None) -> "ScaledExperiment":
+        scale = scale_factor() if scale is None else scale
+        n = max(3_000, int(self.paper_n * scale * 0.1))
+        return ScaledExperiment(
+            n=n,
+            n_clusters=self.paper_n_clusters,
+            k=max(30, int(self.paper_k * scale * 0.1)),
+            runs=max(3, int(self.paper_runs * scale * 3)),
+            batch_size=max(10, int(self.paper_batch_size * scale * 0.1)),
+        )
+
+
+@dataclass(frozen=True)
+class ScaledExperiment:
+    """Concrete laptop-scale parameters for one benchmark run."""
+
+    n: int
+    n_clusters: int
+    k: int
+    runs: int
+    batch_size: int

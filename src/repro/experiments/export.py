@@ -1,0 +1,128 @@
+"""Export experiment curves and results to CSV / JSON.
+
+The benchmarks print ASCII tables; downstream users typically want the raw
+series for their own plotting.  These helpers write one tidy CSV (long
+format: algorithm, checkpoint index, iteration, time, stk, precision,
+overhead) or a JSON document per experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.core.result import QueryResult
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunCurve
+
+_CSV_COLUMNS = (
+    "algorithm",
+    "checkpoint",
+    "iteration",
+    "time_seconds",
+    "stk",
+    "precision",
+    "overhead_seconds",
+)
+
+
+def curves_to_rows(curves: Sequence[RunCurve]) -> List[Dict[str, object]]:
+    """Flatten curves into long-format dict rows."""
+    rows: List[Dict[str, object]] = []
+    for curve in curves:
+        for index in range(len(curve.iterations)):
+            rows.append({
+                "algorithm": curve.name,
+                "checkpoint": index,
+                "iteration": int(curve.iterations[index]),
+                "time_seconds": float(curve.times[index]),
+                "stk": float(curve.stks[index]),
+                "precision": float(curve.precisions[index]),
+                "overhead_seconds": float(curve.overheads[index]),
+            })
+    return rows
+
+
+def write_curves_csv(curves: Sequence[RunCurve], path: str | Path) -> Path:
+    """Write the curves as one long-format CSV; returns the path."""
+    if not curves:
+        raise ConfigurationError("nothing to export")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
+        writer.writeheader()
+        for row in curves_to_rows(curves):
+            writer.writerow(row)
+    return path
+
+
+def curves_to_json(curves: Sequence[RunCurve], *, title: str = "",
+                   extra: Dict[str, object] | None = None) -> str:
+    """Serialize curves (plus optional metadata) to a JSON document."""
+    document = {
+        "title": title,
+        "metadata": extra or {},
+        "algorithms": [
+            {
+                "name": curve.name,
+                "final_stk": curve.final_stk,
+                "n_scored": curve.n_scored,
+                "setup_cost": curve.setup_cost,
+                "iterations": [int(v) for v in curve.iterations],
+                "times": [float(v) for v in curve.times],
+                "stks": [float(v) for v in curve.stks],
+                "precisions": [float(v) for v in curve.precisions],
+                "overheads": [float(v) for v in curve.overheads],
+            }
+            for curve in curves
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def write_curves_json(curves: Sequence[RunCurve], path: str | Path, *,
+                      title: str = "",
+                      extra: Dict[str, object] | None = None) -> Path:
+    """Write :func:`curves_to_json` output to ``path``."""
+    path = Path(path)
+    path.write_text(curves_to_json(curves, title=title, extra=extra),
+                    encoding="utf-8")
+    return path
+
+
+def result_to_dict(result: QueryResult) -> Dict[str, object]:
+    """JSON-safe record of one query's answer and trace."""
+    return {
+        "k": result.k,
+        "stk": result.stk,
+        "items": [[element_id, float(score)]
+                  for element_id, score in result.items],
+        "n_scored": result.n_scored,
+        "n_batches": result.n_batches,
+        "n_explore": result.n_explore,
+        "n_exploit": result.n_exploit,
+        "virtual_time": result.virtual_time,
+        "overhead_time": result.overhead_time,
+        "fallback_events": [[int(t), kind]
+                            for t, kind in result.fallback_events],
+        "checkpoints": [
+            {
+                "iteration": cp.iteration,
+                "virtual_time": cp.virtual_time,
+                "overhead_time": cp.overhead_time,
+                "stk": cp.stk,
+                "threshold": cp.threshold,
+            }
+            for cp in result.checkpoints
+        ],
+    }
+
+
+def write_result_json(result: QueryResult, path: str | Path) -> Path:
+    """Persist one :class:`QueryResult` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2),
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,120 @@
+"""Quality metrics: Precision@K and time-to-quality summaries.
+
+Precision@K is the paper's extrinsic metric; "Recall@K is identical to
+Precision@K as the ground truth solution has k elements" (Section 5.1).
+Ties at the k-th score are resolved generously: any selected element whose
+true score matches or exceeds the k-th ground-truth score counts as
+correct, so the metric does not depend on arbitrary tie ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.ground_truth import GroundTruth
+
+_TIE_EPS = 1e-12
+
+
+def precision_at_k(selected_ids: Sequence[str], truth: GroundTruth,
+                   k: int) -> float:
+    """Fraction of the top-k answer that belongs to the true top-k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k!r}")
+    kth = truth.kth_score(k)
+    hits = sum(
+        1
+        for element_id in list(selected_ids)[:k]
+        if truth.score_of.get(element_id, -np.inf) >= kth - _TIE_EPS
+    )
+    return hits / k
+
+
+def time_to_fraction(times: Sequence[float], stks: Sequence[float],
+                     optimal_stk: float, fraction: float) -> Optional[float]:
+    """First time at which the STK curve reaches ``fraction * optimal``.
+
+    Returns None if the curve never gets there.  This is how the paper's
+    "accelerates the time required to achieve nearly optimal scores" speedup
+    claims are quantified.
+    """
+    target = fraction * optimal_stk
+    for time_point, value in zip(times, stks):
+        if value >= target:
+            return float(time_point)
+    return None
+
+
+def auc_of_curve(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Trapezoidal area under a quality curve (normalized comparisons)."""
+    if len(xs) < 2:
+        return 0.0
+    return float(np.trapezoid(np.asarray(ys, dtype=float),
+                              np.asarray(xs, dtype=float)))
+
+
+def ndcg_at_k(selected_ids: Sequence[str], truth: GroundTruth, k: int) -> float:
+    """Normalized discounted cumulative gain of the returned ranking.
+
+    Precision@K ignores the *order* of the answer; nDCG rewards putting the
+    truly highest-scoring elements first, with true scores as relevance.
+    The ideal ranking is the ground-truth top-k; an answer identical to it
+    scores 1.0.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k!r}")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    gains = np.asarray([
+        truth.score_of.get(element_id, 0.0)
+        for element_id in list(selected_ids)[:k]
+    ])
+    if len(gains) < k:
+        gains = np.pad(gains, (0, k - len(gains)))
+    dcg = float((gains * discounts).sum())
+    ideal = np.sort(truth.scores)[::-1][:k]
+    if len(ideal) < k:
+        ideal = np.pad(ideal, (0, k - len(ideal)))
+    idcg = float((ideal * discounts).sum())
+    if idcg <= 0.0:
+        return 1.0 if dcg <= 0.0 else 0.0
+    return dcg / idcg
+
+
+def rank_biased_overlap(ranking_a: Sequence[str], ranking_b: Sequence[str],
+                        p: float = 0.9, depth: Optional[int] = None) -> float:
+    """Rank-biased overlap (Webber et al. 2010) of two rankings.
+
+    Top-weighted similarity in [0, 1]: 1.0 for identical rankings, with
+    disagreements deeper in the lists discounted geometrically by ``p``.
+    Useful for comparing two approximate answers directly, without ground
+    truth.  This is the truncated (fixed-depth) RBO estimate.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0, 1), got {p!r}")
+    depth = depth or max(len(ranking_a), len(ranking_b))
+    if depth == 0:
+        return 1.0
+    seen_a: set = set()
+    seen_b: set = set()
+    overlap = 0
+    score = 0.0
+    weight_sum = 0.0
+    for d in range(1, depth + 1):
+        if d <= len(ranking_a):
+            item = ranking_a[d - 1]
+            if item in seen_b:
+                overlap += 1
+            seen_a.add(item)
+        if d <= len(ranking_b):
+            item = ranking_b[d - 1]
+            if item in seen_a and item not in seen_b:
+                overlap += 1
+            seen_b.add(item)
+        # Self-overlap of identical prefixes counts items once each.
+        agreement = overlap / d
+        weight = p ** (d - 1)
+        score += weight * agreement
+        weight_sum += weight
+    return score / weight_sum

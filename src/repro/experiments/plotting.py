@@ -1,0 +1,96 @@
+"""Terminal plotting: render quality curves as ASCII line charts.
+
+The benchmarks print series tables; for a quick visual read of curve
+*shape* (crossovers, plateaus, the gap between Ours and the baselines) a
+monospace chart is often clearer.  No plotting dependency exists offline,
+so this renders with plain characters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunCurve
+
+_MARKERS = "o*x+#@%&"
+
+
+def _interp(xs: np.ndarray, ys: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Step interpolation of a curve onto a shared x grid."""
+    out = np.full(len(grid), np.nan)
+    for i, x in enumerate(grid):
+        mask = xs <= x
+        if mask.any():
+            out[i] = ys[mask][-1]
+    return out
+
+
+def ascii_chart(curves: Sequence[RunCurve], *, x_axis: str = "iterations",
+                y_axis: str = "stk", width: int = 72, height: int = 16,
+                normalize_by: Optional[float] = None,
+                title: str = "") -> str:
+    """Render several algorithms' curves into one ASCII chart.
+
+    Each algorithm gets a marker character; the legend maps markers to
+    names.  Y is optionally normalized (e.g. by the optimal STK).
+    """
+    if not curves:
+        raise ConfigurationError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to render")
+
+    def x_of(curve: RunCurve) -> np.ndarray:
+        return (curve.times if x_axis == "time"
+                else curve.iterations.astype(float))
+
+    def y_of(curve: RunCurve) -> np.ndarray:
+        ys = curve.stks if y_axis == "stk" else curve.precisions
+        return ys / normalize_by if normalize_by else ys
+
+    x_max = max(float(x_of(c)[-1]) for c in curves)
+    x_min = min(float(x_of(c)[0]) for c in curves)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    grid = np.linspace(x_min, x_max, width)
+    series = [(c.name, _interp(x_of(c), y_of(c), grid)) for c in curves]
+    y_values = np.concatenate([s for _n, s in series])
+    y_values = y_values[np.isfinite(y_values)]
+    y_lo = float(y_values.min()) if len(y_values) else 0.0
+    y_hi = float(y_values.max()) if len(y_values) else 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (_name, values) in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for col, value in enumerate(values):
+            if not np.isfinite(value):
+                continue
+            row = int(round((value - y_lo) / (y_hi - y_lo) * (height - 1)))
+            row = height - 1 - min(max(row, 0), height - 1)
+            if canvas[row][col] == " ":
+                canvas[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_hi:.3g}"
+    label_lo = f"{y_lo:.3g}"
+    pad = max(len(label_hi), len(label_lo))
+    for row_index, row in enumerate(canvas):
+        prefix = label_hi if row_index == 0 else (
+            label_lo if row_index == height - 1 else ""
+        )
+        lines.append(f"{prefix:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(f"{' ' * pad}  {x_min:.3g}{' ' * (width - 16)}{x_max:.3g}"
+                 f"  ({x_axis})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, (name, _v) in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

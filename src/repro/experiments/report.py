@@ -1,0 +1,120 @@
+"""ASCII reporting of experiment curves and summary tables.
+
+The benchmarks print the same *series* the paper plots — each figure becomes
+a table with one row per algorithm sampled at shared x-positions — so the
+shape of every result (who wins, by what factor, where crossovers fall) can
+be read directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.metrics import time_to_fraction
+from repro.experiments.runner import RunCurve
+
+
+def _sample_at(xs: np.ndarray, ys: np.ndarray, points: Sequence[float]
+               ) -> List[float]:
+    """Step-interpolate the curve at the requested x positions."""
+    out: List[float] = []
+    for point in points:
+        mask = xs <= point
+        out.append(float(ys[mask][-1]) if mask.any() else float("nan"))
+    return out
+
+
+def format_rows(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(cell.ljust(w) for cell, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve_table(curves: Sequence[RunCurve], *, x_axis: str = "iterations",
+                       y_axis: str = "stk", n_points: int = 8,
+                       title: str = "", normalize_by: Optional[float] = None
+                       ) -> str:
+    """Tabulate several algorithms' curves at shared x positions.
+
+    Parameters
+    ----------
+    curves:
+        One averaged :class:`RunCurve` per algorithm.
+    x_axis:
+        ``"iterations"`` or ``"time"``.
+    y_axis:
+        ``"stk"`` or ``"precision"``.
+    n_points:
+        Number of sampled x positions.
+    normalize_by:
+        If given, y values are divided by it (e.g. the optimal STK, so the
+        table reads as fraction-of-optimal).
+    """
+    if not curves:
+        return "(no curves)"
+    def x_of(curve: RunCurve) -> np.ndarray:
+        return curve.times if x_axis == "time" else curve.iterations.astype(float)
+
+    def y_of(curve: RunCurve) -> np.ndarray:
+        ys = curve.stks if y_axis == "stk" else curve.precisions
+        return ys / normalize_by if normalize_by else ys
+
+    x_max = max(float(x_of(curve)[-1]) for curve in curves)
+    points = np.linspace(x_max / n_points, x_max, n_points)
+    unit = "s" if x_axis == "time" else ""
+    headers = ["algorithm"] + [f"{p:.3g}{unit}" for p in points]
+    rows = []
+    for curve in curves:
+        rows.append([curve.name] + _sample_at(x_of(curve), y_of(curve), points))
+    label = f"{title}  [{y_axis} vs {x_axis}" + (
+        ", fraction of optimal]" if normalize_by else "]"
+    )
+    return format_rows(headers, rows, title=label)
+
+
+def format_speedup_table(curves: Sequence[RunCurve], optimal_stk: float,
+                         fractions: Sequence[float] = (0.9, 0.95, 0.99),
+                         baseline: str = "UniformSample",
+                         title: str = "") -> str:
+    """Time-to-quality table with speedups versus a reference algorithm."""
+    base = next((c for c in curves if c.name == baseline), None)
+    headers = ["algorithm"] + [
+        f"t@{int(f * 100)}%" for f in fractions
+    ] + [f"speedup@{int(f * 100)}%" for f in fractions]
+    rows = []
+    for curve in curves:
+        t_points = [
+            time_to_fraction(curve.times, curve.stks, optimal_stk, f)
+            for f in fractions
+        ]
+        speedups: List[object] = []
+        for fraction, t_point in zip(fractions, t_points):
+            if base is None or t_point is None:
+                speedups.append("-")
+                continue
+            base_t = time_to_fraction(base.times, base.stks, optimal_stk,
+                                      fraction)
+            speedups.append(
+                f"{base_t / t_point:.2f}x" if base_t and t_point else "-"
+            )
+        rows.append(
+            [curve.name]
+            + [f"{t:.4g}" if t is not None else "never" for t in t_points]
+            + speedups
+        )
+    return format_rows(headers, rows, title=title)

@@ -1,0 +1,36 @@
+"""Index substrate: the VOODOO-style hierarchical cluster index of
+He et al. (SIGMOD 2020), adopted by the paper (Section 3.2.2).
+
+Pipeline: cheap task-independent vectorization -> k-means over the vectors
+(optionally on a subsample) -> hierarchical agglomerative clustering of the
+cluster centroids into a dendrogram.  Every stage is implemented from
+scratch on numpy.
+"""
+
+from repro.index.vectorize import (
+    IdentityVectorizer,
+    ImageVectorizer,
+    TabularVectorizer,
+    Vectorizer,
+)
+from repro.index.kmeans import KMeans
+from repro.index.hac import agglomerate, Linkage
+from repro.index.tree import ClusterNode, ClusterTree
+from repro.index.builder import IndexConfig, build_flat_index, build_index
+from repro.index.btree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "Vectorizer",
+    "IdentityVectorizer",
+    "ImageVectorizer",
+    "TabularVectorizer",
+    "KMeans",
+    "agglomerate",
+    "Linkage",
+    "ClusterNode",
+    "ClusterTree",
+    "IndexConfig",
+    "build_index",
+    "build_flat_index",
+]

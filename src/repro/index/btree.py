@@ -1,0 +1,300 @@
+"""B+-tree substrate — the Section 7.1 application.
+
+"Since the analysis for the top-k bandit is generic, our algorithm has wider
+applicability.  For example, it can be applied over classic database indexes
+such as B-trees."  This module provides a real B+-tree (sorted keys in leaf
+pages, routing keys in internal pages, bulk loading, point and range
+queries) and an adapter that exposes its page structure as a
+:class:`~repro.index.tree.ClusterTree`, so the hierarchical bandit can run
+over an existing database index with zero re-clustering cost: leaf pages
+play the role of k-means clusters, and the tree's key locality plays the
+role of vector-space locality (nearby keys often score similarly under
+scoring functions correlated with the indexed attribute).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.index.tree import ClusterNode, ClusterTree
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _Page(Generic[K, V]):
+    """One B+-tree page.  Leaves hold (key, value) pairs; internal pages
+    hold routing keys and children, with ``keys[i]`` separating
+    ``children[i]`` (< key) from ``children[i + 1]`` (>= key)."""
+
+    __slots__ = ("keys", "values", "children", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: List[K] = []
+        self.values: List[V] = []
+        self.children: List["_Page[K, V]"] = []
+        self.next_leaf: Optional["_Page[K, V]"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BPlusTree(Generic[K, V]):
+    """An in-memory B+ tree with classic split-on-insert semantics.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per page (>= 3).  Pages split at
+        ``order + 1`` keys into halves, so occupancy stays >= ``order // 2``
+        for all but the root.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ConfigurationError(f"order must be >= 3, got {order!r}")
+        self.order = int(order)
+        self._root: _Page[K, V] = _Page()
+        self._size = 0
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of page levels (a lone root leaf has height 1)."""
+        height = 1
+        page = self._root
+        while not page.is_leaf:
+            page = page.children[0]
+            height += 1
+        return height
+
+    # -- search ------------------------------------------------------------------
+
+    def _descend(self, key: K) -> List[_Page[K, V]]:
+        """Path of pages from root to the leaf that owns ``key``."""
+        path = [self._root]
+        page = self._root
+        while not page.is_leaf:
+            index = bisect.bisect_right(page.keys, key)
+            page = page.children[index]
+            path.append(page)
+        return path
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Point lookup."""
+        leaf = self._descend(key)[-1]
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key, _MISSING) is not _MISSING  # type: ignore[comparison-overlap]
+
+    def range(self, low: K, high: K) -> Iterator[Tuple[K, V]]:
+        """Yield (key, value) for ``low <= key <= high`` in key order."""
+        leaf = self._descend(low)[-1]
+        index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """All (key, value) pairs in key order via the leaf chain."""
+        page = self._root
+        while not page.is_leaf:
+            page = page.children[0]
+        while page is not None:
+            yield from zip(page.keys, page.values)
+            page = page.next_leaf
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert or overwrite ``key``."""
+        path = self._descend(key)
+        leaf = path[-1]
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = value
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self._size += 1
+        # Split upward while pages overflow.
+        for depth in range(len(path) - 1, -1, -1):
+            page = path[depth]
+            if len(page.keys) <= self.order:
+                break
+            separator, sibling = self._split(page)
+            if depth == 0:
+                new_root: _Page[K, V] = _Page()
+                new_root.keys = [separator]
+                new_root.children = [page, sibling]
+                self._root = new_root
+            else:
+                parent = path[depth - 1]
+                at = parent.children.index(page)
+                parent.keys.insert(at, separator)
+                parent.children.insert(at + 1, sibling)
+
+    def _split(self, page: _Page[K, V]) -> Tuple[K, _Page[K, V]]:
+        """Split an overflowing page; return (separator key, right sibling)."""
+        sibling: _Page[K, V] = _Page()
+        mid = len(page.keys) // 2
+        if page.is_leaf:
+            sibling.keys = page.keys[mid:]
+            sibling.values = page.values[mid:]
+            page.keys = page.keys[:mid]
+            page.values = page.values[:mid]
+            sibling.next_leaf = page.next_leaf
+            page.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = page.keys[mid]
+            sibling.keys = page.keys[mid + 1:]
+            sibling.children = page.children[mid + 1:]
+            page.keys = page.keys[:mid]
+            page.children = page.children[: mid + 1]
+        return separator, sibling
+
+    # -- bulk loading -----------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pairs: Sequence[Tuple[K, V]], order: int = 32,
+                  fill: float = 0.75) -> "BPlusTree[K, V]":
+        """Build a tree bottom-up from sorted-or-not (key, value) pairs.
+
+        Leaves are packed to ``fill * order`` keys, then parent levels are
+        built over them — the classic O(n log n) bulk-load that databases use
+        after sorting a run.
+        """
+        if not 0.0 < fill <= 1.0:
+            raise ConfigurationError(f"fill must lie in (0, 1], got {fill!r}")
+        tree: BPlusTree[K, V] = cls(order)
+        ordered = sorted(pairs, key=lambda pair: pair[0])
+        if not ordered:
+            return tree
+        last_key = object()
+        deduped: List[Tuple[K, V]] = []
+        for key, value in ordered:
+            if deduped and deduped[-1][0] == key:
+                deduped[-1] = (key, value)  # last write wins
+            else:
+                deduped.append((key, value))
+        per_leaf = max(1, int(fill * order))
+        leaves: List[_Page[K, V]] = []
+        for start in range(0, len(deduped), per_leaf):
+            chunk = deduped[start : start + per_leaf]
+            leaf: _Page[K, V] = _Page()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        level: List[_Page[K, V]] = leaves
+        per_internal = max(2, int(fill * order))
+        while len(level) > 1:
+            parents: List[_Page[K, V]] = []
+            for start in range(0, len(level), per_internal):
+                group = level[start : start + per_internal]
+                if len(group) == 1 and parents:
+                    # Avoid a single-child parent: adopt into the previous.
+                    parents[-1].children.append(group[0])
+                    parents[-1].keys.append(_leftmost_key(group[0]))
+                    continue
+                parent: _Page[K, V] = _Page()
+                parent.children = group
+                parent.keys = [_leftmost_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        tree._size = len(deduped)
+        return tree
+
+    # -- structural checks (used by tests) ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert sortedness, routing consistency, and balanced leaf depth."""
+        depths: List[int] = []
+
+        def walk(page: _Page[K, V], lo: Any, hi: Any, depth: int) -> None:
+            assert page.keys == sorted(page.keys), "unsorted page"
+            for key in page.keys:
+                if lo is not _MISSING:
+                    assert key >= lo, "key below routing bound"
+                if hi is not _MISSING:
+                    assert key < hi or page.is_leaf, "key above routing bound"
+            if page.is_leaf:
+                assert len(page.keys) == len(page.values)
+                depths.append(depth)
+                return
+            assert len(page.children) == len(page.keys) + 1
+            bounds = [lo] + list(page.keys) + [hi]
+            for index, child in enumerate(page.children):
+                walk(child, bounds[index], bounds[index + 1], depth + 1)
+
+        walk(self._root, _MISSING, _MISSING, 0)
+        assert len(set(depths)) <= 1, "leaves at different depths"
+
+    # -- bandit adapter -----------------------------------------------------------------
+
+    def to_cluster_tree(self, id_of: Optional[Any] = None,
+                        min_leaf_size: int = 1) -> ClusterTree:
+        """Expose the page structure as a :class:`ClusterTree`.
+
+        Each B+-tree leaf page becomes a bandit leaf cluster whose members
+        are ``id_of(key, value)`` strings (default: ``str(value)``); internal
+        pages become internal cluster nodes.  The bandit then exploits *key
+        locality* exactly as it exploits vector locality on the k-means
+        index.
+        """
+        id_fn = id_of or (lambda key, value: str(value))
+        counter = [0]
+
+        def convert(page: _Page[K, V]) -> ClusterNode:
+            counter[0] += 1
+            node_id = f"page-{counter[0]}"
+            if page.is_leaf:
+                members = tuple(
+                    id_fn(key, value)
+                    for key, value in zip(page.keys, page.values)
+                )
+                return ClusterNode(node_id, member_ids=members)
+            children = [convert(child) for child in page.children]
+            children = [
+                child for child in children
+                if not child.is_leaf or child.member_ids
+            ]
+            return ClusterNode(node_id, children=children)
+
+        root = convert(self._root)
+        if root.is_leaf:
+            root = ClusterNode("root", children=[root] if root.member_ids
+                               else [])
+            if not root.children:
+                raise ConfigurationError("cannot index an empty B+ tree")
+            return ClusterTree(root)
+        return ClusterTree(ClusterNode("root", children=list(root.children)))
+
+
+def _leftmost_key(page: _Page) -> Any:
+    while not page.is_leaf:
+        page = page.children[0]
+    return page.keys[0]
+
+
+_MISSING = object()

@@ -1,0 +1,117 @@
+"""Hierarchical agglomerative clustering (HAC) from scratch.
+
+The index "builds a dendrogram of the cluster centroids using hierarchical
+agglomerative clustering with average linkage" (Section 3.2.2).  This module
+implements the classic O(L^3) agglomeration with Lance-Williams updates for
+average, single, and complete linkage — L (the number of leaf clusters) is
+small relative to n, so cubic cost is negligible, exactly as the paper's
+O(n L^3) accounting assumes.  Alternative linkages support the Section 7.3
+discussion ("other linkage types could be more efficient").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Linkage(str, enum.Enum):
+    """Supported cluster-distance update rules."""
+
+    AVERAGE = "average"
+    SINGLE = "single"
+    COMPLETE = "complete"
+
+
+# Merge record: (left_id, right_id, distance, new_cluster_size).
+MergeStep = Tuple[int, int, float, int]
+
+
+def agglomerate(points: np.ndarray, linkage: Linkage | str = Linkage.AVERAGE
+                ) -> List[MergeStep]:
+    """Agglomerate ``points`` bottom-up; return scipy-style merge steps.
+
+    Point ``i`` starts as singleton cluster ``i``; the merge created by step
+    ``s`` gets id ``len(points) + s``.  Each step records the two merged
+    cluster ids, the linkage distance at which they merged, and the size of
+    the new cluster.  A single point yields an empty merge list.
+    """
+    linkage = Linkage(linkage)
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ConfigurationError(f"expected (L, d) matrix, got shape {points.shape}")
+    n = len(points)
+    if n == 0:
+        raise ConfigurationError("cannot agglomerate zero points")
+    if n == 1:
+        return []
+
+    # Condensed state: active cluster id -> (size); distance matrix over the
+    # currently active clusters, indexed by a stable position map.
+    diffs = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    dist = np.sqrt(np.sum(diffs**2, axis=2))
+    np.fill_diagonal(dist, np.inf)
+
+    active = list(range(n))              # ids of live clusters
+    position = {cid: i for i, cid in enumerate(active)}  # id -> matrix row
+    sizes = {cid: 1 for cid in active}
+    merges: List[MergeStep] = []
+    next_id = n
+
+    for _step in range(n - 1):
+        # Find the closest active pair.
+        sub = dist[np.ix_([position[c] for c in active],
+                          [position[c] for c in active])]
+        flat = int(np.argmin(sub))
+        i_local, j_local = divmod(flat, len(active))
+        if i_local == j_local:  # all-inf degenerate case (duplicate points OK)
+            raise ConfigurationError("distance matrix degenerated during HAC")
+        left, right = active[i_local], active[j_local]
+        if left > right:
+            left, right = right, left
+        merge_dist = float(sub[i_local, j_local])
+        size_l, size_r = sizes[left], sizes[right]
+        new_size = size_l + size_r
+
+        # Lance-Williams update of distances from the merged cluster to every
+        # other active cluster, written into ``left``'s row/column.
+        row_l, row_r = position[left], position[right]
+        others = [c for c in active if c not in (left, right)]
+        for other in others:
+            row_o = position[other]
+            d_lo = dist[row_l, row_o]
+            d_ro = dist[row_r, row_o]
+            if linkage is Linkage.AVERAGE:
+                new_d = (size_l * d_lo + size_r * d_ro) / new_size
+            elif linkage is Linkage.SINGLE:
+                new_d = min(d_lo, d_ro)
+            else:  # complete
+                new_d = max(d_lo, d_ro)
+            dist[row_l, row_o] = new_d
+            dist[row_o, row_l] = new_d
+        dist[row_r, :] = np.inf
+        dist[:, row_r] = np.inf
+
+        merges.append((left, right, merge_dist, new_size))
+        active.remove(right)
+        # The merged cluster inherits ``left``'s row under a fresh id.
+        active.remove(left)
+        active.append(next_id)
+        position[next_id] = row_l
+        sizes[next_id] = new_size
+        next_id += 1
+
+    return merges
+
+
+def merges_to_children(n_leaves: int, merges: List[MergeStep]
+                       ) -> dict[int, Tuple[int, int]]:
+    """Map each internal merge id to its (left, right) child cluster ids."""
+    return {
+        n_leaves + step: (left, right)
+        for step, (left, right, _dist, _size) in enumerate(merges)
+    }

@@ -1,0 +1,168 @@
+"""Cheap, task-independent vectorization schemes (Section 3.2.2).
+
+"We vectorize images using pixel values.  For tabular data, we impute and
+normalize numeric and boolean columns."  The vectorizers here implement
+exactly those heuristics: they are *not* learned representations — the whole
+point of the index is that a cheap embedding correlated with the opaque
+scores is enough for the bandit to exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class Vectorizer(ABC):
+    """Fits on raw elements, then maps them to fixed-length float vectors."""
+
+    @abstractmethod
+    def fit(self, items: Sequence[Any]) -> "Vectorizer":
+        """Learn any dataset-level statistics (means, scales); return self."""
+
+    @abstractmethod
+    def transform(self, items: Sequence[Any]) -> np.ndarray:
+        """Map ``items`` to an ``(n, d)`` float matrix."""
+
+    def fit_transform(self, items: Sequence[Any]) -> np.ndarray:
+        """Equivalent to ``fit(items).transform(items)``."""
+        return self.fit(items).transform(items)
+
+
+class IdentityVectorizer(Vectorizer):
+    """Pass numeric scalars or vectors through unchanged (synthetic data)."""
+
+    def fit(self, items: Sequence[Any]) -> "IdentityVectorizer":
+        return self
+
+    def transform(self, items: Sequence[Any]) -> np.ndarray:
+        arr = np.asarray(items, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"IdentityVectorizer expects scalars or vectors, got ndim={arr.ndim}"
+            )
+        return arr
+
+
+class TabularVectorizer(Vectorizer):
+    """Impute-and-normalize projection of numeric/boolean columns.
+
+    Mirrors the paper's UsedCars cleaning: project the boolean and numeric
+    columns, coerce to float, impute missing values with the column mean,
+    and z-normalize.  Boolean columns become {0, 1} before normalization.
+
+    Parameters
+    ----------
+    columns:
+        Ordered feature column names; target/key columns must be excluded by
+        the caller (the paper excludes ``price`` and ``listing_id``).
+    """
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("TabularVectorizer needs at least one column")
+        self.columns = list(columns)
+        self.means_: np.ndarray | None = None
+        self.stds_: np.ndarray | None = None
+
+    @staticmethod
+    def _coerce(value: Any) -> float:
+        """Map a raw cell to float; missing markers become NaN."""
+        if value is None:
+            return math.nan
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        try:
+            result = float(value)
+        except (TypeError, ValueError):
+            return math.nan
+        return result
+
+    def _raw_matrix(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        matrix = np.empty((len(rows), len(self.columns)), dtype=float)
+        for i, row in enumerate(rows):
+            for j, column in enumerate(self.columns):
+                matrix[i, j] = self._coerce(row.get(column))
+        return matrix
+
+    def fit(self, items: Sequence[Mapping[str, Any]]) -> "TabularVectorizer":
+        matrix = self._raw_matrix(items)
+        # All-NaN columns make nanmean/nanstd warn; they are handled below.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            means = np.nanmean(matrix, axis=0)
+            stds = np.nanstd(matrix, axis=0)
+        # Columns that are entirely missing impute to zero; constant columns
+        # get unit scale so normalization is a no-op instead of a div-by-zero.
+        means = np.where(np.isnan(means), 0.0, means)
+        stds = np.where(np.isnan(stds) | (stds <= 0.0), 1.0, stds)
+        self.means_ = means
+        self.stds_ = stds
+        return self
+
+    def transform(self, items: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        if self.means_ is None or self.stds_ is None:
+            raise NotFittedError("TabularVectorizer.transform before fit")
+        matrix = self._raw_matrix(items)
+        missing = np.isnan(matrix)
+        if missing.any():
+            matrix[missing] = np.broadcast_to(self.means_, matrix.shape)[missing]
+        return (matrix - self.means_) / self.stds_
+
+
+class ImageVectorizer(Vectorizer):
+    """Downsample images to ``side x side x channels`` and flatten.
+
+    The paper scales each ImageNet image to a 16x16x3 tensor, including the
+    color channels, and flattens it.  Downsampling uses block averaging; if
+    the source is already at or below the target resolution, it is used
+    directly (padded by edge replication when needed).
+    """
+
+    def __init__(self, side: int = 16) -> None:
+        if side <= 0:
+            raise ConfigurationError(f"side must be positive, got {side!r}")
+        self.side = int(side)
+
+    def fit(self, items: Sequence[np.ndarray]) -> "ImageVectorizer":
+        return self
+
+    def _downsample(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=float)
+        if image.ndim == 2:
+            image = image[:, :, np.newaxis]
+        if image.ndim != 3:
+            raise ConfigurationError(
+                f"expected HxW or HxWxC image, got shape {image.shape}"
+            )
+        height, width, channels = image.shape
+        side = self.side
+        if height == side and width == side:
+            return image
+        # Resize by sampling block means over an even grid.
+        row_idx = np.linspace(0, height, side + 1).astype(int)
+        col_idx = np.linspace(0, width, side + 1).astype(int)
+        out = np.empty((side, side, channels), dtype=float)
+        for i in range(side):
+            r0, r1 = row_idx[i], max(row_idx[i + 1], row_idx[i] + 1)
+            r1 = min(r1, height)
+            r0 = min(r0, height - 1)
+            for j in range(side):
+                c0, c1 = col_idx[j], max(col_idx[j + 1], col_idx[j] + 1)
+                c1 = min(c1, width)
+                c0 = min(c0, width - 1)
+                out[i, j] = image[r0:r1, c0:c1].reshape(-1, channels).mean(axis=0)
+        return out
+
+    def transform(self, items: Sequence[np.ndarray]) -> np.ndarray:
+        vectors = [self._downsample(image).ravel() for image in items]
+        return np.asarray(vectors, dtype=float)

@@ -1,0 +1,46 @@
+"""Opaque scoring-function substrates.
+
+The paper's scorers: ReLU on raw values (synthetic), an XGBoost price
+regressor (tabular), and a pre-trained ResNeXT softmax (images).  This
+package implements equivalents from scratch: a gradient-boosted regression
+tree ensemble, a numpy MLP softmax classifier, plus linear models and the
+latency/batching machinery that reproduces the paper's cost model
+(2 ms/call CPU inference; amortized GPU batches, Fig. 8a).
+"""
+
+from repro.scoring.base import (
+    AmortizedBatchLatency,
+    CountingScorer,
+    FixedPerCallLatency,
+    FunctionScorer,
+    LatencyModel,
+    Scorer,
+    ZeroLatency,
+)
+from repro.scoring.relu import ReluScorer
+from repro.scoring.gbdt import GradientBoostedRegressor, RegressionTree
+from repro.scoring.gbdt_scorer import GBDTValuationScorer
+from repro.scoring.mlp import MLPClassifier
+from repro.scoring.softmax import SoftmaxConfidenceScorer
+from repro.scoring.linear import LinearRegressionScorer, LogisticRegressionModel
+from repro.scoring.knn import KNNRegressor, KNNScorer
+
+__all__ = [
+    "LatencyModel",
+    "FixedPerCallLatency",
+    "AmortizedBatchLatency",
+    "ZeroLatency",
+    "Scorer",
+    "FunctionScorer",
+    "CountingScorer",
+    "ReluScorer",
+    "RegressionTree",
+    "GradientBoostedRegressor",
+    "GBDTValuationScorer",
+    "MLPClassifier",
+    "SoftmaxConfidenceScorer",
+    "LinearRegressionScorer",
+    "LogisticRegressionModel",
+    "KNNRegressor",
+    "KNNScorer",
+]

@@ -1,0 +1,21 @@
+"""Gradient-boosted regression trees, implemented from scratch.
+
+This is the reproduction's stand-in for the paper's XGBoost valuation model
+(Section 5.1.3 (2)): an ensemble of exact-greedy CART regression trees fit
+to loss gradients with shrinkage and optional row subsampling.  It produces
+the same kind of piecewise-constant, feature-correlated score surface the
+index exploits, while remaining a genuinely opaque UDF from the query
+algorithm's point of view.
+"""
+
+from repro.scoring.gbdt.tree import RegressionTree
+from repro.scoring.gbdt.losses import AbsoluteLoss, Loss, SquaredLoss
+from repro.scoring.gbdt.boosting import GradientBoostedRegressor
+
+__all__ = [
+    "RegressionTree",
+    "GradientBoostedRegressor",
+    "Loss",
+    "SquaredLoss",
+    "AbsoluteLoss",
+]

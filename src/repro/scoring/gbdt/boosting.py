@@ -1,0 +1,120 @@
+"""Gradient boosting over regression trees (XGBoost-style, from scratch).
+
+Standard Friedman gradient boosting: start from the loss's optimal constant,
+then repeatedly fit a shallow :class:`~repro.scoring.gbdt.tree.RegressionTree`
+to the negative gradient (optionally on a row subsample) and add it with a
+shrinkage factor.  Squared loss makes each round plain residual fitting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.scoring.gbdt.losses import Loss, SquaredLoss
+from repro.scoring.gbdt.tree import RegressionTree
+from repro.utils.rng import SeedLike, as_generator
+
+
+class GradientBoostedRegressor:
+    """Boosted regression-tree ensemble.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth / min_samples_leaf:
+        Base-tree complexity controls.
+    subsample:
+        Row-sampling fraction per round (stochastic gradient boosting).
+    loss:
+        Boosting objective (default: squared loss).
+    rng:
+        Seed or generator for subsampling.
+    """
+
+    def __init__(self, n_estimators: int = 50, learning_rate: float = 0.1,
+                 max_depth: int = 4, min_samples_leaf: int = 10,
+                 subsample: float = 1.0, loss: Loss | None = None,
+                 rng: SeedLike = None) -> None:
+        if n_estimators <= 0:
+            raise ConfigurationError(
+                f"n_estimators must be positive, got {n_estimators!r}"
+            )
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must lie in (0, 1], got {learning_rate!r}"
+            )
+        if not 0.0 < subsample <= 1.0:
+            raise ConfigurationError(
+                f"subsample must lie in (0, 1], got {subsample!r}"
+            )
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.loss = loss or SquaredLoss()
+        self._rng = as_generator(rng)
+        self.trees_: List[RegressionTree] = []
+        self.initial_: Optional[float] = None
+        self.train_losses_: List[float] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedRegressor":
+        """Fit the ensemble; records the training-loss trajectory."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y) or len(X) == 0:
+            raise ConfigurationError(
+                f"fit expects aligned (n, d) X and (n,) y, got {X.shape}, {y.shape}"
+            )
+        self.trees_ = []
+        self.train_losses_ = []
+        self.initial_ = self.loss.initial_prediction(y)
+        prediction = np.full(len(y), self.initial_, dtype=float)
+        n = len(y)
+        for _round in range(self.n_estimators):
+            residual = self.loss.negative_gradient(y, prediction)
+            if self.subsample < 1.0:
+                size = max(2 * self.min_samples_leaf,
+                           int(round(self.subsample * n)))
+                rows = self._rng.choice(n, size=min(size, n), replace=False)
+            else:
+                rows = np.arange(n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(X[rows], residual[rows])
+            prediction = prediction + self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+            self.train_losses_.append(self.loss.value(y, prediction))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for each row of ``X``."""
+        if self.initial_ is None:
+            raise NotFittedError("GradientBoostedRegressor.predict before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        prediction = np.full(len(X), self.initial_, dtype=float)
+        for tree in self.trees_:
+            prediction += self.learning_rate * tree.predict(X)
+        return prediction
+
+    def staged_predict(self, X: np.ndarray) -> np.ndarray:
+        """``(n_estimators, n)`` predictions after each boosting round."""
+        if self.initial_ is None:
+            raise NotFittedError("GradientBoostedRegressor.staged_predict before fit")
+        X = np.asarray(X, dtype=float)
+        prediction = np.full(len(X), self.initial_, dtype=float)
+        stages = np.empty((len(self.trees_), len(X)), dtype=float)
+        for i, tree in enumerate(self.trees_):
+            prediction = prediction + self.learning_rate * tree.predict(X)
+            stages[i] = prediction
+        return stages

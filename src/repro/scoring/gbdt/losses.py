@@ -1,0 +1,56 @@
+"""Loss functions for gradient boosting.
+
+Each loss provides its negative gradient (the "pseudo-residuals" successive
+trees are fit to) and an initial constant prediction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Loss(ABC):
+    """Boosting loss interface."""
+
+    @abstractmethod
+    def initial_prediction(self, y: np.ndarray) -> float:
+        """Optimal constant model for the targets."""
+
+    @abstractmethod
+    def negative_gradient(self, y: np.ndarray, prediction: np.ndarray
+                          ) -> np.ndarray:
+        """Pseudo-residuals at the current prediction."""
+
+    @abstractmethod
+    def value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        """Mean loss at the current prediction."""
+
+
+class SquaredLoss(Loss):
+    """L2 loss: residual boosting (the XGBoost-default regression objective)."""
+
+    def initial_prediction(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def negative_gradient(self, y: np.ndarray, prediction: np.ndarray
+                          ) -> np.ndarray:
+        return y - prediction
+
+    def value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.mean((y - prediction) ** 2))
+
+
+class AbsoluteLoss(Loss):
+    """L1 loss: sign-of-residual boosting, robust to the price tail."""
+
+    def initial_prediction(self, y: np.ndarray) -> float:
+        return float(np.median(y))
+
+    def negative_gradient(self, y: np.ndarray, prediction: np.ndarray
+                          ) -> np.ndarray:
+        return np.sign(y - prediction)
+
+    def value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.mean(np.abs(y - prediction)))

@@ -1,0 +1,107 @@
+"""k-nearest-neighbour models as opaque scorers.
+
+A third model family (after trees and neural networks) for the "wide
+variety of opaque scoring functions" the paper targets: brute-force k-NN
+regression and classification on numpy.  k-NN is a particularly good
+stress case for the index heuristic because its score surface is *locally*
+smooth but globally irregular — exactly the kind of UDF where cheap
+vector-space clustering should correlate with scores without matching them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.scoring.base import LatencyModel, Scorer, ZeroLatency
+
+
+class KNNRegressor:
+    """Distance-weighted k-NN regression (brute force).
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbourhood size k.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance weighting).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "distance") -> None:
+        if n_neighbors <= 0:
+            raise ConfigurationError(
+                f"n_neighbors must be positive, got {n_neighbors!r}"
+            )
+        if weights not in ("uniform", "distance"):
+            raise ConfigurationError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.n_neighbors = int(n_neighbors)
+        self.weights = weights
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Memorize the training set."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y) or len(X) == 0:
+            raise ConfigurationError(
+                f"fit expects aligned (n, d) X and (n,) y, got {X.shape}, {y.shape}"
+            )
+        if len(X) < self.n_neighbors:
+            raise ConfigurationError(
+                f"need at least n_neighbors={self.n_neighbors} training rows"
+            )
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for each row of ``X``."""
+        if self._X is None or self._y is None:
+            raise NotFittedError("KNNRegressor.predict before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        # Squared distances, (n_query, n_train).
+        sq = (
+            np.sum(X**2, axis=1)[:, np.newaxis]
+            - 2.0 * X @ self._X.T
+            + np.sum(self._X**2, axis=1)[np.newaxis, :]
+        )
+        sq = np.maximum(sq, 0.0)
+        neighbour_rows = np.argpartition(sq, self.n_neighbors - 1,
+                                         axis=1)[:, : self.n_neighbors]
+        gathered = self._y[neighbour_rows]
+        if self.weights == "uniform":
+            return gathered.mean(axis=1)
+        dists = np.sqrt(np.take_along_axis(sq, neighbour_rows, axis=1))
+        inv = 1.0 / np.maximum(dists, 1e-12)
+        return (gathered * inv).sum(axis=1) / inv.sum(axis=1)
+
+
+class KNNScorer(Scorer):
+    """A fitted :class:`KNNRegressor` behind the opaque-UDF interface.
+
+    ``transform`` adapts raw elements to feature vectors (default:
+    ``np.asarray``); predictions are clamped at zero (opaque top-k scores
+    are non-negative).
+    """
+
+    def __init__(self, model: KNNRegressor,
+                 transform=None,
+                 latency: LatencyModel | None = None) -> None:
+        self.model = model
+        self.transform = transform or (lambda obj: np.asarray(obj, dtype=float))
+        self.latency = latency or ZeroLatency()
+
+    def score(self, obj: Any) -> float:
+        features = self.transform(obj).ravel().reshape(1, -1)
+        return float(max(0.0, self.model.predict(features)[0]))
+
+    def score_batch(self, objects: Sequence[Any]) -> np.ndarray:
+        matrix = np.stack([self.transform(obj).ravel() for obj in objects])
+        return np.maximum(self.model.predict(matrix), 0.0)

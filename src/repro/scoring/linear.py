@@ -1,0 +1,117 @@
+"""Linear models: ridge regression and binary logistic regression.
+
+Cheap additional opaque scorers used by the examples and ablations — the
+paper stresses that the method must generalize across "a variety of scoring
+functions", so the library ships more than one model family.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.scoring.base import LatencyModel, Scorer, ZeroLatency
+from repro.utils.rng import SeedLike, as_generator
+
+
+class LinearRegressionScorer(Scorer):
+    """Ridge regression fit in closed form; scores are clamped at zero.
+
+    Parameters
+    ----------
+    ridge:
+        L2 regularization strength.
+    transform:
+        Optional ``element -> feature vector`` adapter applied before the
+        linear map (defaults to ``np.asarray``).
+    """
+
+    def __init__(self, ridge: float = 1e-6,
+                 transform: Callable[[Any], np.ndarray] | None = None,
+                 latency: LatencyModel | None = None) -> None:
+        if ridge < 0:
+            raise ConfigurationError(f"ridge must be non-negative, got {ridge!r}")
+        self.ridge = float(ridge)
+        self.transform = transform or (lambda obj: np.asarray(obj, dtype=float))
+        self.latency = latency or ZeroLatency()
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegressionScorer":
+        """Closed-form ridge fit on ``(n, d)`` features and ``(n,)`` targets."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ConfigurationError("fit expects aligned (n, d) X and (n,) y")
+        mean_x = X.mean(axis=0)
+        mean_y = float(y.mean())
+        centered_x = X - mean_x
+        gram = centered_x.T @ centered_x + self.ridge * np.eye(X.shape[1])
+        self.weights_ = np.linalg.solve(gram, centered_x.T @ (y - mean_y))
+        self.bias_ = mean_y - float(mean_x @ self.weights_)
+        return self
+
+    def score(self, obj: Any) -> float:
+        if self.weights_ is None:
+            raise NotFittedError("LinearRegressionScorer.score before fit")
+        features = self.transform(obj).ravel()
+        return float(max(0.0, features @ self.weights_ + self.bias_))
+
+    def score_batch(self, objects: Sequence[Any]) -> np.ndarray:
+        if self.weights_ is None:
+            raise NotFittedError("LinearRegressionScorer.score_batch before fit")
+        matrix = np.stack([self.transform(obj).ravel() for obj in objects])
+        return np.maximum(matrix @ self.weights_ + self.bias_, 0.0)
+
+
+class LogisticRegressionModel:
+    """Binary logistic regression trained by full-batch gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 200,
+                 weight_decay: float = 1e-4, rng: SeedLike = None) -> None:
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.weight_decay = float(weight_decay)
+        self._rng = as_generator(rng)
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        exp_z = np.exp(z[~pos])
+        out[~pos] = exp_z / (1.0 + exp_z)
+        return out
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionModel":
+        """Fit on ``(n, d)`` features and binary ``(n,)`` labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ConfigurationError("fit expects aligned (n, d) X and (n,) y")
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ConfigurationError("labels must be binary 0/1")
+        n, d = X.shape
+        self.weights_ = self._rng.normal(0.0, 0.01, size=d)
+        self.bias_ = 0.0
+        for _ in range(self.epochs):
+            probs = self._sigmoid(X @ self.weights_ + self.bias_)
+            error = probs - y
+            grad_w = X.T @ error / n + self.weight_decay * self.weights_
+            grad_b = float(error.mean())
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """``P(y = 1 | x)`` per row."""
+        if self.weights_ is None:
+            raise NotFittedError("LogisticRegressionModel.predict_proba before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return self._sigmoid(X @ self.weights_ + self.bias_)

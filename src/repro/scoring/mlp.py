@@ -1,0 +1,134 @@
+"""One-hidden-layer softmax MLP classifier, trained with minibatch SGD.
+
+This is the reproduction's stand-in for the paper's pre-trained ResNeXT-64
+(Section 5.1.3 (3)): from the query algorithm's perspective, the scorer is
+an opaque model emitting per-class softmax confidences.  A small numpy MLP
+trained on the synthetic image dataset's held-out split exhibits the same
+behaviour that drives the experiment — confidences for any fixed label are
+highly skewed, and high-confidence images concentrate in few pixel-space
+clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPClassifier:
+    """``input -> ReLU hidden -> softmax`` classifier.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden-layer width.
+    epochs / batch_size / learning_rate / momentum / weight_decay:
+        SGD hyper-parameters.
+    rng:
+        Seed or generator for init and shuffling.
+    """
+
+    def __init__(self, hidden: int = 64, epochs: int = 20,
+                 batch_size: int = 64, learning_rate: float = 0.05,
+                 momentum: float = 0.9, weight_decay: float = 1e-4,
+                 rng: SeedLike = None) -> None:
+        if hidden <= 0 or epochs <= 0 or batch_size <= 0:
+            raise ConfigurationError("hidden, epochs, batch_size must be positive")
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._rng = as_generator(rng)
+        self.w1: Optional[np.ndarray] = None
+        self.b1: Optional[np.ndarray] = None
+        self.w2: Optional[np.ndarray] = None
+        self.b2: Optional[np.ndarray] = None
+        self.n_classes_: int = 0
+        self.train_losses_: list[float] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on ``(n, d)`` features and ``(n,)`` integer labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y) or len(X) == 0:
+            raise ConfigurationError(
+                f"fit expects aligned (n, d) X and (n,) y, got {X.shape}, {y.shape}"
+            )
+        n, d = X.shape
+        self.n_classes_ = int(y.max()) + 1
+        scale1 = np.sqrt(2.0 / d)
+        scale2 = np.sqrt(2.0 / self.hidden)
+        self.w1 = self._rng.normal(0.0, scale1, size=(d, self.hidden))
+        self.b1 = np.zeros(self.hidden)
+        self.w2 = self._rng.normal(0.0, scale2, size=(self.hidden, self.n_classes_))
+        self.b2 = np.zeros(self.n_classes_)
+        velocity = [np.zeros_like(p) for p in (self.w1, self.b1, self.w2, self.b2)]
+        one_hot = np.zeros((n, self.n_classes_))
+        one_hot[np.arange(n), y] = 1.0
+        self.train_losses_ = []
+        for _epoch in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                xb, yb = X[rows], one_hot[rows]
+                hidden_pre = xb @ self.w1 + self.b1
+                hidden = _relu(hidden_pre)
+                probs = _softmax(hidden @ self.w2 + self.b2)
+                eps = 1e-12
+                epoch_loss += float(
+                    -(yb * np.log(probs + eps)).sum() / len(rows)
+                )
+                n_batches += 1
+                # Backpropagation.
+                d_logits = (probs - yb) / len(rows)
+                grad_w2 = hidden.T @ d_logits + self.weight_decay * self.w2
+                grad_b2 = d_logits.sum(axis=0)
+                d_hidden = (d_logits @ self.w2.T) * (hidden_pre > 0.0)
+                grad_w1 = xb.T @ d_hidden + self.weight_decay * self.w1
+                grad_b1 = d_hidden.sum(axis=0)
+                params = (self.w1, self.b1, self.w2, self.b2)
+                grads = (grad_w1, grad_b1, grad_w2, grad_b2)
+                for idx, (param, grad) in enumerate(zip(params, grads)):
+                    velocity[idx] = (
+                        self.momentum * velocity[idx] - self.learning_rate * grad
+                    )
+                    param += velocity[idx]
+            self.train_losses_.append(epoch_loss / max(1, n_batches))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """``(n, n_classes)`` softmax confidences."""
+        if self.w1 is None:
+            raise NotFittedError("MLPClassifier.predict_proba before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        hidden = _relu(X @ self.w1 + self.b1)
+        return _softmax(hidden @ self.w2 + self.b2)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most-likely class per row."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Top-1 accuracy on a labelled set."""
+        return float(np.mean(self.predict(X) == np.asarray(y, dtype=int)))

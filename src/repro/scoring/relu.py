@@ -1,0 +1,26 @@
+"""ReLU scorer for the synthetic workload (Section 5.1.3 (1)).
+
+"The scoring function for synthetic data is the simple ReLU function,
+``f(x) = max(0, x)``, to ensure non-negativity."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.scoring.base import LatencyModel, Scorer, ZeroLatency
+
+
+class ReluScorer(Scorer):
+    """``f(x) = max(0, x)`` over scalar elements."""
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.latency = latency or ZeroLatency()
+
+    def score(self, obj: Any) -> float:
+        return max(0.0, float(obj))
+
+    def score_batch(self, objects: Sequence[Any]) -> np.ndarray:
+        return np.maximum(np.asarray(objects, dtype=float), 0.0)

@@ -1,0 +1,55 @@
+"""Fuzzy-classification scorer: softmax confidence for one target label.
+
+Reproduces the paper's image workload (Section 5.4): "we use a pre-trained
+ResNeXT-64 model's softmax layer to obtain its confidence that an image
+belongs to a particular label ... We use a batch size of 400 on GPU for
+inference" (~13 ms amortized per element).  Here the model is the numpy
+MLP of :mod:`repro.scoring.mlp` and the latency model is GPU-style
+amortized batching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scoring.base import AmortizedBatchLatency, LatencyModel, Scorer
+from repro.scoring.mlp import MLPClassifier
+
+
+class SoftmaxConfidenceScorer(Scorer):
+    """``f(image) = P(label | image)`` from a trained softmax classifier.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`MLPClassifier`.
+    label:
+        Target class index (the paper picks three labels at random).
+    latency:
+        Cost model (default: GPU-style amortized batching, Fig. 8a shape).
+    """
+
+    def __init__(self, model: MLPClassifier, label: int,
+                 latency: LatencyModel | None = None) -> None:
+        if not 0 <= label < model.n_classes_:
+            raise ConfigurationError(
+                f"label {label!r} out of range for {model.n_classes_} classes"
+            )
+        self.model = model
+        self.label = int(label)
+        self.latency = latency or AmortizedBatchLatency()
+
+    @staticmethod
+    def _flatten(obj: Any) -> np.ndarray:
+        return np.asarray(obj, dtype=float).ravel()
+
+    def score(self, obj: Any) -> float:
+        probs = self.model.predict_proba(self._flatten(obj).reshape(1, -1))
+        return float(probs[0, self.label])
+
+    def score_batch(self, objects: Sequence[Any]) -> np.ndarray:
+        matrix = np.stack([self._flatten(obj) for obj in objects])
+        return self.model.predict_proba(matrix)[:, self.label]

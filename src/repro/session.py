@@ -1,0 +1,171 @@
+"""A minimal declarative query interface — the Section 7.4 sketch.
+
+"A minimal implementation is natural in a system that supports UDFs and an
+incrementally updating query interface."  :class:`OpaqueQuerySession` is
+that minimal implementation: register tables (datasets) and UDFs (scorers),
+then execute queries written in a small SQL-ish dialect:
+
+    SELECT TOP 250 FROM listings ORDER BY valuation
+        [BUDGET 10% | BUDGET 5000] [BATCH 32] [SEED 7]
+
+The session builds (and caches) one index per table — the index is
+task-independent, so every UDF registered against a table reuses it — and
+runs the anytime engine for the requested budget.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.result import QueryResult
+from repro.data.dataset import Dataset
+from repro.errors import ConfigurationError
+from repro.index.builder import IndexConfig, build_index
+from repro.index.tree import ClusterTree
+from repro.scoring.base import Scorer
+
+_QUERY_RE = re.compile(
+    r"""
+    ^\s*SELECT\s+TOP\s+(?P<k>\d+)
+    \s+FROM\s+(?P<table>[A-Za-z_][A-Za-z0-9_]*)
+    \s+ORDER\s+BY\s+(?P<udf>[A-Za-z_][A-Za-z0-9_]*)
+    (?:\s+(?P<desc>DESC))?
+    (?:\s+BUDGET\s+(?P<budget>\d+(?:\.\d+)?)(?P<pct>%)?)?
+    (?:\s+BATCH\s+(?P<batch>\d+))?
+    (?:\s+SEED\s+(?P<seed>\d+))?
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The components of one opaque top-k query."""
+
+    k: int
+    table: str
+    udf: str
+    budget: Optional[int]          # absolute scoring-call budget
+    budget_fraction: Optional[float]  # or a fraction of the table
+    batch_size: int
+    seed: Optional[int]
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse the SQL-ish dialect; raise ConfigurationError with guidance."""
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise ConfigurationError(
+            "could not parse query; expected: SELECT TOP <k> FROM <table> "
+            "ORDER BY <udf> [DESC] [BUDGET <n> | BUDGET <p>%] [BATCH <b>] "
+            f"[SEED <s>] — got {text!r}"
+        )
+    groups = match.groupdict()
+    budget: Optional[int] = None
+    fraction: Optional[float] = None
+    if groups["budget"] is not None:
+        value = float(groups["budget"])
+        if groups["pct"]:
+            if not 0.0 < value <= 100.0:
+                raise ConfigurationError(
+                    f"BUDGET percentage must be in (0, 100], got {value}"
+                )
+            fraction = value / 100.0
+        else:
+            budget = int(value)
+            if budget <= 0:
+                raise ConfigurationError("BUDGET must be positive")
+    return ParsedQuery(
+        k=int(groups["k"]),
+        table=groups["table"],
+        udf=groups["udf"],
+        budget=budget,
+        budget_fraction=fraction,
+        batch_size=int(groups["batch"]) if groups["batch"] else 1,
+        seed=int(groups["seed"]) if groups["seed"] else None,
+    )
+
+
+class OpaqueQuerySession:
+    """Registry of tables and UDFs plus a tiny declarative executor."""
+
+    def __init__(self, default_index_config: Optional[IndexConfig] = None,
+                 index_seed: int = 0) -> None:
+        self._tables: Dict[str, Dataset] = {}
+        self._indexes: Dict[str, ClusterTree] = {}
+        self._index_configs: Dict[str, IndexConfig] = {}
+        self._udfs: Dict[str, Scorer] = {}
+        self._default_index_config = default_index_config
+        self._index_seed = index_seed
+
+    # -- registration --------------------------------------------------------
+
+    def register_table(self, name: str, dataset: Dataset,
+                       index_config: Optional[IndexConfig] = None,
+                       index: Optional[ClusterTree] = None) -> None:
+        """Register a dataset; optionally with a prebuilt index."""
+        if name in self._tables:
+            raise ConfigurationError(f"table {name!r} already registered")
+        self._tables[name] = dataset
+        if index is not None:
+            if index.n_elements() != len(dataset):
+                raise ConfigurationError(
+                    "prebuilt index does not cover the dataset"
+                )
+            self._indexes[name] = index
+        if index_config is not None:
+            self._index_configs[name] = index_config
+
+    def register_udf(self, name: str, scorer: Scorer) -> None:
+        """Register an opaque scoring function under a name."""
+        if name in self._udfs:
+            raise ConfigurationError(f"udf {name!r} already registered")
+        self._udfs[name] = scorer
+
+    # -- execution ---------------------------------------------------------------
+
+    def _index_for(self, table: str) -> ClusterTree:
+        """Build (once) or fetch the table's task-independent index."""
+        if table not in self._indexes:
+            dataset = self._tables[table]
+            config = self._index_configs.get(
+                table,
+                self._default_index_config
+                or IndexConfig(n_clusters=max(2, min(64, len(dataset) // 50))),
+            )
+            self._indexes[table] = build_index(
+                dataset.features(), dataset.ids(), config,
+                rng=self._index_seed,
+            )
+        return self._indexes[table]
+
+    def execute(self, query: str) -> QueryResult:
+        """Parse and run one query; returns the engine's QueryResult."""
+        parsed = parse_query(query)
+        if parsed.table not in self._tables:
+            raise ConfigurationError(
+                f"unknown table {parsed.table!r}; registered: "
+                f"{sorted(self._tables)}"
+            )
+        if parsed.udf not in self._udfs:
+            raise ConfigurationError(
+                f"unknown udf {parsed.udf!r}; registered: "
+                f"{sorted(self._udfs)}"
+            )
+        dataset = self._tables[parsed.table]
+        scorer = self._udfs[parsed.udf]
+        budget = parsed.budget
+        if parsed.budget_fraction is not None:
+            budget = max(parsed.k, int(parsed.budget_fraction * len(dataset)))
+        engine = TopKEngine(
+            self._index_for(parsed.table),
+            EngineConfig(k=parsed.k, batch_size=parsed.batch_size,
+                         seed=parsed.seed),
+            scoring_latency_hint=scorer.batch_cost(parsed.batch_size)
+            / max(1, parsed.batch_size),
+        )
+        return engine.run(dataset, scorer, budget=budget)

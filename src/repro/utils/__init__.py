@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG management, clocks, validation, statistics."""
+
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.timer import Stopwatch, VirtualClock
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+from repro.utils.stats import RunningMeanVar, summarize
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "Stopwatch",
+    "VirtualClock",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "RunningMeanVar",
+    "summarize",
+]

@@ -1,0 +1,45 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with uniform messages so
+misconfiguration is caught at construction time rather than deep inside a
+query loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``; return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Require an integral value > 0; return it as ``int``."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Require ``value`` in [0, 1] (bounds optionally exclusive); return it."""
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        raise ConfigurationError(f"{name} must lie in the unit interval, got {value!r}")
+    return value

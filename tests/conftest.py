@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bandit import BanditConfig
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.index.tree import ClusterNode, ClusterTree
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_synthetic():
+    """A 5-cluster, 400-element synthetic dataset."""
+    return SyntheticClustersDataset.generate(
+        n_clusters=5, per_cluster=80, rng=7
+    )
+
+
+@pytest.fixture
+def tiny_tree():
+    """A hand-built 2-level tree: root -> (A, B), A -> (a1, a2), B leaf.
+
+    Elements: a1 = {x0..x4}, a2 = {x5..x9}, B = {y0..y9}.
+    """
+    a1 = ClusterNode("a1", member_ids=tuple(f"x{i}" for i in range(5)))
+    a2 = ClusterNode("a2", member_ids=tuple(f"x{i}" for i in range(5, 10)))
+    a = ClusterNode("A", children=[a1, a2])
+    b = ClusterNode("B", member_ids=tuple(f"y{i}" for i in range(10)))
+    return ClusterTree(ClusterNode("root", children=[a, b]))
+
+
+@pytest.fixture
+def bandit_config():
+    """Paper-default bandit configuration."""
+    return BanditConfig()

@@ -1,0 +1,190 @@
+"""Tests for the flat epsilon-greedy bandit and the discrete variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arms import ArmState
+from repro.core.bandit import BanditConfig, EpsilonGreedyBandit
+from repro.core.discrete import DiscreteArm, DiscreteTopKBandit
+from repro.core.policies import ConstantEpsilon
+from repro.core.stk import stk
+from repro.errors import ConfigurationError, ExhaustedError
+
+
+def make_arms(cluster_values: dict[str, list[float]], seed: int = 0):
+    """ArmStates whose member IDs encode their scores as ``{arm}:{value}``."""
+    arms = []
+    for arm_id, values in cluster_values.items():
+        members = [f"{arm_id}:{value}" for value in values]
+        arms.append(ArmState(arm_id, members, rng=seed))
+    return arms
+
+
+def score_of(element_id: str) -> float:
+    return float(element_id.split(":", 1)[1])
+
+
+class TestBanditConfig:
+    def test_defaults_match_paper(self):
+        config = BanditConfig()
+        assert config.n_bins == 8
+        assert config.initial_range == 0.1
+        assert config.beta == 1.1
+        assert config.enable_rebinning
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            BanditConfig(beta=3.0)
+
+    def test_new_histogram_settings(self):
+        hist = BanditConfig(n_bins=4, initial_range=2.0).new_histogram()
+        assert hist.n_bins == 4
+        assert hist.max_range == pytest.approx(2.0)
+
+
+class TestEpsilonGreedyBandit:
+    def test_requires_arms(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyBandit([], k=3)
+
+    def test_duplicate_arm_ids_rejected(self):
+        arms = [ArmState("a", ["a:1"]), ArmState("a", ["a:2"])]
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyBandit(arms, k=1)
+
+    def test_run_collects_topk_of_scored(self, rng):
+        arms = make_arms({
+            "low": list(rng.uniform(0, 1, size=40)),
+            "high": list(rng.uniform(9, 10, size=40)),
+        })
+        bandit = EpsilonGreedyBandit(arms, k=5, rng=1)
+        buffer = bandit.run(score_of, budget=80)
+        # Exhausted everything, so the answer is the exact top-5.
+        all_scores = [score_of(m) for arm_id in ("low", "high")
+                      for m in [f"{arm_id}:{v}" for v in []]]
+        assert len(buffer.scores()) == 5
+        assert min(buffer.scores()) >= 9.0
+
+    def test_prefers_high_arm_when_exploiting(self, rng):
+        arms = make_arms({
+            "low": [0.1] * 500,
+            "high": [50.0] * 500,
+        })
+        config = BanditConfig(exploration=ConstantEpsilon(0.0))
+        bandit = EpsilonGreedyBandit(arms, k=10, config=config, rng=2)
+        # Prime both histograms with one observation each via exploration.
+        bandit.update("low", "low:0.1", 0.1)
+        bandit.update("high", "high:50.0", 50.0)
+        for _ in range(30):
+            arm_id = bandit.select_arm()
+            element = bandit.arms[arm_id].draw()
+            bandit.update(arm_id, element, score_of(element))
+        assert bandit.arms["high"].n_drawn > bandit.arms["low"].n_drawn
+
+    def test_exploration_counts(self):
+        arms = make_arms({"a": [1.0] * 100, "b": [2.0] * 100})
+        config = BanditConfig(exploration=ConstantEpsilon(1.0))
+        bandit = EpsilonGreedyBandit(arms, k=3, config=config, rng=0)
+        bandit.run(score_of, budget=50)
+        assert bandit.n_explore == 50
+        assert bandit.n_exploit == 0
+
+    def test_exhaustion(self):
+        arms = make_arms({"a": [1.0, 2.0]})
+        bandit = EpsilonGreedyBandit(arms, k=1, rng=0)
+        bandit.run(score_of, budget=10)
+        assert bandit.exhausted
+        with pytest.raises(ExhaustedError):
+            bandit.select_arm()
+
+    def test_stk_equals_buffer(self, rng):
+        arms = make_arms({"a": list(rng.uniform(0, 5, size=30))})
+        bandit = EpsilonGreedyBandit(arms, k=4, rng=0)
+        bandit.run(score_of, budget=30)
+        assert bandit.stk == pytest.approx(bandit.buffer.stk)
+
+    def test_gain_updates_threshold(self):
+        arms = make_arms({"a": [1.0] * 10})
+        bandit = EpsilonGreedyBandit(arms, k=2, rng=0)
+        gain = bandit.update("a", "a:5", 5.0)
+        assert gain == 5.0
+        assert bandit.threshold is None  # only one element so far
+        bandit.update("a", "a:3", 3.0)
+        assert bandit.threshold == 3.0
+
+    def test_expected_gains_only_active_arms(self):
+        arms = make_arms({"a": [1.0], "b": [2.0] * 10})
+        bandit = EpsilonGreedyBandit(arms, k=1, rng=0)
+        bandit.arms["a"].draw()
+        gains = bandit.expected_gains()
+        assert set(gains) == {"b"}
+
+    def test_rebinning_disabled_never_rebins(self, rng):
+        arms = make_arms({"a": list(rng.uniform(0, 100, size=200))})
+        config = BanditConfig(enable_rebinning=False)
+        bandit = EpsilonGreedyBandit(arms, k=3, config=config, rng=0)
+        bandit.run(score_of, budget=200)
+        assert bandit.histograms["a"].n_rebins == 0
+
+
+class TestDiscreteArm:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteArm("a", [], [])
+        with pytest.raises(ConfigurationError):
+            DiscreteArm("a", [1, 2], [0.5])
+        with pytest.raises(ConfigurationError):
+            DiscreteArm("a", [-1, 2], [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            DiscreteArm("a", [1, 2], [0.9, 0.9])
+
+    def test_exact_marginal_gain(self):
+        arm = DiscreteArm("a", [0, 10], [0.5, 0.5])
+        assert arm.exact_marginal_gain(None) == pytest.approx(5.0)
+        assert arm.exact_marginal_gain(4.0) == pytest.approx(3.0)
+        assert arm.exact_marginal_gain(10.0) == 0.0
+
+    def test_mean(self):
+        arm = DiscreteArm("a", [2, 4], [0.25, 0.75])
+        assert arm.mean() == pytest.approx(3.5)
+
+    def test_sampling_respects_distribution(self, rng):
+        arm = DiscreteArm("a", [0, 1], [0.2, 0.8])
+        draws = [arm.sample(rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(0.8, abs=0.05)
+
+
+class TestDiscreteTopKBandit:
+    def test_empirical_gain_converges_to_exact(self, rng):
+        arm = DiscreteArm("a", [0, 5, 10], [0.5, 0.3, 0.2])
+        bandit = DiscreteTopKBandit([arm], k=3, rng=0)
+        for _ in range(3000):
+            bandit.step()
+        for tau in (None, 2.0, 7.0):
+            assert bandit.empirical_gain("a", tau) == pytest.approx(
+                arm.exact_marginal_gain(tau), abs=0.15
+            )
+
+    def test_prefers_fat_tail_arm(self):
+        # Arm "thin": always 6.  Arm "fat": usually 0, sometimes 20.
+        thin = DiscreteArm("thin", [6], [1.0])
+        fat = DiscreteArm("fat", [0, 20], [0.8, 0.2])
+        bandit = DiscreteTopKBandit([thin, fat], k=5, rng=3)
+        for _ in range(600):
+            bandit.step()
+        # Once the threshold sits at 6, only "fat" can improve the solution.
+        assert bandit.visits["fat"] > bandit.visits["thin"]
+        assert bandit.stk == pytest.approx(100.0, rel=0.2)
+
+    def test_stk_telescopes(self, rng):
+        arms = [DiscreteArm("a", [1, 2, 3], [0.3, 0.3, 0.4])]
+        bandit = DiscreteTopKBandit(arms, k=2, rng=0)
+        total = sum(bandit.step() for _ in range(50))
+        assert total == pytest.approx(bandit.stk)
+
+    def test_duplicate_ids_rejected(self):
+        arms = [DiscreteArm("a", [1], [1.0]), DiscreteArm("a", [2], [1.0])]
+        with pytest.raises(ConfigurationError):
+            DiscreteTopKBandit(arms, k=1)

@@ -1,0 +1,185 @@
+"""Tests for the B+-tree substrate and its bandit adapter (Section 7.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.data.dataset import InMemoryDataset
+from repro.errors import ConfigurationError
+from repro.index.btree import BPlusTree
+from repro.scoring.base import FunctionScorer
+
+keys = st.integers(min_value=-10_000, max_value=10_000)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree: BPlusTree[int, str] = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+        assert 5 not in tree
+
+    def test_insert_and_get(self):
+        tree: BPlusTree[int, str] = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, f"v{key}")
+        assert len(tree) == 5
+        for key in [5, 1, 9, 3, 7]:
+            assert tree.get(key) == f"v{key}"
+            assert key in tree
+        assert tree.get(2) is None
+
+    def test_overwrite_keeps_size(self):
+        tree: BPlusTree[int, str] = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self, rng):
+        tree: BPlusTree[int, int] = BPlusTree(order=4)
+        values = rng.permutation(200)
+        for value in values:
+            tree.insert(int(value), int(value) * 10)
+        got = list(tree.items())
+        assert [k for k, _ in got] == sorted(int(v) for v in values)
+        assert all(v == k * 10 for k, v in got)
+
+    def test_height_grows_logarithmically(self):
+        tree: BPlusTree[int, int] = BPlusTree(order=4)
+        for key in range(500):
+            tree.insert(key, key)
+        assert tree.height <= 7  # log_2(500/2) + slack
+
+    def test_sequential_and_reverse_insertion(self):
+        for order_of_keys in (range(100), range(99, -1, -1)):
+            tree: BPlusTree[int, int] = BPlusTree(order=5)
+            for key in order_of_keys:
+                tree.insert(key, key)
+            tree.check_invariants()
+            assert [k for k, _ in tree.items()] == list(range(100))
+
+
+class TestRangeQueries:
+    @pytest.fixture
+    def loaded(self, rng):
+        tree: BPlusTree[int, int] = BPlusTree(order=8)
+        self.universe = sorted(rng.choice(1000, size=300, replace=False).tolist())
+        for key in self.universe:
+            tree.insert(int(key), int(key))
+        return tree
+
+    def test_full_range(self, loaded):
+        got = [k for k, _ in loaded.range(-1, 10_000)]
+        assert got == self.universe
+
+    def test_partial_range(self, loaded):
+        got = [k for k, _ in loaded.range(100, 400)]
+        assert got == [k for k in self.universe if 100 <= k <= 400]
+
+    def test_empty_range(self, loaded):
+        missing_low = max(self.universe) + 1
+        assert list(loaded.range(missing_low, missing_low + 50)) == []
+
+    def test_single_point_range(self, loaded):
+        key = self.universe[17]
+        assert [k for k, _ in loaded.range(key, key)] == [key]
+
+
+class TestInvariants:
+    @given(st.lists(keys, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_random_insertions_hold_invariants(self, key_list):
+        tree: BPlusTree[int, int] = BPlusTree(order=4)
+        for key in key_list:
+            tree.insert(key, key)
+        tree.check_invariants()
+        expected = sorted(set(key_list))
+        assert [k for k, _ in tree.items()] == expected
+        assert len(tree) == len(expected)
+
+    @given(st.lists(keys, min_size=1, max_size=300), st.integers(3, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_load_matches_insertion(self, key_list, order):
+        pairs = [(key, key * 2) for key in key_list]
+        bulk = BPlusTree.bulk_load(pairs, order=order)
+        bulk.check_invariants()
+        expected = sorted({k: k * 2 for k in key_list}.items())
+        assert list(bulk.items()) == expected
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([], order=8)
+        assert len(tree) == 0
+
+    def test_duplicate_keys_last_wins(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (1, "b"), (2, "c")], order=8)
+        assert tree.get(1) == "b"
+        assert len(tree) == 2
+
+    def test_invalid_fill(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree.bulk_load([(1, 1)], fill=0.0)
+
+    def test_large_load_height(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(10_000)], order=64)
+        tree.check_invariants()
+        assert tree.height <= 4
+
+
+class TestBanditAdapter:
+    def test_cluster_tree_partitions_values(self, rng):
+        pairs = [(int(k), f"row-{k}") for k in rng.permutation(500)]
+        btree = BPlusTree.bulk_load(pairs, order=16)
+        ctree = btree.to_cluster_tree()
+        members = sorted(
+            m for leaf in ctree.leaves() for m in leaf.member_ids
+        )
+        assert members == sorted(f"row-{k}" for k in range(500))
+
+    def test_leaf_pages_are_key_ranges(self):
+        btree = BPlusTree.bulk_load([(i, f"row-{i}") for i in range(100)],
+                                    order=8)
+        ctree = btree.to_cluster_tree()
+        previous_max = -1
+        for leaf in ctree.leaves():
+            page_keys = sorted(int(m.split("-")[1]) for m in leaf.member_ids)
+            assert page_keys[0] > previous_max
+            previous_max = page_keys[-1]
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(order=4).to_cluster_tree()
+
+    def test_engine_runs_over_btree_index(self, rng):
+        """Section 7.1 end to end: the bandit over a classic B-tree.
+
+        Keys are timestamps; the UDF prefers recent keys, so key locality
+        makes the rightmost leaf pages the hot arms.
+        """
+        n = 2_000
+        timestamps = rng.permutation(n)
+        btree = BPlusTree.bulk_load(
+            [(int(t), f"rec-{t}") for t in timestamps], order=32
+        )
+        ctree = btree.to_cluster_tree()
+        ids = [f"rec-{t}" for t in range(n)]
+        dataset = InMemoryDataset(ids, list(range(n)),
+                                  np.arange(n, dtype=float).reshape(-1, 1))
+        scorer = FunctionScorer(
+            lambda row_key: float(int(row_key)),
+            batch_fn=lambda rows: np.asarray([float(r) for r in rows]),
+        )
+        engine = TopKEngine(ctree, EngineConfig(k=20, seed=0))
+        result = engine.run(dataset, scorer, budget=n // 4)
+        # Top-20 of an n//4 budget should be near the true maximum keys.
+        assert min(result.scores) > 0.85 * (n - 20)

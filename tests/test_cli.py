@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.core" in out
+        assert "benchmarks" in out
+
+
+class TestDemo:
+    def test_runs_small_demo(self, capsys):
+        code = main(["demo", "--clusters", "4", "--per-cluster", "50",
+                     "--k", "5", "--budget-fraction", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STK fraction of optimal" in out
+        assert "Precision@5" in out
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["demo", "--clusters", "3", "--per-cluster", "30",
+                     "--k", "3", "--seed", "9"]) == 0
+
+
+class TestQuery:
+    def test_executes_query(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu BUDGET 30% SEED 1",
+            "--rows", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+
+    def test_bad_query_is_clean_error(self, capsys):
+        code = main(["query", "SELECT * FROM demo", "--rows", "500"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_unknown_udf_is_clean_error(self, capsys):
+        code = main(["query",
+                     "SELECT TOP 3 FROM demo ORDER BY nope",
+                     "--rows", "500"])
+        assert code == 1
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,117 @@
+"""Hypothesis property tests on random small worlds for the whole engine.
+
+Each generated world is a random partition of random non-negative scores
+into random cluster shapes; the engine must uphold its contracts on every
+one of them:
+
+* exhausting the dataset always yields the exact top-k;
+* at every point, the running solution is the exact top-k of what has been
+  scored so far;
+* no element is ever scored twice;
+* the budget is respected up to one batch of slack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.fallback import FallbackConfig
+from repro.data.dataset import InMemoryDataset
+from repro.index.tree import ClusterNode, ClusterTree
+from repro.scoring.base import FunctionScorer
+
+
+@st.composite
+def random_world(draw):
+    """A random clustered dataset of non-negative scores."""
+    n_clusters = draw(st.integers(min_value=1, max_value=6))
+    sizes = [draw(st.integers(min_value=1, max_value=25))
+             for _ in range(n_clusters)]
+    scores = []
+    clusters = {}
+    ids = []
+    index = 0
+    for c, size in enumerate(sizes):
+        members = []
+        for _ in range(size):
+            element_id = f"e{index}"
+            value = draw(st.floats(min_value=0.0, max_value=1e4,
+                                   allow_nan=False))
+            ids.append(element_id)
+            scores.append(value)
+            members.append(element_id)
+            index += 1
+        clusters[f"leaf-{c}"] = members
+    k = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    batch = draw(st.integers(min_value=1, max_value=8))
+    return ids, scores, clusters, k, seed, batch
+
+
+def build(ids, scores, clusters, k, seed, batch):
+    dataset = InMemoryDataset(ids, scores, np.zeros((len(ids), 1)))
+    tree = ClusterTree.flat(clusters)
+    scorer = FunctionScorer(
+        float, batch_fn=lambda values: np.asarray(values, dtype=float)
+    )
+    engine = TopKEngine(
+        tree,
+        EngineConfig(k=k, seed=seed, batch_size=batch,
+                     fallback=FallbackConfig(enabled=False)),
+    )
+    return dataset, scorer, engine
+
+
+class TestEngineContracts:
+    @given(random_world())
+    @settings(max_examples=60, deadline=None)
+    def test_exhaustive_run_is_exact(self, world):
+        ids, scores, clusters, k, seed, batch = world
+        dataset, scorer, engine = build(*world)
+        result = engine.run(dataset, scorer)
+        expected = sorted(scores, reverse=True)[:k]
+        assert result.scores == pytest.approx(expected)
+        assert result.n_scored == len(ids)
+
+    @given(random_world())
+    @settings(max_examples=60, deadline=None)
+    def test_running_solution_always_exact_prefix_topk(self, world):
+        ids, scores, clusters, k, seed, batch = world
+        dataset, scorer, engine = build(*world)
+        observed = []
+        while not engine.exhausted:
+            batch_ids = engine.next_batch()
+            batch_scores = scorer.score_batch(
+                dataset.fetch_batch(batch_ids)
+            )
+            observed.extend(batch_scores.tolist())
+            engine.observe(batch_ids, batch_scores)
+            expected = sum(sorted(observed, reverse=True)[:k])
+            assert engine.stk == pytest.approx(expected)
+
+    @given(random_world())
+    @settings(max_examples=60, deadline=None)
+    def test_no_element_scored_twice(self, world):
+        ids, scores, clusters, k, seed, batch = world
+        dataset, scorer, engine = build(*world)
+        seen = set()
+        while not engine.exhausted:
+            batch_ids = engine.next_batch()
+            for element_id in batch_ids:
+                assert element_id not in seen
+                seen.add(element_id)
+            engine.observe(batch_ids,
+                           scorer.score_batch(dataset.fetch_batch(batch_ids)))
+        assert seen == set(ids)
+
+    @given(random_world(), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_respected_with_batch_slack(self, world, budget):
+        ids, scores, clusters, k, seed, batch = world
+        dataset, scorer, engine = build(*world)
+        result = engine.run(dataset, scorer, budget=budget)
+        assert result.n_scored <= min(budget, len(ids)) + batch - 1

@@ -1,0 +1,98 @@
+"""Tests for experiment export helpers."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.errors import ConfigurationError
+from repro.experiments.export import (
+    curves_to_json,
+    curves_to_rows,
+    result_to_dict,
+    write_curves_csv,
+    write_curves_json,
+    write_result_json,
+)
+from repro.experiments.runner import RunCurve
+from repro.scoring.relu import ReluScorer
+
+
+def make_curve(name="Ours", n=4):
+    return RunCurve(
+        name=name,
+        iterations=np.arange(1, n + 1) * 10,
+        times=np.linspace(0.1, 1.0, n),
+        stks=np.linspace(5.0, 20.0, n),
+        precisions=np.linspace(0.2, 0.9, n),
+        overheads=np.linspace(0.001, 0.004, n),
+        final_stk=20.0,
+        n_scored=n * 10,
+    )
+
+
+class TestCurveRows:
+    def test_long_format(self):
+        rows = curves_to_rows([make_curve(), make_curve("UCB")])
+        assert len(rows) == 8
+        assert rows[0]["algorithm"] == "Ours"
+        assert rows[0]["iteration"] == 10
+        assert rows[-1]["algorithm"] == "UCB"
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_curves_csv([make_curve()], tmp_path / "curves.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert float(rows[-1]["stk"]) == pytest.approx(20.0)
+        assert rows[0]["algorithm"] == "Ours"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_curves_csv([], tmp_path / "x.csv")
+
+
+class TestJson:
+    def test_document_structure(self):
+        doc = json.loads(curves_to_json([make_curve()], title="Fig X",
+                                        extra={"k": 5}))
+        assert doc["title"] == "Fig X"
+        assert doc["metadata"]["k"] == 5
+        assert doc["algorithms"][0]["name"] == "Ours"
+        assert len(doc["algorithms"][0]["stks"]) == 4
+
+    def test_write_json(self, tmp_path):
+        path = write_curves_json([make_curve()], tmp_path / "c.json")
+        doc = json.loads(path.read_text())
+        assert doc["algorithms"][0]["final_stk"] == 20.0
+
+
+class TestResultExport:
+    @pytest.fixture
+    def result(self):
+        dataset = SyntheticClustersDataset.generate(n_clusters=4,
+                                                    per_cluster=50, rng=0)
+        engine = TopKEngine(dataset.true_index(), EngineConfig(k=5, seed=0))
+        return engine.run(dataset, ReluScorer(), budget=100,
+                          checkpoint_every=25)
+
+    def test_result_dict_fields(self, result):
+        record = result_to_dict(result)
+        assert record["k"] == 5
+        assert len(record["items"]) == 5
+        assert record["n_scored"] == 100
+        assert len(record["checkpoints"]) >= 3
+        json.dumps(record)  # fully JSON-safe
+
+    def test_write_result_json(self, result, tmp_path):
+        path = write_result_json(result, tmp_path / "result.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["stk"] == pytest.approx(result.stk)
+        assert loaded["items"][0][0] == result.ids[0]

@@ -1,0 +1,204 @@
+"""Tests for the from-scratch regression tree and gradient boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.scoring.gbdt import (
+    AbsoluteLoss,
+    GradientBoostedRegressor,
+    RegressionTree,
+    SquaredLoss,
+)
+from repro.scoring.gbdt_scorer import GBDTValuationScorer
+from repro.data.usedcars import UsedCarsDataset
+
+
+class TestRegressionTree:
+    def test_constant_target(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), 7.0)
+        assert tree.n_leaves_ == 1
+
+    def test_perfect_step_function(self, rng):
+        X = rng.uniform(-1, 1, size=(200, 1))
+        y = (X[:, 0] > 0).astype(float) * 10.0
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(X, y)
+        pred = tree.predict(X)
+        assert np.allclose(pred, y, atol=1e-9)
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.uniform(size=(300, 2))
+        y = rng.normal(size=300)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=2).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.uniform(size=(20, 1))
+        y = rng.normal(size=20)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=10).fit(X, y)
+        # Only one split possible (10/10), so at most one edge of depth.
+        assert tree.depth() <= 1
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_reduces_sse_vs_mean(self, rng):
+        X = rng.uniform(size=(300, 3))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + rng.normal(0, 0.05, size=300)
+        tree = RegressionTree(max_depth=5, min_samples_leaf=5).fit(X, y)
+        sse_tree = ((tree.predict(X) - y) ** 2).sum()
+        sse_mean = ((y.mean() - y) ** 2).sum()
+        assert sse_tree < 0.5 * sse_mean
+
+    def test_single_row_vector_predict(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = X[:, 0]
+        tree = RegressionTree().fit(X, y)
+        single = tree.predict(X[0])
+        assert single.shape == (1,)
+
+    def test_duplicate_feature_values_no_split(self):
+        X = np.ones((30, 2))
+        y = np.arange(30, dtype=float)
+        tree = RegressionTree().fit(X, y)
+        assert tree.n_leaves_ == 1  # nothing to split on
+
+    def test_invalid_shapes(self, rng):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            RegressionTree(min_samples_leaf=0)
+
+
+class TestGradientBoosting:
+    def make_regression(self, rng, n=400):
+        X = rng.uniform(-2, 2, size=(n, 4))
+        y = (
+            np.sin(X[:, 0] * 2)
+            + 0.5 * X[:, 1] ** 2
+            + X[:, 2]
+            + rng.normal(0, 0.05, size=n)
+        )
+        return X, y
+
+    def test_training_loss_decreases(self, rng):
+        X, y = self.make_regression(rng)
+        model = GradientBoostedRegressor(n_estimators=30, rng=0).fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0]
+        # Squared-loss boosting is monotone non-increasing on train data.
+        assert all(a >= b - 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_beats_constant_model(self, rng):
+        X, y = self.make_regression(rng)
+        model = GradientBoostedRegressor(n_estimators=40, rng=0).fit(X, y)
+        mse_model = np.mean((model.predict(X) - y) ** 2)
+        mse_const = np.var(y)
+        assert mse_model < 0.2 * mse_const
+
+    def test_generalizes(self, rng):
+        X, y = self.make_regression(rng, n=800)
+        X_test, y_test = self.make_regression(rng, n=200)
+        model = GradientBoostedRegressor(n_estimators=50, max_depth=3,
+                                         rng=0).fit(X, y)
+        mse = np.mean((model.predict(X_test) - y_test) ** 2)
+        assert mse < 0.3 * np.var(y_test)
+
+    def test_staged_predict_shape_and_final(self, rng):
+        X, y = self.make_regression(rng, n=100)
+        model = GradientBoostedRegressor(n_estimators=10, rng=0).fit(X, y)
+        stages = model.staged_predict(X)
+        assert stages.shape == (10, 100)
+        assert np.allclose(stages[-1], model.predict(X))
+
+    def test_subsample_still_learns(self, rng):
+        X, y = self.make_regression(rng)
+        model = GradientBoostedRegressor(n_estimators=40, subsample=0.5,
+                                         rng=0).fit(X, y)
+        assert np.mean((model.predict(X) - y) ** 2) < 0.4 * np.var(y)
+
+    def test_absolute_loss(self, rng):
+        X, y = self.make_regression(rng)
+        model = GradientBoostedRegressor(
+            n_estimators=40, loss=AbsoluteLoss(), learning_rate=0.2, rng=0
+        ).fit(X, y)
+        mae = np.mean(np.abs(model.predict(X) - y))
+        assert mae < np.mean(np.abs(np.median(y) - y))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostedRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostedRegressor(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostedRegressor(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostedRegressor(subsample=1.5)
+
+
+class TestLosses:
+    def test_squared_loss_initial_is_mean(self):
+        y = np.asarray([1.0, 2.0, 6.0])
+        assert SquaredLoss().initial_prediction(y) == pytest.approx(3.0)
+
+    def test_squared_loss_gradient_is_residual(self):
+        y = np.asarray([1.0, 2.0])
+        pred = np.asarray([0.0, 4.0])
+        assert np.allclose(SquaredLoss().negative_gradient(y, pred), [1.0, -2.0])
+
+    def test_absolute_loss_initial_is_median(self):
+        y = np.asarray([1.0, 2.0, 100.0])
+        assert AbsoluteLoss().initial_prediction(y) == pytest.approx(2.0)
+
+    def test_absolute_loss_gradient_is_sign(self):
+        y = np.asarray([1.0, 2.0])
+        pred = np.asarray([0.0, 4.0])
+        assert np.allclose(AbsoluteLoss().negative_gradient(y, pred), [1.0, -1.0])
+
+
+class TestGBDTValuationScorer:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        train_rows, query_ds = UsedCarsDataset.generate_split(
+            n_train=2000, n_query=500, rng=0
+        )
+        scorer = GBDTValuationScorer.train(train_rows, n_estimators=30, rng=0)
+        return scorer, query_ds
+
+    def test_scores_non_negative(self, trained):
+        scorer, ds = trained
+        scores = scorer.score_batch(ds.fetch_batch(ds.ids()[:100]))
+        assert (scores >= 0.0).all()
+
+    def test_batch_matches_single(self, trained):
+        scorer, ds = trained
+        rows = ds.fetch_batch(ds.ids()[:5])
+        batch = scorer.score_batch(rows)
+        singles = [scorer.score(row) for row in rows]
+        assert np.allclose(batch, singles)
+
+    def test_predictions_correlate_with_prices(self, trained):
+        scorer, ds = trained
+        rows = ds.fetch_batch(ds.ids())
+        predicted = scorer.score_batch(rows)
+        actual = ds.prices()
+        correlation = np.corrcoef(predicted, actual)[0, 1]
+        assert correlation > 0.8
+
+    def test_default_latency_is_paper_2ms(self, trained):
+        scorer, _ds = trained
+        assert scorer.batch_cost(1) == pytest.approx(2e-3)

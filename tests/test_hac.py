@@ -1,0 +1,91 @@
+"""Tests for the from-scratch HAC, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+import scipy.spatial.distance as ssd
+
+from repro.errors import ConfigurationError
+from repro.index.hac import Linkage, agglomerate, merges_to_children
+
+
+class TestAgglomerateBasics:
+    def test_single_point_no_merges(self):
+        assert agglomerate(np.zeros((1, 2))) == []
+
+    def test_zero_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            agglomerate(np.zeros((0, 2)))
+
+    def test_1d_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            agglomerate(np.asarray([1.0, 2.0]))
+
+    def test_merge_count(self, rng):
+        points = rng.normal(size=(10, 3))
+        assert len(agglomerate(points)) == 9
+
+    def test_final_cluster_contains_everything(self, rng):
+        points = rng.normal(size=(8, 2))
+        merges = agglomerate(points)
+        assert merges[-1][3] == 8  # size of the last merge
+
+    def test_two_points(self):
+        points = np.asarray([[0.0, 0.0], [3.0, 4.0]])
+        merges = agglomerate(points)
+        assert len(merges) == 1
+        left, right, dist, size = merges[0]
+        assert {left, right} == {0, 1}
+        assert dist == pytest.approx(5.0)
+        assert size == 2
+
+    def test_string_linkage_accepted(self, rng):
+        points = rng.normal(size=(5, 2))
+        assert len(agglomerate(points, "single")) == 4
+
+    def test_unknown_linkage_rejected(self, rng):
+        with pytest.raises(ValueError):
+            agglomerate(rng.normal(size=(4, 2)), "ward")
+
+
+@pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+class TestAgainstScipy:
+    def test_merge_distances_match(self, linkage, rng):
+        points = rng.normal(size=(20, 4))
+        ours = agglomerate(points, linkage)
+        reference = sch.linkage(ssd.pdist(points), method=linkage)
+        our_dists = sorted(step[2] for step in ours)
+        ref_dists = sorted(reference[:, 2].tolist())
+        assert np.allclose(our_dists, ref_dists, rtol=1e-8)
+
+    def test_merge_sizes_match(self, linkage, rng):
+        points = rng.normal(size=(15, 3))
+        ours = agglomerate(points, linkage)
+        reference = sch.linkage(ssd.pdist(points), method=linkage)
+        assert sorted(step[3] for step in ours) == sorted(
+            int(s) for s in reference[:, 3]
+        )
+
+
+class TestMergesToChildren:
+    def test_ids_are_sequential(self, rng):
+        points = rng.normal(size=(6, 2))
+        merges = agglomerate(points)
+        children = merges_to_children(6, merges)
+        assert sorted(children) == list(range(6, 11))
+
+    def test_children_reference_earlier_ids(self, rng):
+        points = rng.normal(size=(7, 2))
+        children = merges_to_children(7, agglomerate(points))
+        for parent, (left, right) in children.items():
+            assert left < parent and right < parent
+
+    def test_every_cluster_used_exactly_once(self, rng):
+        points = rng.normal(size=(9, 2))
+        children = merges_to_children(9, agglomerate(points))
+        used = [c for pair in children.values() for c in pair]
+        assert sorted(used) == sorted(set(used))  # no reuse
+        # All leaves and all internal nodes except the root appear.
+        assert set(used) == set(range(9 + len(children) - 1))

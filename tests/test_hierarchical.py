@@ -1,0 +1,194 @@
+"""Tests for the hierarchical bandit policy over the cluster tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bandit import BanditConfig
+from repro.core.hierarchical import HierarchicalBanditPolicy
+from repro.errors import ExhaustedError
+from repro.index.tree import ClusterNode, ClusterTree
+
+
+def build_policy(tree, seed=0, **config_kwargs):
+    config = BanditConfig(**config_kwargs) if config_kwargs else BanditConfig()
+    return HierarchicalBanditPolicy(tree, config, rng=seed)
+
+
+class TestMirrorConstruction:
+    def test_structure_mirrors_tree(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        assert not policy.root.is_leaf
+        assert len(policy.root.children) == 2
+        assert set(policy.leaves_by_id) == {"a1", "a2", "B"}
+
+    def test_every_node_has_histogram(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+
+        def walk(node):
+            assert node.histogram is not None
+            for child in node.children:
+                walk(child)
+
+        walk(policy.root)
+
+    def test_remaining_counts(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        assert policy.root.remaining == 20
+        assert policy.leaves_by_id["B"].remaining == 10
+
+
+class TestSelection:
+    def test_descends_to_leaf(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        leaf = policy.select_leaf(threshold=None, epsilon=1.0)
+        assert leaf.is_leaf
+        assert leaf.node_id in {"a1", "a2", "B"}
+
+    def test_greedy_prefers_seeded_histogram(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        # Give B a clearly better histogram.
+        policy.leaves_by_id["B"].histogram.add_many([5.0] * 20)
+        b_parent = policy.leaves_by_id["B"].parent
+        b_parent.histogram.add_many([5.0] * 20)
+        policy.leaves_by_id["a1"].histogram.add_many([0.1] * 20)
+        policy.leaves_by_id["a1"].parent.histogram.add_many([0.1] * 20)
+        chosen = {policy.select_leaf(threshold=0.0, epsilon=0.0).node_id
+                  for _ in range(10)}
+        assert chosen == {"B"}
+
+    def test_explore_visits_all_leaves(self, tiny_tree):
+        policy = build_policy(tiny_tree, seed=3)
+        seen = {policy.select_leaf(threshold=None, epsilon=1.0).node_id
+                for _ in range(200)}
+        assert seen == {"a1", "a2", "B"}
+
+    def test_greedy_leaf_vs_descent_can_differ(self, tiny_tree):
+        """The tree-fallback situation: good leaf hidden in a bad subtree."""
+        policy = build_policy(tiny_tree)
+        # a1 is globally the best leaf, but its parent A looks bad because
+        # sibling a2 drags the subtree histogram down.
+        policy.leaves_by_id["a1"].histogram.add_many([10.0] * 5)
+        policy.leaves_by_id["a2"].histogram.add_many([0.0] * 45)
+        a_node = policy.leaves_by_id["a1"].parent
+        a_node.histogram.add_many([10.0] * 5 + [0.0] * 45)
+        policy.leaves_by_id["B"].histogram.add_many([5.0] * 50)
+        b_node = policy.leaves_by_id["B"]
+        greedy = policy.greedy_leaf(threshold=0.0)
+        reached = policy.greedy_descent_leaf(threshold=0.0)
+        assert greedy.node_id == "a1"
+        assert reached.node_id == "B"
+
+    def test_exhausted_tree_raises(self):
+        leaf = ClusterNode("only", member_ids=("e0",))
+        tree = ClusterTree(ClusterNode("root", children=[leaf]))
+        policy = build_policy(tree)
+        node = policy.select_leaf(None, epsilon=0.0)
+        node.arm.draw()
+        policy.handle_exhausted(node)
+        assert policy.exhausted
+        with pytest.raises(ExhaustedError):
+            policy.greedy_leaf(None)
+
+
+class TestUpdates:
+    def test_update_touches_full_path(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        leaf = policy.leaves_by_id["a1"]
+        policy.update(leaf, 3.0, threshold=None)
+        assert leaf.histogram.total_mass == 1.0
+        assert leaf.parent.histogram.total_mass == 1.0
+        assert policy.root.histogram.total_mass == 1.0
+        # Sibling untouched.
+        assert policy.leaves_by_id["B"].histogram.total_mass == 0.0
+
+    def test_update_respects_rebinning_flag(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        leaf = policy.leaves_by_id["B"]
+        for value in np.linspace(0, 50, 30):
+            policy.update(leaf, float(value), threshold=40.0,
+                          enable_rebinning=False)
+        assert leaf.histogram.n_rebins == 0
+
+
+class TestEmptyChildHandling:
+    def drain(self, policy, leaf_id):
+        leaf = policy.leaves_by_id[leaf_id]
+        while not leaf.arm.is_empty:
+            element = leaf.arm.draw()
+            policy.update(leaf, 1.0, threshold=None)
+        policy.handle_exhausted(leaf)
+        return leaf
+
+    def test_drop_removes_leaf(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        self.drain(policy, "a1")
+        assert "a1" not in policy.leaves_by_id
+        assert policy.n_drops == 1
+        a_node = policy.leaves_by_id["a2"].parent
+        assert [c.node_id for c in a_node.children] == ["a2"]
+
+    def test_subtraction_removes_mass_from_ancestors(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        self.drain(policy, "a1")
+        # Root saw 5 updates from a1; after subtraction its mass is ~0.
+        assert policy.root.histogram.total_mass == pytest.approx(0.0, abs=1e-6)
+
+    def test_subtraction_disabled_keeps_mass(self, tiny_tree):
+        policy = HierarchicalBanditPolicy(
+            tiny_tree, BanditConfig(), rng=0, enable_subtraction=False
+        )
+        self.drain(policy, "a1")
+        assert policy.root.histogram.total_mass == pytest.approx(5.0)
+
+    def test_parent_removed_when_childless(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        self.drain(policy, "a1")
+        self.drain(policy, "a2")
+        # Node A should be gone from the root's children.
+        assert [c.node_id for c in policy.root.children] == ["B"]
+
+    def test_double_drop_is_idempotent(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        leaf = self.drain(policy, "a1")
+        policy.handle_exhausted(leaf)  # second call: no-op
+        assert policy.n_drops == 1
+
+    def test_remaining_ids_excludes_drawn(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        leaf = policy.leaves_by_id["B"]
+        drawn = {leaf.arm.draw() for _ in range(4)}
+        remaining = set(policy.remaining_ids())
+        assert drawn.isdisjoint(remaining)
+        assert len(remaining) == 16
+
+
+class TestFlatten:
+    def test_flatten_makes_leaves_direct_children(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        policy.flatten()
+        assert policy.flattened
+        child_ids = {c.node_id for c in policy.root.children}
+        assert child_ids == {"a1", "a2", "B"}
+        for child in policy.root.children:
+            assert child.parent is policy.root
+
+    def test_flatten_preserves_remaining(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        policy.leaves_by_id["B"].arm.draw()
+        policy.flatten()
+        assert policy.root.remaining == 19
+
+    def test_greedy_descent_equals_greedy_leaf_after_flatten(self, tiny_tree):
+        policy = build_policy(tiny_tree)
+        policy.leaves_by_id["a1"].histogram.add_many([10.0] * 5)
+        policy.leaves_by_id["a2"].histogram.add_many([0.0] * 45)
+        policy.leaves_by_id["a1"].parent.histogram.add_many(
+            [10.0] * 5 + [0.0] * 45
+        )
+        policy.leaves_by_id["B"].histogram.add_many([5.0] * 50)
+        policy.flatten()
+        greedy = policy.greedy_leaf(0.0)
+        reached = policy.greedy_descent_leaf(0.0)
+        assert greedy is reached

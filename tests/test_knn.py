@@ -1,0 +1,94 @@
+"""Tests for the k-NN scorer family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.data.dataset import InMemoryDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.index.builder import IndexConfig, build_index
+from repro.scoring.knn import KNNRegressor, KNNScorer
+
+
+class TestKNNRegressor:
+    def test_exact_on_training_points_k1(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = KNNRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_interpolates_smooth_function(self, rng):
+        X = rng.uniform(-2, 2, size=(600, 2))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        model = KNNRegressor(n_neighbors=7).fit(X, y)
+        X_test = rng.uniform(-1.8, 1.8, size=(100, 2))
+        y_test = np.sin(X_test[:, 0]) + 0.5 * X_test[:, 1]
+        mse = np.mean((model.predict(X_test) - y_test) ** 2)
+        assert mse < 0.05
+
+    def test_uniform_weights(self, rng):
+        X = np.asarray([[0.0], [1.0], [2.0]])
+        y = np.asarray([0.0, 3.0, 6.0])
+        model = KNNRegressor(n_neighbors=3, weights="uniform").fit(X, y)
+        assert model.predict(np.asarray([[1.0]]))[0] == pytest.approx(3.0)
+
+    def test_distance_weights_favor_nearest(self):
+        X = np.asarray([[0.0], [10.0]])
+        y = np.asarray([0.0, 100.0])
+        model = KNNRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        near_zero = model.predict(np.asarray([[0.1]]))[0]
+        assert near_zero < 10.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(n_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(weights="gaussian")
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(n_neighbors=10).fit(rng.normal(size=(3, 2)),
+                                             rng.normal(size=3))
+        with pytest.raises(NotFittedError):
+            KNNRegressor().predict(np.zeros((1, 2)))
+
+    def test_single_row_predict(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        model = KNNRegressor(n_neighbors=3).fit(X, y)
+        assert model.predict(X[0]).shape == (1,)
+
+
+class TestKNNScorer:
+    def test_clamps_negative(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.full(30, -5.0)
+        scorer = KNNScorer(KNNRegressor(n_neighbors=3).fit(X, y))
+        assert scorer.score(X[0]) == 0.0
+
+    def test_batch_matches_single(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.uniform(0, 10, size=40)
+        scorer = KNNScorer(KNNRegressor(n_neighbors=5).fit(X, y))
+        objs = [X[i] for i in range(6)]
+        assert np.allclose(scorer.score_batch(objs),
+                           [scorer.score(o) for o in objs])
+
+    def test_end_to_end_with_engine(self, rng):
+        """k-NN's locally-smooth surface is exactly what the index exploits."""
+        n = 1_500
+        points = rng.uniform(-5, 5, size=(n, 2))
+        # Hidden concept: value peaks near (3, 3).
+        hidden = 100.0 * np.exp(-np.sum((points - 3.0) ** 2, axis=1) / 4.0)
+        train_rows = rng.choice(n, size=300, replace=False)
+        model = KNNRegressor(n_neighbors=5).fit(points[train_rows],
+                                                hidden[train_rows])
+        scorer = KNNScorer(model)
+        ids = [f"p{i}" for i in range(n)]
+        dataset = InMemoryDataset(ids, [points[i] for i in range(n)], points)
+        index = build_index(points, ids, IndexConfig(n_clusters=15), rng=0)
+        engine = TopKEngine(index, EngineConfig(k=20, seed=0))
+        result = engine.run(dataset, scorer, budget=n // 4)
+        # The answer should be concentrated near the peak.
+        answer_points = np.stack([dataset.fetch(i) for i in result.ids])
+        assert np.linalg.norm(answer_points.mean(axis=0) - 3.0) < 1.5

@@ -1,0 +1,199 @@
+"""Tests for the min-max heap and the cardinality-constrained TopKBuffer."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minmax_heap import MinMaxHeap, TopKBuffer, _is_min_level
+from repro.core.stk import stk
+from repro.errors import ConfigurationError, EmptyStructureError
+
+scores = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+class TestLevelParity:
+    def test_root_is_min_level(self):
+        assert _is_min_level(0)
+
+    def test_first_two_children_are_max_level(self):
+        assert not _is_min_level(1)
+        assert not _is_min_level(2)
+
+    def test_grandchildren_are_min_level(self):
+        for index in (3, 4, 5, 6):
+            assert _is_min_level(index)
+
+
+class TestMinMaxHeap:
+    def test_empty_errors(self):
+        heap = MinMaxHeap()
+        with pytest.raises(EmptyStructureError):
+            heap.peek_min()
+        with pytest.raises(EmptyStructureError):
+            heap.peek_max()
+        with pytest.raises(EmptyStructureError):
+            heap.pop_min()
+        with pytest.raises(EmptyStructureError):
+            heap.pop_max()
+
+    def test_single_element(self):
+        heap = MinMaxHeap()
+        heap.push(5.0, "a")
+        assert heap.peek_min() == (5.0, "a")
+        assert heap.peek_max() == (5.0, "a")
+
+    def test_min_and_max_tracking(self):
+        heap = MinMaxHeap()
+        for value in [5, 1, 9, 3, 7]:
+            heap.push(float(value))
+        assert heap.peek_min()[0] == 1.0
+        assert heap.peek_max()[0] == 9.0
+
+    def test_pop_min_sorted(self, rng):
+        values = rng.normal(size=100)
+        heap = MinMaxHeap()
+        for value in values:
+            heap.push(float(value))
+        popped = [heap.pop_min()[0] for _ in range(len(values))]
+        assert popped == sorted(values.tolist())
+
+    def test_pop_max_sorted(self, rng):
+        values = rng.normal(size=100)
+        heap = MinMaxHeap()
+        for value in values:
+            heap.push(float(value))
+        popped = [heap.pop_max()[0] for _ in range(len(values))]
+        assert popped == sorted(values.tolist(), reverse=True)
+
+    def test_interleaved_pops(self, rng):
+        values = sorted(rng.normal(size=50).tolist())
+        heap = MinMaxHeap()
+        for value in values:
+            heap.push(value)
+        lo, hi = 0, len(values) - 1
+        for turn in range(len(values)):
+            if turn % 2 == 0:
+                assert heap.pop_min()[0] == values[lo]
+                lo += 1
+            else:
+                assert heap.pop_max()[0] == values[hi]
+                hi -= 1
+
+    def test_payloads_travel_with_scores(self):
+        heap = MinMaxHeap()
+        heap.push(2.0, "two")
+        heap.push(1.0, "one")
+        heap.push(3.0, "three")
+        assert heap.pop_min() == (1.0, "one")
+        assert heap.pop_max() == (3.0, "three")
+        assert heap.pop_min() == (2.0, "two")
+
+    def test_fifo_tie_break_on_min(self):
+        heap = MinMaxHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        assert heap.pop_min() == (1.0, "first")
+
+    @given(st.lists(scores, min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_invariants_after_pushes(self, values):
+        heap = MinMaxHeap()
+        for value in values:
+            heap.push(value)
+        heap.check_invariants()
+        assert heap.peek_min()[0] == pytest.approx(min(values))
+        assert heap.peek_max()[0] == pytest.approx(max(values))
+
+    @given(st.lists(scores, min_size=1, max_size=120),
+           st.lists(st.booleans(), max_size=60))
+    @settings(max_examples=100)
+    def test_invariants_with_mixed_pops(self, values, pop_plan):
+        heap = MinMaxHeap()
+        reference: list = []
+        for value in values:
+            heap.push(value)
+            reference.append(value)
+        for pop_max in pop_plan:
+            if not reference:
+                break
+            if pop_max:
+                got = heap.pop_max()[0]
+                expected = max(reference)
+            else:
+                got = heap.pop_min()[0]
+                expected = min(reference)
+            reference.remove(expected)
+            assert got == pytest.approx(expected)
+            heap.check_invariants()
+        assert len(heap) == len(reference)
+
+
+class TestTopKBuffer:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            TopKBuffer(0)
+
+    def test_fills_then_evicts(self):
+        buf = TopKBuffer(2)
+        assert buf.offer(1.0, "a") == 1.0
+        assert buf.offer(2.0, "b") == 2.0
+        assert buf.is_full
+        assert buf.threshold == 1.0
+        # 3.0 evicts the 1.0.
+        assert buf.offer(3.0, "c") == 2.0
+        assert buf.threshold == 2.0
+        assert buf.scores() == [3.0, 2.0]
+
+    def test_rejects_below_threshold(self):
+        buf = TopKBuffer(1)
+        buf.offer(5.0, "a")
+        assert buf.offer(4.0, "b") == 0.0
+        assert buf.payloads() == ["a"]
+
+    def test_threshold_none_until_full(self):
+        buf = TopKBuffer(3)
+        buf.offer(1.0)
+        assert buf.threshold is None
+
+    def test_equal_score_not_inserted(self):
+        # Only strictly greater scores kick out the minimum (f(x) > S_(k)).
+        buf = TopKBuffer(1)
+        buf.offer(5.0, "a")
+        assert buf.offer(5.0, "b") == 0.0
+        assert buf.payloads() == ["a"]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    max_size=200),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100)
+    def test_matches_heapq_reference(self, values, k):
+        buf = TopKBuffer(k)
+        for value in values:
+            buf.offer(value)
+        expected = sorted(heapq.nlargest(k, values), reverse=True)
+        assert buf.scores() == pytest.approx(expected)
+        assert buf.stk == pytest.approx(stk(values, k), abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    max_size=100),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100)
+    def test_gain_telescopes_to_stk(self, values, k):
+        buf = TopKBuffer(k)
+        total = sum(buf.offer(value) for value in values)
+        assert total == pytest.approx(buf.stk, abs=1e-6)
+
+    def test_items_sorted_descending(self, rng):
+        buf = TopKBuffer(10)
+        for value in rng.uniform(0, 100, size=50):
+            buf.offer(float(value), f"id{value:.5f}")
+        items = buf.items()
+        scores_only = [score for score, _ in items]
+        assert scores_only == sorted(scores_only, reverse=True)
+        assert len(items) == 10

@@ -1,0 +1,170 @@
+"""Tests for the numpy MLP, softmax scorer, and linear models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.images import SyntheticImageDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.scoring.linear import LinearRegressionScorer, LogisticRegressionModel
+from repro.scoring.mlp import MLPClassifier, _softmax
+from repro.scoring.softmax import SoftmaxConfidenceScorer
+
+
+class TestSoftmaxFunction:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(10, 5)) * 50
+        probs = _softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_numerically_stable_for_huge_logits(self):
+        probs = _softmax(np.asarray([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestMLPClassifier:
+    def blobs(self, rng, n=300, classes=3, d=4):
+        centers = rng.normal(scale=4.0, size=(classes, d))
+        y = rng.integers(0, classes, size=n)
+        X = centers[y] + rng.normal(scale=0.4, size=(n, d))
+        return X, y
+
+    def test_learns_separable_blobs(self, rng):
+        X, y = self.blobs(rng)
+        model = MLPClassifier(hidden=32, epochs=30, rng=0).fit(X, y)
+        assert model.accuracy(X, y) > 0.95
+
+    def test_loss_decreases(self, rng):
+        X, y = self.blobs(rng)
+        model = MLPClassifier(hidden=16, epochs=15, rng=0).fit(X, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+
+    def test_proba_shape_and_sum(self, rng):
+        X, y = self.blobs(rng, classes=4)
+        model = MLPClassifier(hidden=8, epochs=5, rng=0).fit(X, y)
+        probs = model.predict_proba(X[:7])
+        assert probs.shape == (7, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_row_proba(self, rng):
+        X, y = self.blobs(rng)
+        model = MLPClassifier(hidden=8, epochs=3, rng=0).fit(X, y)
+        assert model.predict_proba(X[0]).shape == (1, 3)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden=0)
+
+    def test_learns_image_classes(self):
+        """The image substitution sanity: the MLP classifies templated images."""
+        ds = SyntheticImageDataset.generate(n=400, n_classes=4, side=8,
+                                            noise=0.15, rng=0)
+        X, y = ds.train_arrays()
+        model = MLPClassifier(hidden=32, epochs=25, rng=1).fit(X, y)
+        assert model.accuracy(X, y) > 0.85
+
+
+class TestSoftmaxConfidenceScorer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = SyntheticImageDataset.generate(n=300, n_classes=3, side=8,
+                                            noise=0.15, rng=5)
+        X, y = ds.train_arrays()
+        model = MLPClassifier(hidden=24, epochs=20, rng=2).fit(X, y)
+        return ds, model
+
+    def test_scores_are_probabilities(self, setup):
+        ds, model = setup
+        scorer = SoftmaxConfidenceScorer(model, label=1)
+        scores = scorer.score_batch(ds.fetch_batch(ds.ids()[:50]))
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+
+    def test_batch_matches_single(self, setup):
+        ds, model = setup
+        scorer = SoftmaxConfidenceScorer(model, label=0)
+        objs = ds.fetch_batch(ds.ids()[:5])
+        assert np.allclose(scorer.score_batch(objs),
+                           [scorer.score(o) for o in objs])
+
+    def test_target_class_scores_higher(self, setup):
+        """Images of the target label should average higher confidence."""
+        ds, model = setup
+        scorer = SoftmaxConfidenceScorer(model, label=2)
+        scores = scorer.score_batch(ds.fetch_batch(ds.ids()))
+        labels = ds.labels
+        mean_target = scores[labels == 2].mean()
+        mean_other = scores[labels != 2].mean()
+        assert mean_target > mean_other
+
+    def test_invalid_label(self, setup):
+        _ds, model = setup
+        with pytest.raises(ConfigurationError):
+            SoftmaxConfidenceScorer(model, label=99)
+
+    def test_default_latency_is_gpu_style(self, setup):
+        _ds, model = setup
+        scorer = SoftmaxConfidenceScorer(model, label=0)
+        assert scorer.batch_cost(400) > scorer.batch_cost(1)
+        assert scorer.latency.per_element_cost(400) < \
+            scorer.latency.per_element_cost(1)
+
+
+class TestLinearRegressionScorer:
+    def test_recovers_linear_weights(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.asarray([2.0, -1.0, 0.5]) + 3.0
+        scorer = LinearRegressionScorer().fit(X, y)
+        assert np.allclose(scorer.weights_, [2.0, -1.0, 0.5], atol=1e-6)
+        assert scorer.bias_ == pytest.approx(3.0, abs=1e-6)
+
+    def test_scores_clamped_non_negative(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] - 100.0
+        scorer = LinearRegressionScorer().fit(X, y)
+        assert scorer.score(np.asarray([0.0, 0.0])) == 0.0
+
+    def test_score_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearRegressionScorer().score(np.zeros(2))
+
+    def test_invalid_ridge(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegressionScorer(ridge=-1.0)
+
+
+class TestLogisticRegression:
+    def test_separates_blobs(self, rng):
+        X = np.vstack([
+            rng.normal(-2.0, 0.5, size=(100, 2)),
+            rng.normal(2.0, 0.5, size=(100, 2)),
+        ])
+        y = np.concatenate([np.zeros(100), np.ones(100)])
+        model = LogisticRegressionModel(rng=0).fit(X, y)
+        preds = (model.predict_proba(X) > 0.5).astype(float)
+        assert (preds == y).mean() > 0.97
+
+    def test_proba_in_unit_interval(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = LogisticRegressionModel(epochs=50, rng=0).fit(X, y)
+        probs = model.predict_proba(X)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_nonbinary_labels_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            LogisticRegressionModel().fit(rng.normal(size=(4, 2)),
+                                          np.asarray([0.0, 1.0, 2.0, 0.0]))
+
+    def test_sigmoid_stable(self):
+        z = np.asarray([-1e4, 0.0, 1e4])
+        out = LogisticRegressionModel._sigmoid(z)
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[2] == pytest.approx(1.0)

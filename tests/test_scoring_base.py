@@ -1,0 +1,91 @@
+"""Tests for scorer protocol, latency models, and accounting wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scoring.base import (
+    AmortizedBatchLatency,
+    CountingScorer,
+    FixedPerCallLatency,
+    FunctionScorer,
+    ZeroLatency,
+)
+from repro.scoring.relu import ReluScorer
+
+
+class TestLatencyModels:
+    def test_zero_latency(self):
+        assert ZeroLatency().batch_cost(100) == 0.0
+
+    def test_fixed_per_call(self):
+        model = FixedPerCallLatency(2e-3)
+        assert model.batch_cost(1) == pytest.approx(2e-3)
+        assert model.batch_cost(10) == pytest.approx(2e-2)
+        assert model.per_element_cost(10) == pytest.approx(2e-3)
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPerCallLatency(-1.0)
+
+    def test_amortized_shape(self):
+        """Per-element latency decreases with diminishing returns (Fig. 8a)."""
+        model = AmortizedBatchLatency(launch=2.0, per_element=8e-3)
+        costs = [model.per_element_cost(b) for b in (1, 10, 100, 1000)]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+        # Asymptote is the compute-bound per-element cost.
+        assert costs[-1] == pytest.approx(8e-3, rel=0.5)
+
+    def test_amortized_memory_linear(self):
+        model = AmortizedBatchLatency(base_memory=100, per_element_memory=10)
+        assert model.memory_bytes(0) == 100
+        assert model.memory_bytes(5) == 150
+
+    def test_zero_batch_costs_nothing(self):
+        assert AmortizedBatchLatency().batch_cost(0) == 0.0
+
+
+class TestFunctionScorer:
+    def test_scalar_function(self):
+        scorer = FunctionScorer(lambda x: x * 2.0)
+        assert scorer.score(3.0) == 6.0
+        assert np.allclose(scorer.score_batch([1.0, 2.0]), [2.0, 4.0])
+
+    def test_vectorized_batch_function(self):
+        scorer = FunctionScorer(
+            lambda x: float(x) + 1.0,
+            batch_fn=lambda xs: np.asarray(xs, dtype=float) + 1.0,
+        )
+        assert np.allclose(scorer.score_batch([0.0, 1.0]), [1.0, 2.0])
+
+    def test_latency_attached(self):
+        scorer = FunctionScorer(lambda x: x, latency=FixedPerCallLatency(1.0))
+        assert scorer.batch_cost(3) == 3.0
+
+
+class TestCountingScorer:
+    def test_counts_and_cost(self):
+        inner = ReluScorer(FixedPerCallLatency(0.5))
+        counting = CountingScorer(inner)
+        counting.score(1.0)
+        counting.score_batch([1.0, 2.0, 3.0])
+        assert counting.n_elements == 4
+        assert counting.n_batches == 2
+        assert counting.virtual_cost == pytest.approx(0.5 + 1.5)
+
+    def test_delegates_scores(self):
+        counting = CountingScorer(ReluScorer())
+        assert counting.score(-5.0) == 0.0
+        assert np.allclose(counting.score_batch([-1.0, 2.0]), [0.0, 2.0])
+
+
+class TestReluScorer:
+    def test_clamps_negative(self):
+        assert ReluScorer().score(-3.0) == 0.0
+        assert ReluScorer().score(4.0) == 4.0
+
+    def test_batch(self):
+        out = ReluScorer().score_batch([-1.0, 0.0, 2.5])
+        assert np.allclose(out, [0.0, 0.0, 2.5])

@@ -1,0 +1,126 @@
+"""Tests for the cheap vectorization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.index.vectorize import (
+    IdentityVectorizer,
+    ImageVectorizer,
+    TabularVectorizer,
+)
+
+
+class TestIdentityVectorizer:
+    def test_scalars_become_column(self):
+        out = IdentityVectorizer().fit_transform([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_vectors_pass_through(self):
+        out = IdentityVectorizer().fit_transform([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert np.allclose(out, [[1, 2], [3, 4]])
+
+    def test_3d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IdentityVectorizer().transform(np.zeros((2, 2, 2)))
+
+
+class TestTabularVectorizer:
+    ROWS = [
+        {"a": 1.0, "b": True, "c": 10.0},
+        {"a": 3.0, "b": False, "c": None},
+        {"a": 5.0, "b": True, "c": 20.0},
+    ]
+
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            TabularVectorizer([])
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            TabularVectorizer(["a"]).transform(self.ROWS)
+
+    def test_output_is_z_normalized(self):
+        out = TabularVectorizer(["a"]).fit_transform(self.ROWS)
+        assert out[:, 0].mean() == pytest.approx(0.0, abs=1e-12)
+        assert out[:, 0].std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_booleans_become_numeric(self):
+        vec = TabularVectorizer(["b"])
+        raw = vec._raw_matrix(self.ROWS)
+        assert raw[:, 0].tolist() == [1.0, 0.0, 1.0]
+
+    def test_missing_imputed_with_mean(self):
+        vec = TabularVectorizer(["c"]).fit(self.ROWS)
+        out = vec.transform(self.ROWS)
+        # None imputes to the mean (15.0) which normalizes to ~0.
+        assert out[1, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_missing_column_imputes_to_zero(self):
+        rows = [{"x": None}, {"x": None}]
+        out = TabularVectorizer(["x"]).fit_transform(rows)
+        assert np.allclose(out, 0.0)
+
+    def test_constant_column_no_division_by_zero(self):
+        rows = [{"x": 7.0}, {"x": 7.0}]
+        out = TabularVectorizer(["x"]).fit_transform(rows)
+        assert np.isfinite(out).all()
+        assert np.allclose(out, 0.0)
+
+    def test_non_numeric_cell_treated_missing(self):
+        rows = [{"x": "oops"}, {"x": 4.0}, {"x": 6.0}]
+        out = TabularVectorizer(["x"]).fit_transform(rows)
+        assert np.isfinite(out).all()
+
+    def test_absent_key_treated_missing(self):
+        rows = [{"y": 1.0}, {"x": 4.0, "y": 2.0}]
+        out = TabularVectorizer(["x", "y"]).fit_transform(rows)
+        assert np.isfinite(out).all()
+
+    def test_fit_statistics_reused_on_transform(self):
+        vec = TabularVectorizer(["a"]).fit(self.ROWS)
+        out = vec.transform([{"a": 3.0}])
+        # 3.0 is the fitted mean -> exactly 0 after normalization.
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestImageVectorizer:
+    def test_passthrough_at_target_size(self):
+        image = np.random.default_rng(0).uniform(size=(16, 16, 3))
+        out = ImageVectorizer(side=16).transform([image])
+        assert out.shape == (1, 16 * 16 * 3)
+        assert np.allclose(out[0], image.ravel())
+
+    def test_downsample_shape(self):
+        image = np.random.default_rng(0).uniform(size=(64, 48, 3))
+        out = ImageVectorizer(side=16).transform([image])
+        assert out.shape == (1, 16 * 16 * 3)
+
+    def test_grayscale_promoted_to_channel(self):
+        image = np.random.default_rng(0).uniform(size=(32, 32))
+        out = ImageVectorizer(side=8).transform([image])
+        assert out.shape == (1, 8 * 8 * 1)
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((40, 40, 3), 0.7)
+        out = ImageVectorizer(side=16).transform([image])
+        assert np.allclose(out, 0.7)
+
+    def test_downsample_preserves_mean_roughly(self):
+        rng = np.random.default_rng(1)
+        image = rng.uniform(size=(64, 64, 3))
+        out = ImageVectorizer(side=16).transform([image])
+        assert out.mean() == pytest.approx(image.mean(), abs=0.02)
+
+    def test_invalid_side(self):
+        with pytest.raises(ConfigurationError):
+            ImageVectorizer(side=0)
+
+    def test_4d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImageVectorizer().transform([np.zeros((2, 2, 2, 2))])
