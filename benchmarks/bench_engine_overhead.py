@@ -1,0 +1,192 @@
+"""Engine-overhead microbenchmark: algorithm cost per scored element.
+
+The paper's core economic argument is that the bandit's bookkeeping is
+negligible next to opaque-UDF scoring cost.  This benchmark measures that
+bookkeeping directly — the engine's own :class:`~repro.utils.timer.Stopwatch`
+brackets ``next_batch()`` selection and ``observe()`` accounting, so
+``overhead.elapsed / n_scored`` is exactly the per-element algorithmic
+overhead, with scoring excluded.
+
+The grid covers synthetic 3-layer indexes of 10k–1M elements and batch
+sizes 1/8/64.  Results are written to ``BENCH_engine_overhead.json`` at the
+repo root under a ``before`` (seed implementation) or ``after`` (current)
+label so successive PRs can track the trajectory;
+``benchmarks/check_regression.py`` consumes the committed ``after`` rows as
+its regression baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py --small    # 10k only
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py --label before
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.errors import ExhaustedError
+from repro.index.tree import ClusterNode, ClusterTree
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine_overhead.json"
+
+FULL_SIZES = (10_000, 100_000, 1_000_000)
+SMALL_SIZES = (10_000,)
+BATCH_SIZES = (1, 8, 64)
+
+
+def build_synthetic_index(n: int, leaf_size: int = 256, fanout: int = 16,
+                          seed: int = 0) -> ClusterTree:
+    """A 3-layer tree (root -> groups -> leaves) over ``n`` synthetic ids.
+
+    IDs are ``e0 .. e{n-1}`` so scores can live in one flat array; leaves
+    hold contiguous ranges, which matches the clustered score structure
+    produced by :func:`synthetic_scores`.
+    """
+    ids = [f"e{i}" for i in range(n)]
+    leaves = [
+        ClusterNode(f"leaf{j}", member_ids=tuple(ids[start:start + leaf_size]))
+        for j, start in enumerate(range(0, n, leaf_size))
+    ]
+    groups = [
+        ClusterNode(f"group{g}", children=leaves[start:start + fanout])
+        for g, start in enumerate(range(0, len(leaves), fanout))
+    ]
+    return ClusterTree(ClusterNode("root", children=groups))
+
+
+def synthetic_scores(n: int, leaf_size: int = 256, seed: int = 0) -> np.ndarray:
+    """Clustered non-negative scores: one lognormal-ish mean per leaf."""
+    rng = np.random.default_rng(seed)
+    n_leaves = (n + leaf_size - 1) // leaf_size
+    means = rng.gamma(shape=2.0, scale=0.5, size=n_leaves)
+    scores = rng.normal(loc=np.repeat(means, leaf_size)[:n], scale=0.25)
+    return np.maximum(scores, 0.0)
+
+
+def measure_once(n: int, batch_size: int, budget: Optional[int] = None,
+                 seed: int = 0, k: int = 10) -> Dict[str, object]:
+    """Drive one engine for ``budget`` scored elements; report overhead."""
+    if budget is None:
+        budget = min(n, 20_000)
+    index = build_synthetic_index(n, seed=seed)
+    scores = synthetic_scores(n, seed=seed)
+    engine = TopKEngine(
+        index, EngineConfig(k=k, batch_size=batch_size, seed=seed)
+    )
+    while engine.n_scored < budget:
+        try:
+            ids = engine.next_batch()
+        except ExhaustedError:
+            break
+        batch_scores = scores[[int(i[1:]) for i in ids]]
+        engine.observe(ids, batch_scores)
+    per_element = engine.bandit_latency_per_element
+    return {
+        "n": n,
+        "batch_size": batch_size,
+        "budget": budget,
+        "n_scored": engine.n_scored,
+        "overhead_seconds": engine.overhead.elapsed,
+        "overhead_per_element_us": per_element * 1e6,
+        "stk": engine.stk,
+    }
+
+
+def run_grid(sizes: Sequence[int] = FULL_SIZES,
+             batch_sizes: Sequence[int] = BATCH_SIZES,
+             budget: Optional[int] = None, seed: int = 0,
+             repeats: int = 3, verbose: bool = True) -> List[Dict[str, object]]:
+    """Measure every (n, batch_size) cell; keep the fastest of ``repeats``.
+
+    Min-of-repeats is the standard microbenchmark estimator: the minimum is
+    the run least perturbed by interference, and overhead is a lower-bounded
+    quantity.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        for batch_size in batch_sizes:
+            best: Optional[Dict[str, object]] = None
+            for _ in range(max(1, repeats)):
+                row = measure_once(n, batch_size, budget=budget, seed=seed)
+                if best is None or (row["overhead_per_element_us"]
+                                    < best["overhead_per_element_us"]):
+                    best = row
+            assert best is not None
+            rows.append(best)
+            if verbose:
+                print(
+                    f"n={n:>9,}  batch={batch_size:>3}  "
+                    f"scored={best['n_scored']:>7,}  "
+                    f"overhead/elem={best['overhead_per_element_us']:9.2f} us"
+                )
+    return rows
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` in the JSON report."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "engine_overhead")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    if "before" in results and "after" in results:
+        payload["speedup"] = speedup_table(results["before"], results["after"])
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def speedup_table(before: List[Dict[str, object]],
+                  after: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-cell before/after ratio for cells present in both runs."""
+    keyed = {(r["n"], r["batch_size"]): r for r in after}
+    table = []
+    for b in before:
+        a = keyed.get((b["n"], b["batch_size"]))
+        if a is None:
+            continue
+        table.append({
+            "n": b["n"],
+            "batch_size": b["batch_size"],
+            "before_us": b["overhead_per_element_us"],
+            "after_us": a["overhead_per_element_us"],
+            "speedup": (b["overhead_per_element_us"]
+                        / max(a["overhead_per_element_us"], 1e-12)),
+        })
+    return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"),
+                        help="which results slot to write")
+    parser.add_argument("--small", action="store_true",
+                        help="only the 10k index (regression-gate config)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="scored elements per cell (default: min(n, 20k))")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only")
+    args = parser.parse_args(argv)
+    sizes = SMALL_SIZES if args.small else FULL_SIZES
+    rows = run_grid(sizes=sizes, budget=args.budget, repeats=args.repeats)
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

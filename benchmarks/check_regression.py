@@ -1,0 +1,86 @@
+"""Engine-overhead regression gate.
+
+Re-measures the small benchmark configuration (the 10k-element synthetic
+index at every batch size) and fails if overhead-per-element regressed more
+than ``TOLERANCE`` (default 25%) versus the committed ``after`` rows of
+``BENCH_engine_overhead.json``.
+
+The gate is opt-in — wire-compatible with ``pytest -m perf`` via
+``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
+free.  The committed baseline is machine-specific; on very different
+hardware regenerate it first with::
+
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py          # exit 1 on regression
+    PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from bench_engine_overhead import DEFAULT_OUTPUT, SMALL_SIZES, run_grid
+
+TOLERANCE = 0.25
+
+
+def load_baseline(path: Path = DEFAULT_OUTPUT) -> Dict[tuple, float]:
+    """Committed ``after`` rows keyed by (n, batch_size)."""
+    payload = json.loads(path.read_text())
+    rows = payload.get("results", {}).get("after", [])
+    if not rows:
+        raise SystemExit(
+            f"{path} has no 'after' baseline; run bench_engine_overhead.py first"
+        )
+    return {(row["n"], row["batch_size"]): float(row["overhead_per_element_us"])
+            for row in rows}
+
+
+def check(tolerance: float = TOLERANCE,
+          baseline_path: Path = DEFAULT_OUTPUT,
+          repeats: int = 3, verbose: bool = True) -> List[str]:
+    """Return a list of human-readable regressions (empty = gate passes)."""
+    baseline = load_baseline(baseline_path)
+    rows = run_grid(sizes=SMALL_SIZES, repeats=repeats, verbose=verbose)
+    failures: List[str] = []
+    for row in rows:
+        key = (row["n"], row["batch_size"])
+        if key not in baseline:
+            continue
+        measured = float(row["overhead_per_element_us"])
+        allowed = baseline[key] * (1.0 + tolerance)
+        if measured > allowed:
+            failures.append(
+                f"n={key[0]} batch={key[1]}: {measured:.2f} us/elem exceeds "
+                f"baseline {baseline[key]:.2f} us (+{tolerance:.0%} allowed "
+                f"= {allowed:.2f} us)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    failures = check(tolerance=args.tolerance, baseline_path=args.baseline,
+                     repeats=args.repeats)
+    if failures:
+        print("PERF REGRESSION:")
+        for line in failures:
+            print(" ", line)
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

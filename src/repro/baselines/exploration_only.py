@@ -27,6 +27,8 @@ class ExplorationOnly(SamplingAlgorithm):
                  rng: SeedLike = None) -> None:
         # Reuse the hierarchical policy with a permanent epsilon of 1.0; its
         # histograms are never consulted, so updates are skipped entirely.
+        # Draws through leaf arms keep the policy's incremental remaining
+        # counters fresh (arm on_draw hook), so exhaustion checks are O(1).
         self._policy = HierarchicalBanditPolicy(
             index, BanditConfig(), rng=rng, enable_subtraction=False
         )

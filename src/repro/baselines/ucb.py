@@ -23,9 +23,15 @@ from repro.utils.rng import RngFactory, SeedLike
 
 
 class _UCBNode:
-    """Mirror node carrying running mean/visit statistics."""
+    """Mirror node carrying running mean/visit statistics.
 
-    __slots__ = ("node_id", "parent", "children", "arm", "visits", "mean")
+    ``remaining`` is an incremental counter maintained through the arm's
+    ``on_draw`` hook (same scheme as the engine's bandit nodes), so the
+    per-layer candidate filter and the exhaustion check are O(1) per node.
+    """
+
+    __slots__ = ("node_id", "parent", "children", "arm", "visits", "mean",
+                 "remaining")
 
     def __init__(self, node_id: str, parent: Optional["_UCBNode"]) -> None:
         self.node_id = node_id
@@ -34,16 +40,17 @@ class _UCBNode:
         self.arm: Optional[ArmState] = None
         self.visits = 0
         self.mean = 0.0
+        self.remaining = 0
 
     @property
     def is_leaf(self) -> bool:
         return self.arm is not None
 
-    @property
-    def remaining(self) -> int:
-        if self.arm is not None:
-            return self.arm.remaining
-        return sum(child.remaining for child in self.children)
+    def note_drawn(self, n: int) -> None:
+        node: Optional[_UCBNode] = self
+        while node is not None:
+            node.remaining -= n
+            node = node.parent
 
 
 class UCBBandit(SamplingAlgorithm):
@@ -80,10 +87,13 @@ class UCBBandit(SamplingAlgorithm):
         if cluster.is_leaf:
             node.arm = ArmState(cluster.node_id, cluster.member_ids,
                                 rng=factory.named(f"arm:{cluster.node_id}"))
+            node.arm.on_draw = node.note_drawn
+            node.remaining = node.arm.remaining
         else:
             node.children = [
                 self._mirror(child, node, factory) for child in cluster.children
             ]
+            node.remaining = sum(child.remaining for child in node.children)
         return node
 
     # -- selection ---------------------------------------------------------------

@@ -4,11 +4,22 @@ The abstract problem (Definition 2.2) samples i.i.d. from each arm's
 distribution; "in practice, Alice samples listings from each cluster without
 replacement" (Section 2.3).  :class:`ArmState` implements the practical
 behaviour with O(1) swap-pop draws.
+
+Two hot-path affordances:
+
+* ``draw_batch`` consumes the generator with a *single* rng call for the
+  whole batch (a vectorized partial Fisher-Yates step) and degenerates to
+  the exact legacy one-call-per-draw sequence at ``size=1``, so seeded
+  traces of ``batch_size=1`` runs are preserved bit for bit.
+* ``on_draw`` is an optional callback fired once per draw call with the
+  number of elements removed; the hierarchical policy hooks it to keep
+  incremental ``remaining`` counters on every ancestor node, which is what
+  makes ``exhausted`` checks O(1).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +46,9 @@ class ArmState:
         self._members: List[str] = list(member_ids)
         self._rng = as_generator(rng)
         self.n_drawn = 0
+        # Fired with the number of elements removed by a draw call; used by
+        # tree mirrors to maintain incremental per-node remaining counters.
+        self.on_draw: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._members)
@@ -60,13 +74,40 @@ class ArmState:
             self._members[index],
         )
         self.n_drawn += 1
-        return self._members.pop()
+        member = self._members.pop()
+        if self.on_draw is not None:
+            self.on_draw(1)
+        return member
 
     def draw_batch(self, size: int) -> List[str]:
-        """Draw up to ``size`` members (fewer if the arm runs dry)."""
+        """Draw up to ``size`` members (fewer if the arm runs dry).
+
+        For ``size > 1`` the whole batch consumes exactly one rng call
+        (a vector of uniforms scaled by shrinking bounds — a partial
+        Fisher-Yates shuffle), so batched selection does O(1) generator
+        work per batch.  ``size=1`` routes through :meth:`draw` and
+        therefore reproduces the legacy seeded sequence exactly.
+        """
+        take = min(int(size), len(self._members))
+        if take <= 0:
+            return []
+        if take == 1:
+            return [self.draw()]
+        n = len(self._members)
+        bounds = np.arange(n, n - take, -1, dtype=np.int64)
+        # floor(U * bounds) is uniform over [0, bounds) up to a 2^-53
+        # rounding bias; one generator call for the whole batch.
+        indices = (self._rng.random(take) * bounds).astype(np.int64)
+        members = self._members
         batch: List[str] = []
-        while len(batch) < size and self._members:
-            batch.append(self.draw())
+        for offset, index in enumerate(indices):
+            last = n - 1 - offset
+            i = int(index)
+            members[i], members[last] = members[last], members[i]
+            batch.append(members.pop())
+        self.n_drawn += take
+        if self.on_draw is not None:
+            self.on_draw(take)
         return batch
 
     def peek_members(self) -> Sequence[str]:

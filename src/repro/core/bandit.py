@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.arms import ArmState
-from repro.core.histogram import AdaptiveHistogram
+from repro.core.histogram import AdaptiveHistogram, gain_batch
 from repro.core.sketches import ScoreSketch
 from repro.core.minmax_heap import TopKBuffer
 from repro.core.policies import ExplorationSchedule, PolynomialDecay
@@ -147,12 +147,17 @@ class EpsilonGreedyBandit:
     # -- Algorithm 1 steps -------------------------------------------------------
 
     def expected_gains(self) -> Dict[str, float]:
-        """``E[Delta_{t,l}]`` estimate for every active arm."""
+        """``E[Delta_{t,l}]`` estimate for every active arm.
+
+        Evaluated through the shared vectorized/cached gain kernel: arms
+        untouched since the last threshold movement are served from their
+        histogram's gain cache, the rest in one stacked numpy pass.
+        """
         threshold = self.threshold
-        return {
-            arm_id: self.histograms[arm_id].expected_marginal_gain(threshold)
-            for arm_id in self.active_arm_ids
-        }
+        active = self.active_arm_ids
+        gains = gain_batch([self.histograms[arm_id] for arm_id in active],
+                           threshold)
+        return {arm_id: float(gain) for arm_id, gain in zip(active, gains)}
 
     def greedy_arm(self) -> str:
         """Arm maximizing the estimated marginal gain; random tie-break.

@@ -22,6 +22,28 @@ The engine exposes two equivalent driving styles:
   one place for every algorithm;
 * ``run(dataset, scorer, ...)`` — the standalone anytime loop a library
   user calls, which also records quality checkpoints.
+
+Hot-path invariants (vectorized engine)
+---------------------------------------
+Per-element engine overhead is O(depth · B) with numpy inner kernels:
+
+* ``exhausted`` and the per-descent candidate filters read the policy's
+  incremental ``remaining`` counters (owned by the arms via their
+  ``on_draw`` hook — see :mod:`repro.core.hierarchical`), never rescanning
+  leaves.
+* ``observe`` folds the whole batch with **one** root-to-leaf path walk per
+  touched leaf (``HierarchicalBanditPolicy.update_batch`` →
+  ``AdaptiveHistogram.add_batch``) instead of one walk per element; the
+  priority-queue offers stay per-element so the threshold evolves exactly
+  as in Algorithm 1, and the path update uses the post-batch threshold.
+* Gain estimates are served from per-histogram ``(threshold, gain)`` caches,
+  dirtied only by histogram mutation (batch adds on the touched path,
+  re-binning, drop subtraction) or threshold movement, and recomputed for
+  all sibling candidates in one stacked vectorized pass.
+
+At ``batch_size=1`` every one of these paths degenerates to the original
+scalar behaviour: same seeds produce the same draws and the same results
+(pinned by ``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -263,21 +285,30 @@ class TopKEngine:
                 )
         total_gain = 0.0
         with self.overhead:
-            for (leaf, element_id), score in zip(self._pending, scores):
-                score = float(score)
-                if score < 0.0:
-                    raise ConfigurationError(
-                        f"opaque scores must be non-negative, got {score!r}"
-                    )
+            score_arr = np.asarray(scores, dtype=float).reshape(-1)
+            if len(score_arr) and score_arr.min() < 0.0:
+                bad = float(score_arr[score_arr < 0.0][0])
+                raise ConfigurationError(
+                    f"opaque scores must be non-negative, got {bad!r}"
+                )
+            # Per-element priority-queue offers: the threshold must evolve
+            # within the batch exactly as in the scalar Algorithm 1 loop.
+            # One pass also groups the scores by leaf (a bandit batch has one
+            # leaf; scan batches have none) for the batched path update.
+            by_leaf: dict = {}
+            for (leaf, element_id), score in zip(self._pending,
+                                                 score_arr.tolist()):
                 total_gain += self.buffer.offer(score, element_id)
                 if leaf is not None:
-                    self.policy.update(
-                        leaf, score, self.effective_threshold,
-                        enable_rebinning=self.config.enable_rebinning,
-                    )
-                self.n_scored += 1
-            leaf_nodes = {leaf for leaf, _ in self._pending if leaf is not None}
-            for leaf in leaf_nodes:
+                    by_leaf.setdefault(leaf, []).append(score)
+            self.n_scored += len(self._pending)
+            threshold = self.effective_threshold
+            for leaf, leaf_scores in by_leaf.items():
+                self.policy.update_batch(
+                    leaf, leaf_scores, threshold,
+                    enable_rebinning=self.config.enable_rebinning,
+                )
+            for leaf in by_leaf:
                 if leaf.arm is not None and leaf.arm.is_empty:
                     self.policy.handle_exhausted(leaf)
             self._pending = []

@@ -13,17 +13,41 @@ root-to-leaf histogram path on every observation, and implements the
 empty-child handling of Section 3.2.4: dropped leaves are subtracted from
 every ancestor's histogram, and childless internal nodes are removed
 recursively.
+
+Incremental-statistics invariants (the vectorized hot path)
+-----------------------------------------------------------
+* **``remaining`` ownership.**  Every :class:`BanditNode` stores its undrawn
+  descendant count as a plain integer.  The *arm* owns the ground truth for
+  a leaf: ``ArmState.on_draw`` is hooked to :meth:`BanditNode.note_drawn`,
+  which decrements the counter along the root-to-leaf path on every draw —
+  no matter who calls ``draw``/``draw_batch`` (engine, baselines, tests).
+  ``flatten`` re-derives the root counter from the surviving leaves; a
+  dropped leaf is already at zero, so drops need no adjustment.  Code that
+  bypasses the arm API (snapshot restore writes ``arm._members`` directly)
+  must call :meth:`HierarchicalBanditPolicy.recompute_remaining` afterwards.
+  Consequences: ``exhausted`` is an O(1) counter check and the per-layer
+  candidate filter reads one int per child instead of recursing.
+* **Gain-cache ownership.**  Each node's histogram memoizes its last
+  ``(threshold, gain)`` pair (see :mod:`repro.core.histogram`).  The cache
+  is dirtied by any histogram mutation — ``add_batch`` during
+  :meth:`update_batch`, re-binning via ``maybe_extend_lowest``, range
+  extension, and ancestor ``subtract`` on drops — and by threshold movement
+  (a cache-key miss).  Selection evaluates all sibling candidates through
+  :func:`repro.core.histogram.gain_batch`, which serves cached nodes for
+  free and evaluates the dirty ones in one stacked vectorized pass; between
+  two observations only the last touched root-to-leaf path is dirty, so a
+  descent costs O(depth · B) numpy work.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.arms import ArmState
 from repro.core.bandit import BanditConfig
-from repro.core.histogram import AdaptiveHistogram
+from repro.core.histogram import AdaptiveHistogram, gain_batch
 from repro.core.sketches import ScoreSketch
 from repro.errors import ConfigurationError, ExhaustedError
 from repro.index.tree import ClusterNode, ClusterTree
@@ -33,7 +57,8 @@ from repro.utils.rng import RngFactory, SeedLike
 class BanditNode:
     """One node of the bandit's mirror of the cluster tree."""
 
-    __slots__ = ("node_id", "parent", "children", "arm", "histogram")
+    __slots__ = ("node_id", "parent", "children", "arm", "histogram",
+                 "remaining")
 
     def __init__(self, node_id: str, histogram: ScoreSketch,
                  parent: Optional["BanditNode"] = None) -> None:
@@ -42,18 +67,21 @@ class BanditNode:
         self.children: List["BanditNode"] = []
         self.arm: Optional[ArmState] = None
         self.histogram = histogram
+        # Undrawn elements beneath this node, maintained incrementally by
+        # note_drawn (leaves hook it into their arm's on_draw callback).
+        self.remaining = 0
 
     @property
     def is_leaf(self) -> bool:
         """True iff this node carries a sampling arm."""
         return self.arm is not None
 
-    @property
-    def remaining(self) -> int:
-        """Undrawn elements beneath this node."""
-        if self.arm is not None:
-            return self.arm.remaining
-        return sum(child.remaining for child in self.children)
+    def note_drawn(self, n: int) -> None:
+        """Decrement ``remaining`` on this node and every ancestor."""
+        node: Optional[BanditNode] = self
+        while node is not None:
+            node.remaining -= n
+            node = node.parent
 
     def path_to_root(self) -> Iterator["BanditNode"]:
         """Yield this node, then each ancestor up to and including the root."""
@@ -106,10 +134,13 @@ class HierarchicalBanditPolicy:
         if cluster.is_leaf:
             node.arm = ArmState(cluster.node_id, cluster.member_ids,
                                 rng=factory.named(f"arm:{cluster.node_id}"))
+            node.arm.on_draw = node.note_drawn
+            node.remaining = node.arm.remaining
         else:
             node.children = [
                 self._mirror(child, node, factory) for child in cluster.children
             ]
+            node.remaining = sum(child.remaining for child in node.children)
         return node
 
     @staticmethod
@@ -119,6 +150,22 @@ class HierarchicalBanditPolicy:
         else:
             for child in node.children:
                 yield from HierarchicalBanditPolicy._iter_leaves(child)
+
+    def recompute_remaining(self) -> None:
+        """Re-derive every ``remaining`` counter from the arms.
+
+        Only needed after out-of-band mutation of arm members (snapshot
+        restore); normal draws maintain the counters incrementally.
+        """
+
+        def fill(node: BanditNode) -> int:
+            if node.arm is not None:
+                node.remaining = node.arm.remaining
+            else:
+                node.remaining = sum(fill(child) for child in node.children)
+            return node.remaining
+
+        fill(self.root)
 
     # -- state queries -------------------------------------------------------------
 
@@ -131,8 +178,8 @@ class HierarchicalBanditPolicy:
 
     @property
     def exhausted(self) -> bool:
-        """True once every leaf arm has run dry."""
-        return not self.active_leaves()
+        """True once every leaf arm has run dry (O(1) counter check)."""
+        return self.root.remaining <= 0
 
     def remaining_ids(self) -> List[str]:
         """All undrawn element IDs (used when falling back to a scan)."""
@@ -156,11 +203,10 @@ class HierarchicalBanditPolicy:
                          if child.histogram.is_empty]
             if unvisited:
                 return unvisited[int(self._rng.integers(len(unvisited)))]
-        gains = [
-            child.histogram.expected_marginal_gain(threshold)
-            for child in candidates
-        ]
-        best = max(gains)
+        gains = gain_batch(
+            [child.histogram for child in candidates], threshold
+        )
+        best = gains.max()
         tied = [child for child, gain in zip(candidates, gains)
                 if gain >= best - 1e-15]
         if deterministic or len(tied) == 1:
@@ -199,7 +245,7 @@ class HierarchicalBanditPolicy:
         leaves = self.active_leaves()
         if not leaves:
             raise ExhaustedError("all leaves are exhausted")
-        gains = [leaf.histogram.expected_marginal_gain(threshold) for leaf in leaves]
+        gains = gain_batch([leaf.histogram for leaf in leaves], threshold)
         return leaves[int(np.argmax(gains))]
 
     def greedy_descent_leaf(self, threshold: float | None) -> BanditNode:
@@ -218,17 +264,37 @@ class HierarchicalBanditPolicy:
     def update(self, leaf: BanditNode, score: float,
                threshold: float | None, *, enable_rebinning: bool = True) -> None:
         """Fold one observed score into every histogram on the leaf's path."""
+        self.update_batch(leaf, (float(score),), threshold,
+                          enable_rebinning=enable_rebinning)
+
+    def update_batch(self, leaf: BanditNode, scores: Sequence[float],
+                     threshold: float | None, *,
+                     enable_rebinning: bool = True) -> None:
+        """Fold a batch of scores from one leaf into its root-to-leaf path.
+
+        One path walk per batch: each node on the path applies at most one
+        Fig. 3a re-bin check and then absorbs the whole batch through the
+        sketch's vectorized ``add_batch``.  With a single score this is
+        behaviorally identical to the scalar :meth:`update`.
+        """
+        if not len(scores):
+            return
+        if len(scores) > 1:
+            # One conversion shared by every histogram on the path.
+            scores = np.asarray(scores, dtype=float)
         for node in leaf.path_to_root():
             if enable_rebinning:
                 node.histogram.maybe_extend_lowest(threshold)
-            node.histogram.add(score)
+            node.histogram.add_batch(scores)
 
     def handle_exhausted(self, leaf: BanditNode) -> None:
         """Drop an exhausted leaf (Section 3.2.4 empty-child handling).
 
         The leaf's histogram is subtracted from every ancestor (so a parent
         whose "good" child ran dry stops looking good), then the leaf is
-        unlinked; ancestors left childless are removed recursively.
+        unlinked; ancestors left childless are removed recursively.  The
+        ``remaining`` counters need no adjustment: an exhausted leaf already
+        contributed zero along its path.
         """
         if leaf.arm is None or not leaf.arm.is_empty:
             return
@@ -257,9 +323,12 @@ class HierarchicalBanditPolicy:
         After the tree-fallback fires, the root's children become the active
         leaves directly; the root histogram (aggregate of everything) is
         retained, and each leaf keeps its own sketch and remaining members.
+        The root's ``remaining`` counter is re-derived from the surviving
+        leaves (the discarded internal layers kept their own counts).
         """
         leaves = self.active_leaves()
         for leaf in leaves:
             leaf.parent = self.root
         self.root.children = leaves
+        self.root.remaining = sum(leaf.remaining for leaf in leaves)
         self.flattened = True

@@ -22,11 +22,24 @@ supports the paper's three maintenance operations, all under the
 The sketch also evaluates the expected marginal STK gain ``E[Delta_{t,l}]``
 of Equation 2 in closed form under the uniform value assumption, which is
 what the epsilon-greedy bandit maximizes during exploitation.
+
+Hot-path notes
+--------------
+The engine evaluates gains for every sibling candidate on every descent, so
+``expected_marginal_gain`` memoizes its last ``(threshold, value)`` pair.
+The cache is invalidated by every mutation (``add``/``add_batch``/
+``extend_range``/``maybe_extend_lowest``/``subtract``/``merge``); a moved
+threshold simply misses the cache key.  Mutate sketches only through those
+methods — assigning ``edges``/``counts`` directly would leave a stale cache.
+:func:`gain_batch` computes gains for many sketches in one vectorized pass
+over stacked ``edges``/``counts`` matrices, filling the same per-sketch
+cache, and the scalar path routes through the same kernel so batched and
+scalar evaluations are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,15 +47,14 @@ from repro.errors import ConfigurationError, SerializationError
 from repro.utils.validation import check_positive, check_positive_int
 
 
-def _overlap_redistribute(
+def _overlap_redistribute_scalar(
     old_edges: np.ndarray, old_counts: np.ndarray, new_edges: np.ndarray
 ) -> np.ndarray:
-    """Redistribute ``old_counts`` onto ``new_edges`` by interval overlap.
+    """Reference (pre-vectorization) implementation of the redistribution.
 
-    Under the uniform value assumption each old bin's mass is spread evenly
-    across its interval, so the mass landing in a new bin is proportional to
-    the length of the intersection.  Total mass is conserved whenever the new
-    grid covers the old one.
+    Kept as the oracle for the property tests in
+    ``tests/test_histogram_vectorized.py``; the production path is the
+    vectorized :func:`_overlap_redistribute` below.
     """
     new_counts = np.zeros(len(new_edges) - 1, dtype=float)
     for i in range(len(old_counts)):
@@ -68,6 +80,126 @@ def _overlap_redistribute(
                 continue
             new_counts[j] += count * (seg_hi - seg_lo) / width
     return new_counts
+
+
+def _overlap_redistribute(
+    old_edges: np.ndarray, old_counts: np.ndarray, new_edges: np.ndarray
+) -> np.ndarray:
+    """Redistribute ``old_counts`` onto ``new_edges`` by interval overlap.
+
+    Under the uniform value assumption each old bin's mass is spread evenly
+    across its interval, so the mass landing in a new bin is proportional to
+    the length of the intersection.  Total mass is conserved whenever the new
+    grid covers the old one.
+
+    Vectorized as one (old x new) overlap matrix — no Python inner loops;
+    degenerate zero-width old bins are routed as point masses at their left
+    border, exactly like the scalar reference.
+    """
+    old_counts = np.asarray(old_counts, dtype=float)
+    old_edges = np.asarray(old_edges, dtype=float)
+    new_edges = np.asarray(new_edges, dtype=float)
+    n_new = len(new_edges) - 1
+    new_counts = np.zeros(n_new, dtype=float)
+    positive = old_counts > 0.0
+    if not positive.any():
+        return new_counts
+    lows = old_edges[:-1]
+    highs = old_edges[1:]
+    widths = highs - lows
+    spread = positive & (widths > 0.0)
+    if spread.any():
+        seg_lo = np.maximum(lows[spread, None], new_edges[None, :-1])
+        seg_hi = np.minimum(highs[spread, None], new_edges[None, 1:])
+        overlap = np.maximum(seg_hi - seg_lo, 0.0)
+        contrib = old_counts[spread, None] * overlap / widths[spread, None]
+        new_counts += contrib.sum(axis=0)
+    point = positive & (widths <= 0.0)
+    if point.any():
+        slots = np.clip(
+            np.searchsorted(new_edges, lows[point], side="right") - 1,
+            0, n_new - 1,
+        )
+        np.add.at(new_counts, slots, old_counts[point])
+    return new_counts
+
+
+def _gain_matrix(edges: np.ndarray, counts: np.ndarray,
+                 threshold: Optional[float]) -> np.ndarray:
+    """Row-wise closed-form ``E[Delta_{t,l}]`` for stacked histograms.
+
+    ``edges`` has shape ``(m, B+1)`` and ``counts`` shape ``(m, B)``; one
+    gain per row.  This is the single arithmetic path for gain evaluation:
+    :meth:`AdaptiveHistogram.expected_marginal_gain` calls it with one row
+    and :func:`gain_batch` with many, so both produce identical floats.
+    """
+    mass = counts.sum(axis=1)
+    safe_mass = np.where(mass > 0.0, mass, 1.0)
+    probs = counts / safe_mass[:, None]
+    lows = edges[:, :-1]
+    highs = edges[:, 1:]
+    # Empty rows need no masking: probs are all zero there, so every term
+    # (and the row sum) is already +/-0.0, which compares equal to 0.0.
+    if threshold is None:
+        return (probs * (0.5 * (lows + highs))).sum(axis=1)
+    tau = float(threshold)
+    widths = highs - lows
+    below = tau <= lows
+    inside = (~below) & (tau < highs)
+    safe_width = np.where(widths > 0.0, widths, 1.0)
+    below_term = probs * (0.5 * (lows + highs) - tau)
+    inside_term = probs * (highs - tau) ** 2 / (2.0 * safe_width)
+    gain = np.where(below, below_term, np.where(inside, inside_term, 0.0))
+    return gain.sum(axis=1)
+
+
+def gain_batch(sketches: Sequence[object],
+               threshold: Optional[float]) -> np.ndarray:
+    """Expected marginal gains for many sketches in one vectorized pass.
+
+    When every sketch's gain cache is fresh for ``threshold`` the answer is
+    a pure cache read.  Otherwise all adaptive histograms (of the common bin
+    count) are re-evaluated together by a single :func:`_gain_matrix` call
+    over stacked ``edges``/``counts`` matrices, refreshing every cache: the
+    kernel's cost is dominated by fixed numpy-dispatch overhead, so one
+    whole-sibling-set call is cheaper than bookkeeping a dirty subset.
+    Heterogeneous sketches fall back to ``expected_marginal_gain`` (itself
+    cached for adaptive histograms).
+    """
+    tau = None if threshold is None else float(threshold)
+    m = len(sketches)
+    gains = np.empty(m, dtype=float)
+    all_fresh = True
+    for i, sketch in enumerate(sketches):
+        cached = getattr(sketch, "_gain_cache", None)
+        if cached is not None and cached[0] == tau:
+            gains[i] = cached[1]
+        else:
+            all_fresh = False
+            break
+    if all_fresh:
+        return gains
+    if not isinstance(sketches[0], AdaptiveHistogram):
+        for i, sketch in enumerate(sketches):
+            gains[i] = sketch.expected_marginal_gain(threshold)
+        return gains
+    try:
+        n_edges = len(sketches[0].edges)
+        edges = np.empty((m, n_edges), dtype=float)
+        counts = np.empty((m, n_edges - 1), dtype=float)
+        for i, sketch in enumerate(sketches):
+            edges[i] = sketch.edges
+            counts[i] = sketch.counts
+    except (AttributeError, TypeError, ValueError):
+        # Heterogeneous sketch set (custom factories / mixed bin counts):
+        # fall back to per-sketch evaluation.
+        for i, sketch in enumerate(sketches):
+            gains[i] = sketch.expected_marginal_gain(threshold)
+        return gains
+    gains = _gain_matrix(edges, counts, tau)
+    for sketch, value in zip(sketches, gains.tolist()):
+        sketch._gain_cache = (tau, value)
+    return gains
 
 
 class AdaptiveHistogram:
@@ -98,18 +230,24 @@ class AdaptiveHistogram:
         self.counts = np.zeros(n_bins, dtype=float)
         self.n_rebins = 0
         self.n_extensions = 0
+        # Last (threshold, gain) pair; None whenever the sketch mutated.
+        self._gain_cache: Optional[Tuple[Optional[float], float]] = None
+        # Running total mass, so total_mass/is_empty checks on the hot path
+        # are O(1) attribute reads; re-derived from counts after any
+        # redistribution (extension, re-bin, subtract, merge).
+        self._mass = 0.0
 
     # -- basic accessors ------------------------------------------------------
 
     @property
     def total_mass(self) -> float:
         """Total (possibly fractional, after maintenance) sample mass."""
-        return float(self.counts.sum())
+        return self._mass
 
     @property
     def is_empty(self) -> bool:
         """True iff the sketch holds no mass."""
-        return self.total_mass <= 0.0
+        return self._mass <= 0.0
 
     @property
     def max_range(self) -> float:
@@ -125,6 +263,8 @@ class AdaptiveHistogram:
         clone.counts = self.counts.copy()
         clone.n_rebins = self.n_rebins
         clone.n_extensions = self.n_extensions
+        clone._gain_cache = self._gain_cache
+        clone._mass = self._mass
         return clone
 
     # -- updates ---------------------------------------------------------------
@@ -141,11 +281,63 @@ class AdaptiveHistogram:
         index = int(np.searchsorted(self.edges, value, side="right") - 1)
         index = min(max(index, 0), self.n_bins - 1)
         self.counts[index] += 1.0
+        self._mass += 1.0
+        self._gain_cache = None
 
     def add_many(self, values: Iterable[float]) -> None:
         """Record each score of ``values`` in order."""
         for value in values:
             self.add(value)
+
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Record a batch of scores, equivalent to ``add`` in sequence.
+
+        Values that fit the current range are binned with one
+        ``searchsorted``/``bincount`` pass; range extensions replay the
+        sequential semantics exactly (the range grows at the first value
+        exceeding the current maximum, to ``beta`` times that value), so the
+        result is identical to calling :meth:`add` element by element —
+        extensions are geometric-rare, so almost all work is vectorized.
+        """
+        if not hasattr(values, "__len__"):
+            values = np.fromiter(values, dtype=float)
+        if len(values) == 1:
+            # Degenerate batch: the scalar path is cheaper than array setup
+            # and identical by definition (add_batch == sequential adds).
+            self.add(float(values[0]))
+            return
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        if arr.min() < 0.0:
+            bad = float(arr[arr < 0.0][0])
+            raise ConfigurationError(
+                f"scores must be non-negative (opaque top-k setting), got {bad!r}"
+            )
+        start = 0
+        while start < arr.size:
+            # ``> max_range`` (not ``<=``-negation) so NaN counts as fitting,
+            # exactly like the scalar add(): NaN never triggers an extension
+            # and searchsorted clamps it into the top bin.
+            over = arr[start:] > self.max_range
+            if not over.any():
+                stop = arr.size
+            else:
+                # First overflowing value triggers the next range extension.
+                stop = start + int(np.argmax(over))
+            if stop > start:
+                chunk = arr[start:stop]
+                indices = np.searchsorted(self.edges, chunk, side="right") - 1
+                np.minimum(indices, self.n_bins - 1, out=indices)
+                np.maximum(indices, 0, out=indices)
+                self.counts += np.bincount(indices, minlength=self.n_bins)
+                self._mass += float(chunk.size)
+                start = stop
+            if start < arr.size:
+                self.extend_range(self.beta * float(arr[start]))
+        self._gain_cache = None
 
     def extend_range(self, new_max: float) -> None:
         """Grow the covered range to ``[low, new_max]`` (Fig. 3b).
@@ -160,6 +352,8 @@ class AdaptiveHistogram:
         self.counts = _overlap_redistribute(self.edges, self.counts, new_edges)
         self.edges = new_edges
         self.n_extensions += 1
+        self._mass = float(self.counts.sum())
+        self._gain_cache = None
 
     def maybe_extend_lowest(self, threshold: float | None) -> bool:
         """Apply the Fig. 3a re-binning if ``threshold`` passed bin 2's border.
@@ -175,16 +369,18 @@ class AdaptiveHistogram:
             return False
         if threshold <= self.edges[2]:
             return False
-        # Merge bins 0 and 1.
-        merged_edges = np.delete(self.edges, 1)
+        # Merge bins 0 and 1 (concatenate beats np.delete/np.insert here).
+        merged_edges = np.concatenate((self.edges[:1], self.edges[2:]))
         merged_counts = np.concatenate(
             ([self.counts[0] + self.counts[1]], self.counts[2:])
         )
         # Split the widest bin above the merged one to restore B bins.
-        widths = np.diff(merged_edges[1:])
+        widths = merged_edges[2:] - merged_edges[1:-1]
         split = 1 + int(np.argmax(widths))
         mid = 0.5 * (merged_edges[split] + merged_edges[split + 1])
-        new_edges = np.insert(merged_edges, split + 1, mid)
+        new_edges = np.concatenate(
+            (merged_edges[:split + 1], [mid], merged_edges[split + 1:])
+        )
         half = merged_counts[split] / 2.0
         new_counts = np.concatenate(
             (merged_counts[:split], [half, half], merged_counts[split + 1:])
@@ -192,6 +388,8 @@ class AdaptiveHistogram:
         self.edges = new_edges
         self.counts = new_counts
         self.n_rebins += 1
+        self._mass = float(self.counts.sum())
+        self._gain_cache = None
         return True
 
     def subtract(self, other: "AdaptiveHistogram") -> None:
@@ -208,6 +406,8 @@ class AdaptiveHistogram:
         # Mass of the child falling beyond this sketch's range cannot be
         # located; it is dropped, which the clamp-at-zero rule tolerates.
         self.counts = np.maximum(self.counts - projected, 0.0)
+        self._mass = float(self.counts.sum())
+        self._gain_cache = None
 
     def merge(self, other: "AdaptiveHistogram") -> None:
         """Fold ``other``'s mass into this sketch (used when flattening)."""
@@ -216,6 +416,8 @@ class AdaptiveHistogram:
         if other.max_range > self.max_range:
             self.extend_range(other.max_range)
         self.counts += _overlap_redistribute(other.edges, other.counts, self.edges)
+        self._mass = float(self.counts.sum())
+        self._gain_cache = None
 
     # -- queries ---------------------------------------------------------------
 
@@ -230,24 +432,20 @@ class AdaptiveHistogram:
 
         ``threshold=None`` (solution not yet full) means every score is pure
         gain, so the estimate is the sketch's mean.  An empty sketch scores 0.
+
+        The result is memoized per ``(sketch state, threshold)``: mutations
+        clear the cache, and a moved threshold misses the cache key, so the
+        bandit's repeated sibling evaluations between observations are O(1).
         """
-        mass = self.total_mass
-        if mass <= 0.0:
-            return 0.0
-        lows = self.edges[:-1]
-        highs = self.edges[1:]
-        probs = self.counts / mass
-        if threshold is None:
-            return float(np.dot(probs, 0.5 * (lows + highs)))
-        tau = float(threshold)
-        widths = highs - lows
-        gain = np.zeros_like(probs)
-        below = tau <= lows
-        gain[below] = probs[below] * (0.5 * (lows[below] + highs[below]) - tau)
-        inside = (~below) & (tau < highs)
-        safe_width = np.where(widths[inside] > 0.0, widths[inside], 1.0)
-        gain[inside] = probs[inside] * (highs[inside] - tau) ** 2 / (2.0 * safe_width)
-        return float(gain.sum())
+        tau = None if threshold is None else float(threshold)
+        cached = self._gain_cache
+        if cached is not None and cached[0] == tau:
+            return cached[1]
+        value = float(
+            _gain_matrix(self.edges[None, :], self.counts[None, :], tau)[0]
+        )
+        self._gain_cache = (tau, value)
+        return value
 
     def mean_estimate(self) -> float:
         """Mean of the sketched distribution under the uniform value assumption."""
@@ -302,6 +500,8 @@ class AdaptiveHistogram:
         sketch.counts = counts
         sketch.n_rebins = int(payload.get("n_rebins", 0))  # type: ignore[arg-type]
         sketch.n_extensions = int(payload.get("n_extensions", 0))  # type: ignore[arg-type]
+        sketch._gain_cache = None
+        sketch._mass = float(counts.sum())
         return sketch
 
     def __repr__(self) -> str:

@@ -47,6 +47,16 @@ class ScoreSketch(ABC):
         for value in values:
             self.add(value)
 
+    def add_batch(self, values: Iterable[float]) -> None:
+        """Record a batch of scores.
+
+        Semantically equivalent to :meth:`add_many`; sketches with a
+        vectorized bulk path (the adaptive histogram) override this so the
+        engine's batched ``observe`` folds a whole batch in O(1) numpy calls
+        instead of one Python call per element.
+        """
+        self.add_many(values)
+
     @abstractmethod
     def expected_marginal_gain(self, threshold: float | None) -> float:
         """Estimate ``E[max(X - threshold, 0)]`` (Eq. 2); mean if no threshold."""

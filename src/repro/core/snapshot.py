@@ -131,6 +131,9 @@ def restore_engine(index: ClusterTree, snapshot: dict,
         for leaf in engine.policy._iter_leaves(engine.policy.root)
         if leaf.arm is not None and not leaf.arm.is_empty
     }
+    # The restore wrote arm members directly, bypassing the on_draw hook
+    # that normally maintains the incremental counters.
+    engine.policy.recompute_remaining()
     engine.policy.flattened = bool(snapshot.get("flattened", False))
     if engine.policy.flattened:
         engine.policy.flatten()

@@ -1,0 +1,32 @@
+"""Opt-in perf gate: ``pytest -m perf`` re-runs the small overhead bench.
+
+Skipped by default (see ``conftest.py``) so tier-1 stays fast and immune to
+hardware noise; CI or a developer touching the hot path opts in with::
+
+    PYTHONPATH=src python -m pytest -m perf tests/test_perf_regression.py
+
+The gate fails when overhead-per-element on the 10k synthetic index
+regresses more than 25% against the committed
+``BENCH_engine_overhead.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+pytestmark = pytest.mark.perf
+
+
+def test_engine_overhead_within_25pct_of_baseline():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check(verbose=False)
+    assert not failures, "\n".join(failures)
