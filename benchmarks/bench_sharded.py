@@ -1,0 +1,205 @@
+"""Sharded-execution benchmark: per-backend wall-clock scaling.
+
+The paper's Section 6 sketch — per-worker index + bandit, coordinator
+merge, threshold broadcast — is implemented for real in
+:mod:`repro.parallel`.  This benchmark measures end-to-end wall-clock of
+the same sharded query on each backend over a 1M-element synthetic index.
+
+The opaque UDF is :class:`repro.scoring.blocking.BlockingReluScorer`,
+which *really blocks* for its latency-model cost (the regime the paper
+targets: scoring dominates, e.g. a remote model endpoint or an
+accelerator call).
+``serial`` therefore pays every scoring call sequentially, while ``thread``
+and ``process`` overlap the calls across shards — so wall-clock speedup
+reflects genuine overlap of UDF latency, not CPU-count luck, and the
+benchmark is meaningful even on one core.
+
+Results go to ``BENCH_sharded.json`` in the same shape as
+``BENCH_engine_overhead.json`` (``results[label]`` rows +
+``speedup`` table), so ``benchmarks/check_regression.py --benchmark
+sharded`` can consume it as a regression baseline.  The small 20k-element
+cells in the default grid are the regression-gate configuration, mirroring
+how the engine-overhead bench embeds its ``--small`` grid.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_sharded.py --small    # gate cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import EngineConfig
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig
+from repro.parallel import ShardedTopKEngine
+from repro.scoring.blocking import BlockingReluScorer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sharded.json"
+
+FULL_N = 1_000_000
+SMALL_N = 20_000
+K = 50
+BATCH_SIZE = 16
+PER_CALL = 2e-3          # simulated seconds per UDF call (the paper's
+                         # XGBoost scorer: ~2 ms per call on CPU)
+SYNC_INTERVAL = 2_000    # scoring calls per shard between merges
+
+#: (backend, workers) cells of the full grid; serial at the same worker
+#: count is the scaling reference (identical partitioning and work).
+FULL_CELLS: Tuple[Tuple[str, int], ...] = (
+    ("serial", 4), ("thread", 4), ("process", 2), ("process", 4),
+)
+#: Regression-gate cells (fast; see check_regression.py --benchmark sharded).
+SMALL_CELLS: Tuple[Tuple[str, int], ...] = (("serial", 4), ("process", 4))
+
+
+def build_dataset(n: int, seed: int = 0,
+                  leaf_size: int = 256) -> InMemoryDataset:
+    """Clustered scalar dataset: one gamma-drawn mean per 256-element leaf.
+
+    Same score structure as ``bench_engine_overhead.synthetic_scores`` so
+    the bandit has real signal to exploit.
+    """
+    rng = np.random.default_rng(seed)
+    n_leaves = (n + leaf_size - 1) // leaf_size
+    means = rng.gamma(shape=2.0, scale=0.5, size=n_leaves)
+    values = rng.normal(loc=np.repeat(means, leaf_size)[:n], scale=0.25)
+    values = np.maximum(values, 0.0)
+    ids = [f"e{i}" for i in range(n)]
+    return InMemoryDataset(ids, values.tolist(), values.reshape(-1, 1))
+
+
+def measure_once(dataset: InMemoryDataset, backend: str, workers: int,
+                 budget: int, per_call: float = PER_CALL,
+                 seed: int = 0) -> Dict[str, object]:
+    """Run one sharded query end to end; report real wall-clock."""
+    scorer = BlockingReluScorer(per_call)
+    engine = ShardedTopKEngine(
+        dataset, scorer, k=K,
+        n_workers=workers,
+        backend=backend,
+        index_config=IndexConfig(n_clusters=16, subsample=2_000, flat=True),
+        engine_config=EngineConfig(k=K, batch_size=BATCH_SIZE),
+        sync_interval=SYNC_INTERVAL,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    try:
+        result = engine.run(budget)
+    finally:
+        engine.close()
+    wall = time.perf_counter() - started
+    return {
+        "backend": backend,
+        "workers": workers,
+        "n": len(dataset),
+        "batch_size": BATCH_SIZE,
+        "budget": budget,
+        "n_scored": result.total_scored,
+        "n_rounds": result.n_rounds,
+        "wall_seconds": wall,
+        "wall_per_element_us": wall / max(1, result.total_scored) * 1e6,
+        "stk": result.stk,
+    }
+
+
+def run_grid(cells: Sequence[Tuple[str, int]] = FULL_CELLS,
+             n: int = FULL_N, budget: Optional[int] = None,
+             per_call: float = PER_CALL, seed: int = 0,
+             verbose: bool = True) -> List[Dict[str, object]]:
+    """Measure every (backend, workers) cell over one shared dataset."""
+    if budget is None:
+        budget = min(n, 40_000)
+    dataset = build_dataset(n, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for backend, workers in cells:
+        row = measure_once(dataset, backend, workers, budget,
+                           per_call=per_call, seed=seed)
+        rows.append(row)
+        if verbose:
+            print(f"n={n:>9,}  {backend:>7}@{workers}  "
+                  f"scored={row['n_scored']:>7,}  "
+                  f"wall={row['wall_seconds']:8.2f} s  "
+                  f"({row['wall_per_element_us']:8.1f} us/elem)")
+    return rows
+
+
+def speedup_table(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Wall-clock speedup of every cell versus serial at the same n."""
+    serial_wall = {row["n"]: float(row["wall_seconds"])
+                   for row in rows if row["backend"] == "serial"}
+    table = []
+    for row in rows:
+        base = serial_wall.get(row["n"])
+        if base is None:
+            continue
+        table.append({
+            "backend": row["backend"],
+            "workers": row["workers"],
+            "n": row["n"],
+            "serial_wall_seconds": base,
+            "wall_seconds": row["wall_seconds"],
+            "speedup_vs_serial": base / max(float(row["wall_seconds"]),
+                                            1e-12),
+        })
+    return table
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (engine-overhead schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "sharded")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["speedup"] = speedup_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--small", action="store_true",
+                        help="only the 20k gate cells")
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--per-call", type=float, default=PER_CALL,
+                        help="simulated seconds per UDF call")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    if args.small:
+        rows = run_grid(SMALL_CELLS, n=SMALL_N,
+                        budget=args.budget or min(SMALL_N, 4_000),
+                        per_call=args.per_call)
+    else:
+        # Gate cells first (small), then the headline 1M grid.
+        rows = run_grid(SMALL_CELLS, n=SMALL_N, budget=min(SMALL_N, 4_000),
+                        per_call=args.per_call)
+        rows += run_grid(FULL_CELLS, n=FULL_N, budget=args.budget,
+                         per_call=args.per_call)
+    for line in speedup_table(rows):
+        print(f"  {line['backend']:>7}@{line['workers']} n={line['n']:,}: "
+              f"{line['speedup_vs_serial']:.2f}x vs serial")
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,20 +1,30 @@
-"""Engine-overhead regression gate.
+"""Performance regression gate for the committed benchmark baselines.
 
-Re-measures the small benchmark configuration (the 10k-element synthetic
-index at every batch size) and fails if overhead-per-element regressed more
-than ``TOLERANCE`` (default 25%) versus the committed ``after`` rows of
-``BENCH_engine_overhead.json``.
+Two benchmarks share the same JSON schema (``results[label]`` rows plus a
+``speedup`` table) and hence the same gate machinery:
+
+* ``engine`` — re-measures the small engine-overhead configuration (the
+  10k-element synthetic index at every batch size) and fails if
+  overhead-per-element regressed more than ``TOLERANCE`` (default 25%)
+  versus the committed ``after`` rows of ``BENCH_engine_overhead.json``.
+* ``sharded`` — re-measures the small sharded cells (20k elements,
+  serial@4 and process@4 with the blocking simulated UDF) and fails if
+  wall-clock-per-element regressed more than ``SHARDED_TOLERANCE``
+  (default 50%, real concurrency is noisier) versus the committed rows of
+  ``BENCH_sharded.json``.
 
 The gate is opt-in — wire-compatible with ``pytest -m perf`` via
 ``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
-free.  The committed baseline is machine-specific; on very different
-hardware regenerate it first with::
+free.  The committed baselines are machine-specific; on very different
+hardware regenerate them first with::
 
     PYTHONPATH=src python benchmarks/bench_engine_overhead.py
+    PYTHONPATH=src python benchmarks/bench_sharded.py
 
 Standalone usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py          # exit 1 on regression
+    PYTHONPATH=src python benchmarks/check_regression.py          # engine gate
+    PYTHONPATH=src python benchmarks/check_regression.py --benchmark sharded
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5
 """
 
@@ -28,18 +38,25 @@ from typing import Dict, List, Optional, Sequence
 from bench_engine_overhead import DEFAULT_OUTPUT, SMALL_SIZES, run_grid
 
 TOLERANCE = 0.25
+SHARDED_TOLERANCE = 0.50
+
+
+def load_rows(path: Path, label: str = "after") -> List[dict]:
+    """The committed ``results[label]`` rows of either benchmark file."""
+    payload = json.loads(path.read_text())
+    rows = payload.get("results", {}).get(label, [])
+    if not rows:
+        raise SystemExit(
+            f"{path} has no {label!r} baseline; run the benchmark first"
+        )
+    return rows
 
 
 def load_baseline(path: Path = DEFAULT_OUTPUT) -> Dict[tuple, float]:
-    """Committed ``after`` rows keyed by (n, batch_size)."""
-    payload = json.loads(path.read_text())
-    rows = payload.get("results", {}).get("after", [])
-    if not rows:
-        raise SystemExit(
-            f"{path} has no 'after' baseline; run bench_engine_overhead.py first"
-        )
-    return {(row["n"], row["batch_size"]): float(row["overhead_per_element_us"])
-            for row in rows}
+    """Committed engine-overhead rows keyed by (n, batch_size)."""
+    return {(row["n"], row["batch_size"]):
+            float(row["overhead_per_element_us"])
+            for row in load_rows(path)}
 
 
 def check(tolerance: float = TOLERANCE,
@@ -64,15 +81,73 @@ def check(tolerance: float = TOLERANCE,
     return failures
 
 
+def check_sharded(tolerance: float = SHARDED_TOLERANCE,
+                  baseline_path: Optional[Path] = None,
+                  repeats: int = 1, verbose: bool = True) -> List[str]:
+    """Sharded gate: compare the small cells' wall-clock per element.
+
+    ``repeats`` keeps the fastest measurement per cell (the run least
+    perturbed by scheduler noise); the default is a single run because
+    these cells sleep for real and repeats multiply the gate's runtime.
+    """
+    import bench_sharded
+
+    baseline_path = baseline_path or bench_sharded.DEFAULT_OUTPUT
+    baseline = {
+        (row["backend"], row["workers"], row["n"]):
+        float(row["wall_per_element_us"])
+        for row in load_rows(baseline_path)
+    }
+    best: Dict[tuple, dict] = {}
+    for _ in range(max(1, repeats)):
+        for row in bench_sharded.run_grid(bench_sharded.SMALL_CELLS,
+                                          n=bench_sharded.SMALL_N,
+                                          budget=4_000, verbose=verbose):
+            key = (row["backend"], row["workers"], row["n"])
+            if (key not in best
+                    or row["wall_per_element_us"]
+                    < best[key]["wall_per_element_us"]):
+                best[key] = row
+    failures: List[str] = []
+    for row in best.values():
+        key = (row["backend"], row["workers"], row["n"])
+        if key not in baseline:
+            continue
+        measured = float(row["wall_per_element_us"])
+        allowed = baseline[key] * (1.0 + tolerance)
+        if measured > allowed:
+            failures.append(
+                f"{key[0]}@{key[1]} n={key[2]}: {measured:.1f} us/elem "
+                f"exceeds baseline {baseline[key]:.1f} us "
+                f"(+{tolerance:.0%} allowed = {allowed:.1f} us)"
+            )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
-                        help="allowed fractional regression (default 0.25)")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--benchmark", default="engine",
+                        choices=("engine", "sharded"),
+                        help="which committed baseline to gate against")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression "
+                             "(default 0.25 engine / 0.50 sharded)")
+    parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    failures = check(tolerance=args.tolerance, baseline_path=args.baseline,
-                     repeats=args.repeats)
+    if args.benchmark == "sharded":
+        failures = check_sharded(
+            tolerance=(SHARDED_TOLERANCE if args.tolerance is None
+                       else args.tolerance),
+            baseline_path=args.baseline,
+            repeats=args.repeats,
+        )
+    else:
+        failures = check(
+            tolerance=TOLERANCE if args.tolerance is None else args.tolerance,
+            baseline_path=args.baseline or DEFAULT_OUTPUT,
+            repeats=args.repeats,
+        )
     if failures:
         print("PERF REGRESSION:")
         for line in failures:

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI-style check: byte-compile everything, run the doctest'd grammar,
+# then tier-1.  Perf gates stay opt-in (`pytest -m perf`), matching the
+# benchmarks/ pattern.
+set -eu
+cd "$(dirname "$0")"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src benchmarks examples tests
+
+echo "== doctests (session grammar + rng) =="
+python -m doctest src/repro/session.py src/repro/utils/rng.py
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "check.sh: all green"

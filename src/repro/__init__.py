@@ -99,6 +99,7 @@ from repro.applications import (
 )
 from repro.session import OpaqueQuerySession, ParsedQuery, parse_query
 from repro.distributed import DistributedTopKExecutor, DistributedResult
+from repro.parallel import ShardedTopKEngine, available_backends
 from repro.core.sketches import (
     EquiDepthSketch,
     ExactEmpiricalSketch,
@@ -182,6 +183,8 @@ __all__ = [
     "parse_query",
     "DistributedTopKExecutor",
     "DistributedResult",
+    "ShardedTopKEngine",
+    "available_backends",
     "snapshot_engine",
     "restore_engine",
     "ScoreSketch",

@@ -3,10 +3,16 @@
 Three commands, mirroring how the library is used:
 
 * ``demo``    — run the quickstart scenario end to end and print the
-  quality report (dataset size / k / budget configurable).
+  quality report.  Configurable dataset size / k / budget / seed, plus
+  ``--workers N`` / ``--backend {serial,thread,process}`` to run the same
+  scenario sharded across parallel workers (see :mod:`repro.parallel`).
 * ``query``   — execute one SQL-ish opaque top-k query (see
-  :mod:`repro.session`) against a generated demo table.
-* ``info``    — print version, module inventory, and the experiment index.
+  :mod:`repro.session`) against a generated demo table.  The dialect's
+  ``WORKERS <w> [BACKEND <b>]`` clause — or the equivalent ``--workers`` /
+  ``--backend`` flags — shards the query; an explicit clause in the SQL
+  wins over the flags.
+* ``info``    — print version, module inventory, the experiment index, and
+  the available parallel backends.
 """
 
 from __future__ import annotations
@@ -26,20 +32,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo = sub.add_parser(
+        "demo",
+        help="run the quickstart scenario (optionally sharded: --workers)",
+    )
     demo.add_argument("--clusters", type=int, default=20)
     demo.add_argument("--per-cluster", type=int, default=500)
     demo.add_argument("--k", type=int, default=100)
     demo.add_argument("--budget-fraction", type=float, default=0.25)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--workers", type=int, default=1,
+                      help="shard the query across this many workers "
+                           "(default 1: single engine)")
+    demo.add_argument("--backend", default="serial",
+                      help="parallel backend for --workers > 1: "
+                           "serial, thread, or process (default serial)")
 
-    query = sub.add_parser("query", help="run one SQL-ish query on a demo table")
+    query = sub.add_parser(
+        "query",
+        help="run one SQL-ish query on a demo table "
+             "(supports WORKERS/BACKEND clauses and flags)",
+    )
     query.add_argument("sql", help='e.g. "SELECT TOP 50 FROM demo ORDER BY '
-                                   'relu BUDGET 20%%"')
+                                   'relu BUDGET 20%% WORKERS 4"')
     query.add_argument("--rows", type=int, default=5_000)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--workers", type=int, default=None,
+                       help="default worker count when the query has no "
+                            "WORKERS clause")
+    query.add_argument("--backend", default=None,
+                       help="default backend when the query has no "
+                            "BACKEND clause (serial, thread, process)")
 
-    sub.add_parser("info", help="print version and inventory")
+    sub.add_parser("info",
+                   help="print version, inventory, and parallel backends")
     return parser
 
 
@@ -52,19 +78,34 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = SyntheticClustersDataset.generate(
         n_clusters=args.clusters, per_cluster=args.per_cluster, rng=args.seed
     )
-    index = dataset.true_index()
     scorer = ReluScorer(FixedPerCallLatency(1e-3))
-    engine = TopKEngine(index, EngineConfig(k=args.k, seed=args.seed))
     budget = max(args.k, int(args.budget_fraction * len(dataset)))
-    result = engine.run(dataset, scorer, budget=budget)
     truth = compute_ground_truth(dataset, scorer)
     optimal = truth.optimal_stk(args.k)
-    print(result.summary())
+    if args.workers > 1:
+        from repro.parallel import ShardedTopKEngine
+
+        with ShardedTopKEngine(dataset, scorer, k=args.k,
+                               n_workers=args.workers,
+                               backend=args.backend,
+                               seed=args.seed) as sharded:
+            result = sharded.run(budget)
+        print(result.summary())
+        print(f"backend: {result.backend}, "
+              f"{len(result.workers)} workers, "
+              f"{result.n_rounds} sync rounds")
+    else:
+        index = dataset.true_index()
+        engine = TopKEngine(index, EngineConfig(k=args.k, seed=args.seed))
+        result = engine.run(dataset, scorer, budget=budget)
+        print(result.summary())
     print(f"STK fraction of optimal: {result.stk / optimal:.1%}")
     print(f"Precision@{args.k}: "
           f"{precision_at_k(result.ids, truth, args.k):.1%}")
-    print(f"UDF calls: {result.n_scored:,} of {len(dataset):,} "
-          f"({result.n_scored / len(dataset):.0%})")
+    n_scored = (result.total_scored if args.workers > 1
+                else result.n_scored)
+    print(f"UDF calls: {n_scored:,} of {len(dataset):,} "
+          f"({n_scored / len(dataset):.0%})")
     return 0
 
 
@@ -87,7 +128,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session.register_udf("relu", ReluScorer())
     session.register_udf("squared",
                          FunctionScorer(lambda v: float(v) ** 2))
-    result = session.execute(args.sql)
+    result = session.execute(args.sql, workers=args.workers,
+                             backend=args.backend)
     print(result.summary())
     for element_id, score in result.items[:10]:
         print(f"  {element_id}\t{score:.4f}")
@@ -97,7 +139,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
+    import os
+
     import repro
+    from repro.parallel import available_backends
 
     print(f"repro {repro.__version__} — Approximating Opaque Top-k Queries "
           "(SIGMOD 2025 reproduction)")
@@ -112,10 +157,18 @@ def _cmd_info(_args: argparse.Namespace) -> int:
         ("repro.data", "synthetic / UsedCars-style / image generators"),
         ("repro.experiments", "ground truth, metrics, runner, reports"),
         ("repro.applications", "data acquisition over source unions"),
-        ("repro.session", "SQL-ish declarative interface"),
+        ("repro.session", "SQL-ish declarative interface "
+                          "(WORKERS clause for sharded queries)"),
+        ("repro.parallel", "sharded execution: per-worker index + engine, "
+                           "coordinator merge, threshold broadcast"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
+    backends = ", ".join(available_backends())
+    print(f"\nparallel backends: {backends} "
+          f"({os.cpu_count() or 1} CPU core(s) available); "
+          "'process' uses real cores, 'thread' suits GIL-releasing UDFs, "
+          "'serial' is the deterministic simulation")
     print("\nexperiments: benchmarks/bench_fig{2,4,5,6,7,8,9}_*.py "
           "+ bench_theory_regret.py + bench_ablation_design.py")
     print("run: pytest benchmarks/ --benchmark-only")

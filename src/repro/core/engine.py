@@ -44,6 +44,10 @@ Per-element engine overhead is O(depth · B) with numpy inner kernels:
 At ``batch_size=1`` every one of these paths degenerates to the original
 scalar behaviour: same seeds produce the same draws and the same results
 (pinned by ``tests/test_engine_equivalence.py``).
+
+These invariants, and the shard/coordinator protocol that runs many
+engines in parallel, are documented normatively in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -37,6 +37,9 @@ Incremental-statistics invariants (the vectorized hot path)
   free and evaluates the dirty ones in one stacked vectorized pass; between
   two observations only the last touched root-to-leaf path is dirty, so a
   descent costs O(depth · B) numpy work.
+
+Both contracts are restated normatively (with their consequences for
+snapshot restore and the parallel subsystem) in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

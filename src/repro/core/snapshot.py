@@ -16,6 +16,11 @@ One documented caveat: random-generator state is *not* captured.  A resumed
 engine derives fresh streams from ``resume_seed``, so a paused-and-resumed
 run is a valid execution of Algorithm 1 but not bit-identical to the
 uninterrupted one.
+
+The sharded coordinator nests one of these payloads per shard
+(:meth:`repro.parallel.engine.ShardedTopKEngine.snapshot`); the restore
+invariants — notably ``recompute_remaining`` after writing arm members —
+are documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

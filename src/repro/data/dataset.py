@@ -82,6 +82,16 @@ class InMemoryDataset(Dataset):
         except KeyError:
             raise ConfigurationError(f"unknown element id {element_id!r}") from None
 
+    def fetch_batch(self, element_ids: Sequence[str]) -> List[Any]:
+        """Materialize several elements without per-element call overhead."""
+        try:
+            objects = self._objects
+            return [objects[element_id] for element_id in element_ids]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown element id {exc.args[0]!r}"
+            ) from None
+
     def features(self) -> np.ndarray:
         return self._features
 
@@ -91,3 +101,19 @@ class InMemoryDataset(Dataset):
             return self._features[self._row_of[element_id]]
         except KeyError:
             raise ConfigurationError(f"unknown element id {element_id!r}") from None
+
+    def features_of(self, element_ids: Sequence[str]) -> np.ndarray:
+        """Feature rows for many IDs in one fancy-index slice.
+
+        Bit-identical to stacking :meth:`feature_of` row by row (same
+        underlying float64 data), but a single numpy gather — this is the
+        fast path shard construction uses for large partitions.
+        """
+        try:
+            row_of = self._row_of
+            rows = [row_of[element_id] for element_id in element_ids]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown element id {exc.args[0]!r}"
+            ) from None
+        return self._features[rows]

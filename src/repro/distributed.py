@@ -1,10 +1,17 @@
-"""Simulated distributed execution — the Section 6 MapReduce combination.
+"""Distributed execution — the Section 6 MapReduce combination.
 
 "Our method can be combined with MapReduce by running the indexing and
 bandit algorithm on each worker, and periodically communicating the running
-solution back to a coordinator."  The paper does not evaluate this (it
-assumes a single machine); this module implements the design as a
-deterministic simulation:
+solution back to a coordinator."
+
+This module is the stable entry point for that design.  The actual
+machinery lives in :mod:`repro.parallel`: a backend-pluggable
+:class:`~repro.parallel.engine.ShardedTopKEngine` that runs the same
+shard/coordinator protocol either as a deterministic single-thread
+simulation (``serial``) or on real concurrency (``thread`` / ``process``).
+:class:`DistributedTopKExecutor` is the original simulation API, preserved
+verbatim — it delegates to the ``serial`` backend, which reproduces the
+historical synchronized-round simulation bit for bit:
 
 * the dataset is partitioned across ``n_workers`` workers;
 * each worker builds its *own* index over its partition and runs its own
@@ -16,66 +23,41 @@ deterministic simulation:
   into the global top-k and (optionally) broadcasts the global k-th score
   back, raising each worker's kick-out floor so no worker wastes budget on
   elements that can no longer enter the merged answer.
+
+For real cores, construct :class:`~repro.parallel.engine.ShardedTopKEngine`
+directly with ``backend="thread"`` or ``backend="process"``.  Protocol
+details: ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-import numpy as np
-
-from repro.core.engine import EngineConfig, TopKEngine
-from repro.core.minmax_heap import TopKBuffer
+from repro.core.engine import EngineConfig
 from repro.data.dataset import Dataset
-from repro.errors import ConfigurationError
-from repro.index.builder import IndexConfig, build_index
-from repro.index.tree import ClusterTree
+from repro.index.builder import IndexConfig
+from repro.parallel.engine import (
+    DistributedResult,
+    ShardedTopKEngine,
+    WorkerReport,
+)
+from repro.parallel.worker import partition_ids
 from repro.scoring.base import Scorer
 from repro.utils.rng import RngFactory
 
-
-@dataclass(frozen=True)
-class WorkerReport:
-    """Final statistics of one simulated worker."""
-
-    worker_id: int
-    n_elements: int
-    n_scored: int
-    virtual_time: float
-    local_stk: float
-    fallback_events: Tuple[Tuple[int, str], ...]
-
-
-@dataclass
-class DistributedResult:
-    """Merged answer plus the simulated parallel execution trace."""
-
-    k: int
-    items: List[Tuple[str, float]]
-    stk: float
-    wall_time: float
-    total_scored: int
-    n_rounds: int
-    workers: List[WorkerReport]
-    checkpoints: List[Tuple[float, float]] = field(default_factory=list)
-
-    @property
-    def ids(self) -> List[str]:
-        """Element IDs of the merged answer, best first."""
-        return [element_id for element_id, _score in self.items]
-
-    def summary(self) -> str:
-        """One-line report."""
-        return (
-            f"top-{self.k}: STK={self.stk:.4f} from {len(self.workers)} "
-            f"workers, {self.total_scored} total scores in "
-            f"{self.n_rounds} rounds, wall time {self.wall_time:.3f}s"
-        )
+__all__ = [
+    "DistributedResult",
+    "DistributedTopKExecutor",
+    "WorkerReport",
+]
 
 
 class DistributedTopKExecutor:
     """Coordinator for the simulated multi-worker bandit execution.
+
+    A thin, API-stable wrapper over
+    :class:`~repro.parallel.engine.ShardedTopKEngine` with the ``serial``
+    backend (deterministic simulation, virtual wall clock).
 
     Parameters
     ----------
@@ -104,153 +86,47 @@ class DistributedTopKExecutor:
                  sync_interval: int = 100,
                  share_threshold: bool = True,
                  seed: Optional[int] = None) -> None:
-        if n_workers <= 0:
-            raise ConfigurationError(f"n_workers must be positive, got {n_workers!r}")
-        if sync_interval <= 0:
-            raise ConfigurationError(
-                f"sync_interval must be positive, got {sync_interval!r}"
-            )
-        if k <= 0:
-            raise ConfigurationError(f"k must be positive, got {k!r}")
         self.dataset = dataset
         self.scorer = scorer
         self.k = int(k)
         self.n_workers = int(n_workers)
         self.sync_interval = int(sync_interval)
         self.share_threshold = share_threshold
-        self._factory = RngFactory(seed)
+        self._seed = seed
         self._index_config = index_config
-        self._engine_config = engine_config or EngineConfig(k=k)
-        if len(dataset) < n_workers:
-            raise ConfigurationError(
-                f"{n_workers} workers for only {len(dataset)} elements"
-            )
+        self._engine_config = engine_config
+        self._factory = RngFactory(seed)
+        # Validation happens eagerly so bad configurations fail at
+        # construction, exactly as before the refactor (the engine is
+        # discarded; each run() builds a fresh one — see run()).
+        self._make_engine()
 
-    # -- setup -------------------------------------------------------------------
+    def _make_engine(self) -> ShardedTopKEngine:
+        return ShardedTopKEngine(
+            self.dataset, self.scorer, self.k,
+            n_workers=self.n_workers,
+            backend="serial",
+            index_config=self._index_config,
+            engine_config=self._engine_config,
+            sync_interval=self.sync_interval,
+            share_threshold=self.share_threshold,
+            seed=self._seed,
+        )
 
     def _partitions(self) -> List[List[str]]:
         """Round-robin partition of the dataset's IDs (deterministic)."""
-        ids = self.dataset.ids()
-        shuffled = list(ids)
-        self._factory.named("partition").shuffle(shuffled)
-        return [shuffled[w::self.n_workers] for w in range(self.n_workers)]
-
-    def _worker_index(self, worker: int, member_ids: Sequence[str]) -> ClusterTree:
-        features = np.stack([
-            np.asarray(self.dataset.feature_of(element_id), dtype=float)
-            if hasattr(self.dataset, "feature_of")
-            else np.zeros(1)
-            for element_id in member_ids
-        ])
-        config = self._index_config
-        if config is None:
-            n_clusters = max(2, min(32, len(member_ids) // 50))
-            config = IndexConfig(n_clusters=n_clusters)
-        n_clusters = min(config.n_clusters, len(member_ids))
-        local = IndexConfig(
-            n_clusters=max(1, n_clusters),
-            subsample=config.subsample,
-            linkage=config.linkage,
-            max_kmeans_iter=config.max_kmeans_iter,
-            flat=config.flat,
-        )
-        return build_index(features, list(member_ids), local,
-                           rng=self._factory.named(f"index:{worker}"))
-
-    def _worker_engine(self, worker: int, index: ClusterTree) -> TopKEngine:
-        from dataclasses import replace
-
-        config = replace(
-            self._engine_config, k=self.k,
-            seed=int(self._factory.named(f"engine:{worker}").integers(2**31)),
-        )
-        return TopKEngine(
-            index, config,
-            scoring_latency_hint=self.scorer.batch_cost(config.batch_size)
-            / max(1, config.batch_size),
-        )
-
-    # -- execution -----------------------------------------------------------------
+        return partition_ids(self.dataset.ids(), self.n_workers,
+                             self._factory.named("partition"))
 
     def run(self, budget: Optional[int] = None) -> DistributedResult:
         """Execute until ``budget`` total scoring calls (default: all).
 
-        The budget is split evenly across workers round by round; the
-        simulated wall clock per round is the maximum worker cost, since
-        workers proceed in parallel between synchronization barriers.
+        Every call is an independent fresh run, as before the refactor —
+        cumulative continuation across calls is a
+        :class:`~repro.parallel.engine.ShardedTopKEngine` feature, not an
+        executor one.  The budget is split evenly across workers round by
+        round; the simulated wall clock per round is the maximum worker
+        cost, since workers proceed in parallel between synchronization
+        barriers.
         """
-        partitions = self._partitions()
-        engines: List[TopKEngine] = []
-        for worker, members in enumerate(partitions):
-            index = self._worker_index(worker, members)
-            engines.append(self._worker_engine(worker, index))
-
-        total_budget = len(self.dataset) if budget is None else min(
-            budget, len(self.dataset)
-        )
-        global_buffer: TopKBuffer[str] = TopKBuffer(self.k)
-        merged_ids: set = set()
-        wall_time = 0.0
-        total_scored = 0
-        n_rounds = 0
-        checkpoints: List[Tuple[float, float]] = []
-        worker_times = [0.0] * self.n_workers
-
-        while total_scored < total_budget and any(
-            not engine.exhausted for engine in engines
-        ):
-            n_rounds += 1
-            round_costs = [0.0] * self.n_workers
-            remaining = total_budget - total_scored
-            per_worker = max(1, min(self.sync_interval,
-                                    remaining // max(1, sum(
-                                        not e.exhausted for e in engines
-                                    ))))
-            for worker, engine in enumerate(engines):
-                scored_this_round = 0
-                while (scored_this_round < per_worker
-                       and not engine.exhausted
-                       and total_scored < total_budget):
-                    ids = engine.next_batch()
-                    objects = self.dataset.fetch_batch(ids)
-                    scores = self.scorer.score_batch(objects)
-                    round_costs[worker] += self.scorer.batch_cost(len(ids))
-                    engine.observe(ids, scores)
-                    scored_this_round += len(ids)
-                    total_scored += len(ids)
-                worker_times[worker] += round_costs[worker]
-            wall_time += max(round_costs)
-            # Coordinator merge: fold every worker's running solution in.
-            for engine in engines:
-                for element_id, score in engine.topk_items():
-                    if element_id not in merged_ids:
-                        merged_ids.add(element_id)
-                        global_buffer.offer(score, element_id)
-            checkpoints.append((wall_time, global_buffer.stk))
-            if self.share_threshold and global_buffer.threshold is not None:
-                for engine in engines:
-                    engine.threshold_floor = global_buffer.threshold
-
-        workers = [
-            WorkerReport(
-                worker_id=worker,
-                n_elements=len(partitions[worker]),
-                n_scored=engine.n_scored,
-                virtual_time=worker_times[worker],
-                local_stk=engine.stk,
-                fallback_events=tuple(engine.fallback_events),
-            )
-            for worker, engine in enumerate(engines)
-        ]
-        items = [(element_id, score)
-                 for score, element_id in global_buffer.items()]
-        return DistributedResult(
-            k=self.k,
-            items=items,
-            stk=global_buffer.stk,
-            wall_time=wall_time,
-            total_scored=total_scored,
-            n_rounds=n_rounds,
-            workers=workers,
-            checkpoints=checkpoints,
-        )
+        return self._make_engine().run(budget)

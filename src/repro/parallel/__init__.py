@@ -1,0 +1,58 @@
+"""Real sharded execution of opaque top-k queries (paper Section 6).
+
+The subsystem splits a query across ``W`` shards — per-shard index plus
+bandit engine, periodic coordinator merge, k-th-score threshold broadcast —
+and executes them on a pluggable backend:
+
+* ``serial``  — deterministic single-thread round simulation (bit-identical
+  to the original :mod:`repro.distributed` module, virtual clock);
+* ``thread``  — one thread per shard per round (``concurrent.futures``);
+* ``process`` — one pinned child process per shard, built once from a
+  picklable :class:`~repro.parallel.worker.ShardSpec`.
+
+Entry point: :class:`~repro.parallel.engine.ShardedTopKEngine`.  The
+architecture and protocol invariants are documented in
+``docs/architecture.md``.
+"""
+
+from repro.parallel.backends import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+)
+from repro.parallel.engine import (
+    DistributedResult,
+    ShardedTopKEngine,
+    WorkerReport,
+    merge_worker_topk,
+)
+from repro.parallel.worker import (
+    RoundOutcome,
+    ShardDataset,
+    ShardSpec,
+    ShardWorker,
+    partition_ids,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DistributedResult",
+    "ProcessBackend",
+    "RoundOutcome",
+    "SerialBackend",
+    "ShardBackend",
+    "ShardDataset",
+    "ShardSpec",
+    "ShardWorker",
+    "ShardedTopKEngine",
+    "ThreadBackend",
+    "WorkerReport",
+    "available_backends",
+    "make_backend",
+    "merge_worker_topk",
+    "partition_ids",
+]

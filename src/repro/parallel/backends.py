@@ -1,0 +1,221 @@
+"""Execution backends for the sharded engine: serial, thread, process.
+
+A backend owns the worker placement and answers one question per round:
+"given per-shard score caps and the latest broadcast threshold, run every
+shard for one round and return their :class:`~repro.parallel.worker.RoundOutcome`
+objects in worker order."  Everything else — budgeting, merging, threshold
+broadcast, result assembly — lives in the coordinator
+(:class:`~repro.parallel.engine.ShardedTopKEngine`), so all three backends
+share the exact same protocol.
+
+* :class:`SerialBackend` runs shards one after another on the calling
+  thread.  It allocates the budget *live* (each shard's cap sees what the
+  previous shards actually consumed), which makes it bit-identical to the
+  original single-process round simulation; its clock is the virtual
+  ``max(round costs)`` of the paper's analysis.
+* :class:`ThreadBackend` runs every shard's round concurrently on a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  Useful when the UDF
+  releases the GIL (I/O, numpy kernels, remote model calls).
+* :class:`ProcessBackend` pins each shard to its own single-process
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The shard is built once
+  per process from a picklable :class:`~repro.parallel.worker.ShardSpec`;
+  rounds exchange only light outcome payloads, never indexes or histograms.
+
+Concurrent backends pre-assign each round's caps (in worker order, from the
+remaining budget) instead of allocating live; the split differs from serial
+only in end-game rounds where a shard exhausts mid-round, which is why only
+``serial`` promises bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.errors import ConfigurationError
+from repro.parallel.worker import (
+    RoundOutcome,
+    ShardSpec,
+    ShardWorker,
+    process_init,
+    process_run_round,
+    process_snapshot,
+)
+
+
+def _preassign_caps(per_worker: int, budget_remaining: int,
+                    active: Sequence[bool]) -> List[int]:
+    """Deal the round's budget to active shards, in worker order."""
+    remaining = budget_remaining
+    caps: List[int] = []
+    for is_active in active:
+        cap = min(per_worker, max(0, remaining)) if is_active else 0
+        caps.append(cap)
+        remaining -= cap
+    return caps
+
+
+class ShardBackend:
+    """Common interface; subclasses define placement and concurrency."""
+
+    name: str = "abstract"
+    #: True when round costs are charged to the virtual clock (simulation);
+    #: False when the coordinator should measure real wall-clock instead.
+    virtual_clock: bool = True
+
+    def start(self, specs: List[ShardSpec], dataset, scorer) -> None:
+        """Materialize the shards (in-process or in child processes)."""
+        raise NotImplementedError
+
+    def run_round(self, per_worker: int, budget_remaining: int,
+                  active: Sequence[bool],
+                  threshold_floor: Optional[float]) -> List[RoundOutcome]:
+        """Run one synchronized round; outcomes come back in worker order."""
+        raise NotImplementedError
+
+    def snapshots(self) -> List[dict]:
+        """Collect every shard's engine snapshot (see core.snapshot)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pools; idempotent."""
+
+
+class SerialBackend(ShardBackend):
+    """Deterministic one-thread execution — the simulation oracle."""
+
+    name = "serial"
+    virtual_clock = True
+
+    def __init__(self) -> None:
+        self.workers: List[ShardWorker] = []
+
+    def start(self, specs: List[ShardSpec], dataset, scorer) -> None:
+        self.workers = [ShardWorker(spec, dataset=dataset, scorer=scorer)
+                        for spec in specs]
+
+    def run_round(self, per_worker, budget_remaining, active,
+                  threshold_floor) -> List[RoundOutcome]:
+        outcomes: List[RoundOutcome] = []
+        remaining = budget_remaining
+        for worker in self.workers:
+            # Live allocation: the cap sees what earlier shards consumed,
+            # exactly like the single-process round loop.
+            cap = min(per_worker, max(0, remaining))
+            outcome = worker.run_round(cap, threshold_floor)
+            remaining -= outcome.scored
+            outcomes.append(outcome)
+        return outcomes
+
+    def snapshots(self) -> List[dict]:
+        return [worker.snapshot() for worker in self.workers]
+
+
+class ThreadBackend(ShardBackend):
+    """One thread per shard per round via ThreadPoolExecutor."""
+
+    name = "thread"
+    virtual_clock = False
+
+    def __init__(self) -> None:
+        self.workers: List[ShardWorker] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def start(self, specs: List[ShardSpec], dataset, scorer) -> None:
+        self.workers = [ShardWorker(spec, dataset=dataset, scorer=scorer)
+                        for spec in specs]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self.workers)),
+            thread_name_prefix="repro-shard",
+        )
+
+    def run_round(self, per_worker, budget_remaining, active,
+                  threshold_floor) -> List[RoundOutcome]:
+        assert self._pool is not None, "start() must run first"
+        caps = _preassign_caps(per_worker, budget_remaining, active)
+        futures = [
+            self._pool.submit(worker.run_round, cap, threshold_floor)
+            for worker, cap in zip(self.workers, caps)
+        ]
+        return [future.result() for future in futures]
+
+    def snapshots(self) -> List[dict]:
+        return [worker.snapshot() for worker in self.workers]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ShardBackend):
+    """One dedicated child process per shard via ProcessPoolExecutor.
+
+    Each shard gets its own ``max_workers=1`` pool so worker state can live
+    in the child process for the whole query: the initializer builds the
+    shard from its picklable spec once, and every subsequent round only
+    ships ``(cap, threshold)`` down and a light outcome back.
+    """
+
+    name = "process"
+    virtual_clock = False
+
+    def __init__(self) -> None:
+        self._pools: List[ProcessPoolExecutor] = []
+
+    def start(self, specs: List[ShardSpec], dataset, scorer) -> None:
+        for spec in specs:
+            if spec.objects is None or spec.features is None:
+                raise ConfigurationError(
+                    "process backend needs materialized shard specs"
+                )
+            if spec.scorer is None:
+                raise ConfigurationError(
+                    "process backend needs a picklable scorer on the spec"
+                )
+            self._pools.append(ProcessPoolExecutor(
+                max_workers=1, initializer=process_init, initargs=(spec,),
+            ))
+
+    def run_round(self, per_worker, budget_remaining, active,
+                  threshold_floor) -> List[RoundOutcome]:
+        caps = _preassign_caps(per_worker, budget_remaining, active)
+        futures = [
+            pool.submit(process_run_round, cap, threshold_floor)
+            for pool, cap in zip(self._pools, caps)
+        ]
+        return [future.result() for future in futures]
+
+    def snapshots(self) -> List[dict]:
+        return [pool.submit(process_snapshot).result()
+                for pool in self._pools]
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+
+
+BACKENDS: Dict[str, Type[ShardBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> List[str]:
+    """Names of the usable backends on this machine, serial first."""
+    return list(BACKENDS)
+
+
+def make_backend(name: str) -> ShardBackend:
+    """Instantiate a backend by name; raise with guidance on a typo."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown parallel backend {name!r}; available: "
+            f"{', '.join(available_backends())} "
+            f"(this machine reports {os.cpu_count() or 1} CPU core(s))"
+        ) from None

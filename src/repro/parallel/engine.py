@@ -1,0 +1,411 @@
+"""Sharded top-k coordinator — Section 6's MapReduce combination, for real.
+
+:class:`ShardedTopKEngine` executes one opaque top-k query over ``W``
+shards, each holding a partition of the dataset with its own index and
+:class:`~repro.core.engine.TopKEngine`.  Execution proceeds in synchronized
+rounds:
+
+1. the coordinator deals the remaining budget into per-shard caps
+   (``sync_interval`` scoring calls per shard per round);
+2. every shard runs its bandit for its cap (placement decided by the
+   backend: same thread, thread pool, or dedicated child processes);
+3. the coordinator folds each shard's running top-k into the global
+   :class:`~repro.core.minmax_heap.TopKBuffer` (the *merge*);
+4. the global k-th score is broadcast back as each shard's kick-out floor
+   (the *threshold broadcast*), so no shard wastes budget on elements that
+   can no longer enter the merged answer.
+
+The ``serial`` backend reproduces the original single-process round
+simulation bit for bit (same RNG streams, same budget split, same merge
+order, same virtual clock); ``thread`` and ``process`` run the same
+protocol on real concurrency and measure real wall-clock.  See
+``docs/architecture.md`` for the protocol invariants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.engine import EngineConfig
+from repro.core.minmax_heap import TopKBuffer
+from repro.data.dataset import Dataset
+from repro.errors import ConfigurationError, SerializationError
+from repro.index.builder import IndexConfig
+from repro.parallel.backends import ShardBackend, make_backend
+from repro.parallel.worker import (
+    RoundOutcome,
+    ShardSpec,
+    partition_ids,
+    shard_features,
+)
+from repro.scoring.base import Scorer
+from repro.utils.rng import RngFactory
+
+_SNAPSHOT_FORMAT = "repro-sharded-snapshot/1"
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Final statistics of one shard."""
+
+    worker_id: int
+    n_elements: int
+    n_scored: int
+    virtual_time: float
+    local_stk: float
+    fallback_events: Tuple[Tuple[int, str], ...]
+
+
+@dataclass
+class DistributedResult:
+    """Merged answer plus the (simulated or measured) execution trace."""
+
+    k: int
+    items: List[Tuple[str, float]]
+    stk: float
+    wall_time: float
+    total_scored: int
+    n_rounds: int
+    workers: List[WorkerReport]
+    checkpoints: List[Tuple[float, float]] = field(default_factory=list)
+    backend: str = "serial"
+
+    @property
+    def ids(self) -> List[str]:
+        """Element IDs of the merged answer, best first."""
+        return [element_id for element_id, _score in self.items]
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"top-{self.k}: STK={self.stk:.4f} from {len(self.workers)} "
+            f"workers, {self.total_scored} total scores in "
+            f"{self.n_rounds} rounds, wall time {self.wall_time:.3f}s"
+        )
+
+
+def merge_worker_topk(buffer: TopKBuffer, merged_ids: Set[str],
+                      items: List[Tuple[str, float]]) -> None:
+    """Fold one shard's running solution into the global top-k.
+
+    ``merged_ids`` remembers every ID ever offered: scores are immutable, so
+    an element seen twice (second sight can only come from re-reporting the
+    same shard's buffer, or a pathological duplicate ID across shards) is
+    offered exactly once, and an evicted element — below the global k-th
+    score forever — is never re-admitted.
+    """
+    for element_id, score in items:
+        if element_id not in merged_ids:
+            merged_ids.add(element_id)
+            buffer.offer(score, element_id)
+
+
+class ShardedTopKEngine:
+    """Coordinator for sharded top-k execution on a pluggable backend.
+
+    Parameters
+    ----------
+    dataset / scorer / k:
+        The query, exactly as for :class:`~repro.core.engine.TopKEngine`.
+    n_workers:
+        Number of shards.
+    backend:
+        ``"serial"`` (bit-identical simulation, virtual clock),
+        ``"thread"`` or ``"process"`` (real concurrency, measured clock).
+    index_config:
+        Per-partition index configuration (cluster count is clamped per
+        shard, minimum 1).
+    engine_config:
+        Per-shard engine settings (``k`` is forced to the query's k so the
+        merge is lossless).
+    sync_interval:
+        Scoring calls per shard between coordinator merges.
+    share_threshold:
+        Broadcast the global k-th score back to shards after each merge.
+    seed:
+        Root seed; shards get independent derived streams regardless of the
+        backend (the root entropy travels to child processes, not live
+        generators).
+    """
+
+    def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
+                 n_workers: int = 4,
+                 backend: str = "serial",
+                 index_config: Optional[IndexConfig] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 sync_interval: int = 100,
+                 share_threshold: bool = True,
+                 seed=None) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError(
+                f"n_workers must be positive, got {n_workers!r}"
+            )
+        if sync_interval <= 0:
+            raise ConfigurationError(
+                f"sync_interval must be positive, got {sync_interval!r}"
+            )
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k!r}")
+        if len(dataset) < n_workers:
+            raise ConfigurationError(
+                f"{n_workers} workers for only {len(dataset)} elements"
+            )
+        self.dataset = dataset
+        self.scorer = scorer
+        self.k = int(k)
+        self.n_workers = int(n_workers)
+        self.sync_interval = int(sync_interval)
+        self.share_threshold = share_threshold
+        self._factory = RngFactory(seed)
+        self._root_entropy = self._factory._root.entropy
+        self._index_config = index_config
+        self._engine_config = engine_config or EngineConfig(k=k)
+        self.backend: ShardBackend = make_backend(backend)
+        # Coordinator state (persists across run() calls for resumption).
+        self._started = False
+        self._partitions: List[List[str]] = []
+        self._buffer: TopKBuffer[str] = TopKBuffer(self.k)
+        self._merged_ids: Set[str] = set()
+        self.wall_time = 0.0
+        self.total_scored = 0
+        self.n_rounds = 0
+        self.checkpoints: List[Tuple[float, float]] = []
+        self._worker_times: List[float] = [0.0] * self.n_workers
+        self._active: List[bool] = [True] * self.n_workers
+        self._pending_floor: Optional[float] = None
+        self._last_outcomes: List[Optional[RoundOutcome]] = [None] * self.n_workers
+        self._resume_count = 0
+        self._restore_payloads: Optional[List[dict]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ShardedTopKEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release backend resources (child processes, thread pools)."""
+        self.backend.close()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _build_specs(self) -> List[ShardSpec]:
+        self._partitions = partition_ids(
+            self.dataset.ids(), self.n_workers,
+            self._factory.named("partition"),
+        )
+        materialize = self.backend.name == "process"
+        specs: List[ShardSpec] = []
+        for worker, members in enumerate(self._partitions):
+            snapshot = None
+            resume_seed = None
+            if self._restore_payloads is not None:
+                snapshot = self._restore_payloads[worker]
+                resume_seed = int(
+                    self._factory.named(
+                        f"resume:{worker}:{self._resume_count}"
+                    ).integers(2**31)
+                )
+            specs.append(ShardSpec(
+                worker_id=worker,
+                member_ids=list(members),
+                k=self.k,
+                engine_config=self._engine_config,
+                index_config=self._index_config,
+                root_entropy=self._root_entropy,
+                scorer=self.scorer if materialize else None,
+                objects=(self.dataset.fetch_batch(members)
+                         if materialize else None),
+                features=(shard_features(self.dataset, members)
+                          if materialize else None),
+                engine_snapshot=snapshot,
+                resume_seed=resume_seed,
+            ))
+        return specs
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self.backend.start(self._build_specs(), self.dataset, self.scorer)
+        self._started = True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, budget: Optional[int] = None) -> DistributedResult:
+        """Execute until ``budget`` *total* scoring calls (default: all).
+
+        The budget is cumulative across calls: after a partial run (or a
+        snapshot/restore), calling ``run`` again with a larger budget
+        continues from the merged state already reached.
+        """
+        self._ensure_started()
+        total_budget = len(self.dataset) if budget is None else min(
+            budget, len(self.dataset)
+        )
+        while self.total_scored < total_budget and any(self._active):
+            self.n_rounds += 1
+            remaining = total_budget - self.total_scored
+            per_worker = max(1, min(
+                self.sync_interval,
+                remaining // max(1, sum(self._active)),
+            ))
+            round_started = time.perf_counter()
+            outcomes = self.backend.run_round(
+                per_worker, remaining, self._active, self._pending_floor,
+            )
+            round_elapsed = time.perf_counter() - round_started
+            for outcome in outcomes:
+                self.total_scored += outcome.scored
+                self._worker_times[outcome.worker_id] += outcome.cost
+                self._active[outcome.worker_id] = not outcome.exhausted
+                self._last_outcomes[outcome.worker_id] = outcome
+            if self.backend.virtual_clock:
+                self.wall_time += max(o.cost for o in outcomes)
+            else:
+                self.wall_time += round_elapsed
+            for outcome in outcomes:  # merge in worker order
+                merge_worker_topk(self._buffer, self._merged_ids,
+                                  outcome.topk)
+            self.checkpoints.append((self.wall_time, self._buffer.stk))
+            if self.share_threshold and self._buffer.threshold is not None:
+                self._pending_floor = self._buffer.threshold
+        return self.result()
+
+    def result(self) -> DistributedResult:
+        """Assemble the merged answer and trace reached so far."""
+        workers = []
+        for worker in range(self.n_workers):
+            outcome = self._last_outcomes[worker]
+            n_members = (len(self._partitions[worker])
+                         if self._partitions else 0)
+            workers.append(WorkerReport(
+                worker_id=worker,
+                n_elements=n_members,
+                n_scored=outcome.n_scored_total if outcome else 0,
+                virtual_time=self._worker_times[worker],
+                local_stk=outcome.local_stk if outcome else 0.0,
+                fallback_events=tuple(outcome.fallback_events)
+                if outcome else (),
+            ))
+        items = [(element_id, score)
+                 for score, element_id in self._buffer.items()]
+        return DistributedResult(
+            k=self.k,
+            items=items,
+            stk=self._buffer.stk,
+            wall_time=self.wall_time,
+            total_scored=self.total_scored,
+            n_rounds=self.n_rounds,
+            workers=workers,
+            checkpoints=list(self.checkpoints),
+            backend=self.backend.name,
+        )
+
+    # -- pause / resume ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full sharded run: coordinator state + shard engines.
+
+        Call between ``run()`` invocations (shards snapshot at round
+        boundaries, where no batch is in flight).  The payload nests one
+        :func:`repro.core.snapshot.snapshot_engine` dict per shard; like the
+        single-engine snapshot, RNG state is *not* captured, so a resumed
+        run is a valid sharded execution but not bit-identical to the
+        uninterrupted one.
+        """
+        self._ensure_started()
+        return {
+            "format": _SNAPSHOT_FORMAT,
+            "k": self.k,
+            "n_workers": self.n_workers,
+            "sync_interval": self.sync_interval,
+            "share_threshold": self.share_threshold,
+            "backend": self.backend.name,
+            "root_entropy": self._root_entropy,
+            "resume_count": self._resume_count,
+            "coordinator": {
+                "buffer": [[score, element_id]
+                           for score, element_id in self._buffer.items()],
+                "merged_ids": sorted(self._merged_ids),
+                "wall_time": self.wall_time,
+                "total_scored": self.total_scored,
+                "n_rounds": self.n_rounds,
+                "checkpoints": [list(point) for point in self.checkpoints],
+                "worker_times": list(self._worker_times),
+                "active": list(self._active),
+                "pending_floor": self._pending_floor,
+                "worker_stats": [
+                    [o.n_scored_total, o.local_stk,
+                     [list(e) for e in o.fallback_events]]
+                    if o else None
+                    for o in self._last_outcomes
+                ],
+            },
+            "workers": self.backend.snapshots(),
+        }
+
+    @classmethod
+    def restore(cls, dataset: Dataset, scorer: Scorer, snapshot: dict,
+                backend: Optional[str] = None,
+                index_config: Optional[IndexConfig] = None,
+                engine_config: Optional[EngineConfig] = None,
+                ) -> "ShardedTopKEngine":
+        """Rebuild a sharded run from :meth:`snapshot` output.
+
+        ``dataset`` must be the same immutable dataset, and
+        ``index_config`` / ``engine_config`` must repeat whatever the
+        original run used (shard indexes are rebuilt deterministically from
+        the stored root entropy, and node IDs are verified during engine
+        restore).  ``backend`` may differ — a run snapshotted under
+        ``process`` can resume under ``serial`` and vice versa.
+        """
+        if snapshot.get("format") != _SNAPSHOT_FORMAT:
+            raise SerializationError(
+                f"unrecognized sharded snapshot format "
+                f"{snapshot.get('format')!r}"
+            )
+        engine = cls(
+            dataset, scorer, k=int(snapshot["k"]),
+            n_workers=int(snapshot["n_workers"]),
+            backend=backend or snapshot["backend"],
+            index_config=index_config,
+            engine_config=engine_config,
+            sync_interval=int(snapshot["sync_interval"]),
+            share_threshold=bool(snapshot["share_threshold"]),
+            seed=None,
+        )
+        # Re-anchor the RNG streams to the original run's root entropy so
+        # partitions and shard indexes rebuild identically.
+        engine._factory = RngFactory(snapshot["root_entropy"])
+        engine._root_entropy = snapshot["root_entropy"]
+        engine._resume_count = int(snapshot.get("resume_count", 0)) + 1
+        engine._restore_payloads = list(snapshot["workers"])
+        state = snapshot["coordinator"]
+        for score, element_id in state["buffer"]:
+            engine._buffer.offer(float(score), element_id)
+        engine._merged_ids = set(state["merged_ids"])
+        engine.wall_time = float(state["wall_time"])
+        engine.total_scored = int(state["total_scored"])
+        engine.n_rounds = int(state["n_rounds"])
+        engine.checkpoints = [tuple(point)
+                              for point in state["checkpoints"]]
+        engine._worker_times = [float(t) for t in state["worker_times"]]
+        engine._active = [bool(flag) for flag in state["active"]]
+        floor = state.get("pending_floor")
+        engine._pending_floor = None if floor is None else float(floor)
+        for worker, stats in enumerate(state.get("worker_stats", [])):
+            if stats is not None:
+                n_scored, local_stk, events = stats
+                engine._last_outcomes[worker] = RoundOutcome(
+                    worker_id=worker, scored=0, cost=0.0, elapsed=0.0,
+                    topk=[], exhausted=not engine._active[worker],
+                    n_scored_total=int(n_scored),
+                    local_stk=float(local_stk),
+                    fallback_events=[(int(t), str(kind))
+                                     for t, kind in events],
+                )
+        return engine

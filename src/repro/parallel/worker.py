@@ -1,0 +1,244 @@
+"""Shard-side execution: partitioning, per-shard state, and round running.
+
+One *shard* owns a partition of the dataset, its own index over that
+partition, and its own :class:`~repro.core.engine.TopKEngine` — exactly the
+per-worker setup of the paper's Section 6 MapReduce sketch.  The coordinator
+(:mod:`repro.parallel.engine`) never touches shard internals; it only asks a
+shard to run one synchronization round and reads back a light
+:class:`RoundOutcome`.
+
+Everything a shard needs to bootstrap itself is captured in a *picklable*
+:class:`ShardSpec`, so the same code path runs in-process (serial and thread
+backends) and in a child process (process backend).  Determinism is
+preserved across placements by shipping the coordinator's root RNG entropy
+instead of live generator objects: a shard derives its streams with
+``RngFactory(root_entropy).named(f"index:{w}")`` / ``named(f"engine:{w}")``,
+which are byte-identical to the streams the single-process simulation draws
+from its shared factory (named streams depend only on the root entropy and
+the name — see :class:`~repro.utils.rng.RngFactory`).
+
+Pause/resume uses the engine snapshot layer
+(:func:`repro.core.snapshot.snapshot_engine` /
+:func:`~repro.core.snapshot.restore_engine`): a shard's learned state
+serializes to a JSON-safe dict that crosses process boundaries and sessions
+alike.  See ``docs/architecture.md`` ("Shard/coordinator protocol") for the
+full protocol walkthrough.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.core.snapshot import restore_engine, snapshot_engine
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig, build_index
+from repro.index.tree import ClusterTree
+from repro.scoring.base import Scorer
+from repro.utils.rng import RngFactory
+
+
+def partition_ids(ids: Sequence[str], n_workers: int,
+                  rng: np.random.Generator) -> List[List[str]]:
+    """Shuffle ``ids`` with ``rng`` and deal them round-robin to workers.
+
+    This is the exact partitioning of the original single-process
+    simulation; the shuffle consumes ``rng``'s stream, so the caller must
+    pass the factory's ``named("partition")`` generator to stay
+    bit-compatible.
+    """
+    shuffled = list(ids)
+    rng.shuffle(shuffled)
+    return [shuffled[w::n_workers] for w in range(n_workers)]
+
+
+def shard_features(dataset, member_ids: Sequence[str]) -> np.ndarray:
+    """Stack the partition's cheap feature vectors for index construction.
+
+    Prefers the dataset's vectorized ``features_of`` gather (bit-identical
+    to the row-by-row stack, one numpy call instead of one per element);
+    falls back to per-element ``feature_of``, and finally to a constant
+    vector when the dataset exposes neither (the index then degenerates
+    gracefully).
+    """
+    if hasattr(dataset, "features_of"):
+        return np.asarray(dataset.features_of(member_ids), dtype=float)
+    return np.stack([
+        np.asarray(dataset.feature_of(element_id), dtype=float)
+        if hasattr(dataset, "feature_of")
+        else np.zeros(1)
+        for element_id in member_ids
+    ])
+
+
+def shard_index_config(config: Optional[IndexConfig],
+                       n_members: int) -> IndexConfig:
+    """Clamp an index configuration to one partition's size."""
+    if config is None:
+        n_clusters = max(2, min(32, n_members // 50))
+        config = IndexConfig(n_clusters=n_clusters)
+    n_clusters = min(config.n_clusters, n_members)
+    return IndexConfig(
+        n_clusters=max(1, n_clusters),
+        subsample=config.subsample,
+        linkage=config.linkage,
+        max_kmeans_iter=config.max_kmeans_iter,
+        flat=config.flat,
+    )
+
+
+class ShardDataset(InMemoryDataset):
+    """A picklable, self-contained view of one worker's partition.
+
+    Process workers cannot reach back into the coordinator's dataset, so
+    the spec materializes the partition's objects and features up front.
+    """
+
+
+@dataclass
+class ShardSpec:
+    """Everything needed to (re)build one shard anywhere — all picklable."""
+
+    worker_id: int
+    member_ids: List[str]
+    k: int
+    engine_config: EngineConfig
+    index_config: Optional[IndexConfig]
+    root_entropy: int
+    scorer: Optional[Scorer] = None          # shipped to process workers
+    objects: Optional[list] = None           # partition elements, id-aligned
+    features: Optional[np.ndarray] = None    # partition features, id-aligned
+    engine_snapshot: Optional[dict] = None   # resume payload
+    resume_seed: Optional[int] = None
+
+
+@dataclass
+class RoundOutcome:
+    """What a shard reports back after one synchronization round."""
+
+    worker_id: int
+    scored: int                  # elements scored this round
+    cost: float                  # virtual scoring cost of this round (s)
+    elapsed: float               # real wall-clock of this round (s)
+    topk: List[Tuple[str, float]]
+    exhausted: bool
+    n_scored_total: int
+    local_stk: float
+    fallback_events: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class ShardWorker:
+    """One shard: partition + local index + local engine + round loop."""
+
+    def __init__(self, spec: ShardSpec, dataset=None,
+                 scorer: Optional[Scorer] = None) -> None:
+        self.spec = spec
+        self.worker_id = spec.worker_id
+        self.member_ids = list(spec.member_ids)
+        self.dataset = dataset if dataset is not None else ShardDataset(
+            spec.member_ids, spec.objects, spec.features
+        )
+        scorer = scorer if scorer is not None else spec.scorer
+        if scorer is None:
+            raise ValueError("shard needs a scorer (inline or via spec)")
+        self.scorer = scorer
+        factory = RngFactory(spec.root_entropy)
+        if spec.features is not None:
+            features = np.asarray(spec.features, dtype=float)
+        else:
+            features = shard_features(self.dataset, self.member_ids)
+        local_config = shard_index_config(spec.index_config,
+                                          len(self.member_ids))
+        self.index: ClusterTree = build_index(
+            features, self.member_ids, local_config,
+            rng=factory.named(f"index:{self.worker_id}"),
+        )
+        engine_seed = int(
+            factory.named(f"engine:{self.worker_id}").integers(2**31)
+        )
+        config = replace(spec.engine_config, k=spec.k, seed=engine_seed)
+        hint = (self.scorer.batch_cost(config.batch_size)
+                / max(1, config.batch_size))
+        if spec.engine_snapshot is not None:
+            self.engine = restore_engine(
+                self.index, spec.engine_snapshot, config=replace(
+                    config, seed=spec.resume_seed
+                ),
+                resume_seed=spec.resume_seed,
+                scoring_latency_hint=hint,
+            )
+        else:
+            self.engine = TopKEngine(self.index, config,
+                                     scoring_latency_hint=hint)
+
+    # -- round protocol ------------------------------------------------------
+
+    def run_round(self, cap: int,
+                  threshold_floor: Optional[float] = None) -> RoundOutcome:
+        """Score up to ``cap`` elements, then report the running solution.
+
+        ``threshold_floor`` is the coordinator's latest global k-th score;
+        the local buffer still accepts everything (the merge stays lossless)
+        but gain estimation targets only globally competitive scores.
+        """
+        engine = self.engine
+        if threshold_floor is not None:
+            engine.threshold_floor = threshold_floor
+        scored = 0
+        cost = 0.0
+        started = time.perf_counter()
+        while scored < cap and not engine.exhausted:
+            ids = engine.next_batch()
+            objects = self.dataset.fetch_batch(ids)
+            scores = self.scorer.score_batch(objects)
+            cost += self.scorer.batch_cost(len(ids))
+            engine.observe(ids, scores)
+            scored += len(ids)
+        return RoundOutcome(
+            worker_id=self.worker_id,
+            scored=scored,
+            cost=cost,
+            elapsed=time.perf_counter() - started,
+            topk=engine.topk_items(),
+            exhausted=engine.exhausted,
+            n_scored_total=engine.n_scored,
+            local_stk=engine.stk,
+            fallback_events=list(engine.fallback_events),
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-safe learned state of this shard (see core.snapshot)."""
+        return snapshot_engine(self.engine)
+
+
+# ---------------------------------------------------------------------------
+# Process-backend entry points.  A dedicated single-process pool hosts each
+# shard; the initializer builds the ShardWorker once and round commands
+# operate on the process-global instance, so only light RoundOutcome dicts
+# cross the pipe every round (never the index or histograms).
+# ---------------------------------------------------------------------------
+
+_PROCESS_WORKER: Optional[ShardWorker] = None
+
+
+def process_init(spec: ShardSpec) -> None:
+    """Pool initializer: build this process's shard from its picklable spec."""
+    global _PROCESS_WORKER
+    _PROCESS_WORKER = ShardWorker(spec)
+
+
+def process_run_round(cap: int,
+                      threshold_floor: Optional[float]) -> RoundOutcome:
+    """Run one round on the process-resident shard."""
+    assert _PROCESS_WORKER is not None, "pool initializer did not run"
+    return _PROCESS_WORKER.run_round(cap, threshold_floor)
+
+
+def process_snapshot() -> dict:
+    """Snapshot the process-resident shard's engine."""
+    assert _PROCESS_WORKER is not None, "pool initializer did not run"
+    return _PROCESS_WORKER.snapshot()

@@ -17,6 +17,7 @@ from repro.scoring.base import (
     Scorer,
     ZeroLatency,
 )
+from repro.scoring.blocking import BlockingReluScorer
 from repro.scoring.relu import ReluScorer
 from repro.scoring.gbdt import GradientBoostedRegressor, RegressionTree
 from repro.scoring.gbdt_scorer import GBDTValuationScorer
@@ -34,6 +35,7 @@ __all__ = [
     "FunctionScorer",
     "CountingScorer",
     "ReluScorer",
+    "BlockingReluScorer",
     "RegressionTree",
     "GradientBoostedRegressor",
     "GBDTValuationScorer",

@@ -3,21 +3,107 @@
 "A minimal implementation is natural in a system that supports UDFs and an
 incrementally updating query interface."  :class:`OpaqueQuerySession` is
 that minimal implementation: register tables (datasets) and UDFs (scorers),
-then execute queries written in a small SQL-ish dialect:
+then execute queries written in a small SQL-ish dialect.
 
-    SELECT TOP 250 FROM listings ORDER BY valuation
-        [BUDGET 10% | BUDGET 5000] [BATCH 32] [SEED 7]
+Grammar
+-------
+One statement form, clauses in this order, keywords case-insensitive, an
+optional trailing ``;``::
+
+    SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC]
+        [BUDGET <n> | BUDGET <p>%]
+        [BATCH <b>]
+        [SEED <s>]
+        [WORKERS <w> [BACKEND serial|thread|process]]
+
+Clause semantics, each with a runnable example:
+
+``SELECT TOP <k>`` — answer cardinality; the engine maintains a
+cardinality-constrained priority queue of the ``k`` best scores seen.
+
+    >>> parse_query("SELECT TOP 10 FROM t ORDER BY f").k
+    10
+
+``FROM <table>`` / ``ORDER BY <udf>`` — names previously registered with
+:meth:`OpaqueQuerySession.register_table` /
+:meth:`~OpaqueQuerySession.register_udf`.  The UDF is the opaque scoring
+function; the session never inspects it.
+
+    >>> parsed = parse_query("SELECT TOP 5 FROM listings ORDER BY valuation")
+    >>> (parsed.table, parsed.udf)
+    ('listings', 'valuation')
+
+``DESC`` — optional and purely documentary: top-k always means the *k
+highest* scores, so descending order is the only supported direction and
+``DESC`` makes it explicit.  (``ASC`` is not in the dialect.)
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f DESC").descending
+    True
+
+``BUDGET <n>`` or ``BUDGET <p>%`` — the scoring budget: either an absolute
+number of UDF calls or a percentage of the table, resolved at execution
+time as ``max(k, p/100 * len(table))``.  Omitted: the whole table (exact
+answer).
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BUDGET 500").budget
+    500
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BUDGET 10%").budget_fraction
+    0.1
+
+``BATCH <b>`` — score elements in batches of ``b`` (Section 3.2.5); default
+1.  Larger batches amortize per-call overhead and suit GPU-style scorers.
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BATCH 32").batch_size
+    32
+
+``SEED <s>`` — root seed for the engine's random streams; omitted means
+fresh entropy (non-reproducible).
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f SEED 7").seed
+    7
+
+``WORKERS <w>`` — shard the query across ``w`` workers, each with its own
+partition index and bandit engine, merged by a coordinator every
+synchronization round (see :mod:`repro.parallel`).  ``WORKERS 1`` (or
+omitting the clause) runs the ordinary single-engine path.
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f WORKERS 4").workers
+    4
+
+``BACKEND serial|thread|process`` — how the shards execute (only valid
+after ``WORKERS``): ``serial`` is the deterministic simulation, ``thread``
+and ``process`` run on real concurrency.  Default: ``serial``.
+
+    >>> parse_query(
+    ...     "SELECT TOP 5 FROM t ORDER BY f WORKERS 4 BACKEND process"
+    ... ).backend
+    'process'
+
+Malformed queries raise :class:`~repro.errors.ConfigurationError` with the
+expected shape:
+
+    >>> parse_query("SELECT * FROM t")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: could not parse query; expected: \
+SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC] [BUDGET <n> | \
+BUDGET <p>%] [BATCH <b>] [SEED <s>] [WORKERS <w> [BACKEND <name>]] — \
+got 'SELECT * FROM t'
 
 The session builds (and caches) one index per table — the index is
 task-independent, so every UDF registered against a table reuses it — and
-runs the anytime engine for the requested budget.
+runs the anytime engine for the requested budget.  ``WORKERS`` queries
+instead build one index per partition inside
+:class:`~repro.parallel.engine.ShardedTopKEngine` and return its
+:class:`~repro.parallel.engine.DistributedResult` (same ``items`` /
+``summary()`` surface as :class:`~repro.core.result.QueryResult`).
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.core.engine import EngineConfig, TopKEngine
 from repro.core.result import QueryResult
@@ -25,6 +111,8 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
+from repro.parallel.backends import available_backends
+from repro.parallel.engine import DistributedResult, ShardedTopKEngine
 from repro.scoring.base import Scorer
 
 _QUERY_RE = re.compile(
@@ -36,6 +124,8 @@ _QUERY_RE = re.compile(
     (?:\s+BUDGET\s+(?P<budget>\d+(?:\.\d+)?)(?P<pct>%)?)?
     (?:\s+BATCH\s+(?P<batch>\d+))?
     (?:\s+SEED\s+(?P<seed>\d+))?
+    (?:\s+WORKERS\s+(?P<workers>\d+)
+       (?:\s+BACKEND\s+(?P<backend>[A-Za-z_]+))?)?
     \s*;?\s*$
     """,
     re.IGNORECASE | re.VERBOSE,
@@ -53,16 +143,22 @@ class ParsedQuery:
     budget_fraction: Optional[float]  # or a fraction of the table
     batch_size: int
     seed: Optional[int]
+    descending: bool = True        # DESC is documentary; top-k maximizes
+    workers: Optional[int] = None  # WORKERS clause (None = not specified)
+    backend: Optional[str] = None  # BACKEND clause (None = not specified)
 
 
 def parse_query(text: str) -> ParsedQuery:
-    """Parse the SQL-ish dialect; raise ConfigurationError with guidance."""
+    """Parse the SQL-ish dialect; raise ConfigurationError with guidance.
+
+    See the module docstring for the full grammar with examples.
+    """
     match = _QUERY_RE.match(text)
     if match is None:
         raise ConfigurationError(
             "could not parse query; expected: SELECT TOP <k> FROM <table> "
             "ORDER BY <udf> [DESC] [BUDGET <n> | BUDGET <p>%] [BATCH <b>] "
-            f"[SEED <s>] — got {text!r}"
+            f"[SEED <s>] [WORKERS <w> [BACKEND <name>]] — got {text!r}"
         )
     groups = match.groupdict()
     budget: Optional[int] = None
@@ -79,6 +175,19 @@ def parse_query(text: str) -> ParsedQuery:
             budget = int(value)
             if budget <= 0:
                 raise ConfigurationError("BUDGET must be positive")
+    workers: Optional[int] = None
+    if groups["workers"] is not None:
+        workers = int(groups["workers"])
+        if workers <= 0:
+            raise ConfigurationError("WORKERS must be positive")
+    backend: Optional[str] = None
+    if groups["backend"] is not None:
+        backend = groups["backend"].lower()
+        if backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown BACKEND {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
     return ParsedQuery(
         k=int(groups["k"]),
         table=groups["table"],
@@ -87,6 +196,9 @@ def parse_query(text: str) -> ParsedQuery:
         budget_fraction=fraction,
         batch_size=int(groups["batch"]) if groups["batch"] else 1,
         seed=int(groups["seed"]) if groups["seed"] else None,
+        descending=True,
+        workers=workers,
+        backend=backend,
     )
 
 
@@ -94,13 +206,15 @@ class OpaqueQuerySession:
     """Registry of tables and UDFs plus a tiny declarative executor."""
 
     def __init__(self, default_index_config: Optional[IndexConfig] = None,
-                 index_seed: int = 0) -> None:
+                 index_seed: int = 0,
+                 sync_interval: int = 100) -> None:
         self._tables: Dict[str, Dataset] = {}
         self._indexes: Dict[str, ClusterTree] = {}
         self._index_configs: Dict[str, IndexConfig] = {}
         self._udfs: Dict[str, Scorer] = {}
         self._default_index_config = default_index_config
         self._index_seed = index_seed
+        self._sync_interval = sync_interval  # WORKERS merge cadence
 
     # -- registration --------------------------------------------------------
 
@@ -143,8 +257,19 @@ class OpaqueQuerySession:
             )
         return self._indexes[table]
 
-    def execute(self, query: str) -> QueryResult:
-        """Parse and run one query; returns the engine's QueryResult."""
+    def execute(self, query: str, *,
+                workers: Optional[int] = None,
+                backend: Optional[str] = None,
+                ) -> Union[QueryResult, DistributedResult]:
+        """Parse and run one query.
+
+        ``workers`` / ``backend`` are caller-side defaults (e.g. CLI
+        flags); an explicit ``WORKERS`` / ``BACKEND`` clause in the query
+        text wins.  Single-engine queries return a
+        :class:`~repro.core.result.QueryResult`; ``WORKERS > 1`` queries
+        run sharded and return a
+        :class:`~repro.parallel.engine.DistributedResult`.
+        """
         parsed = parse_query(query)
         if parsed.table not in self._tables:
             raise ConfigurationError(
@@ -161,6 +286,32 @@ class OpaqueQuerySession:
         budget = parsed.budget
         if parsed.budget_fraction is not None:
             budget = max(parsed.k, int(parsed.budget_fraction * len(dataset)))
+        if workers is not None and workers <= 0:
+            raise ConfigurationError(
+                f"workers must be positive, got {workers!r}"
+            )
+        n_workers = parsed.workers if parsed.workers is not None else (
+            workers if workers is not None else 1
+        )
+        backend_name = parsed.backend or backend or "serial"
+        if n_workers > 1:
+            sharded = ShardedTopKEngine(
+                dataset, scorer, k=parsed.k,
+                n_workers=n_workers,
+                backend=backend_name,
+                index_config=self._index_configs.get(
+                    parsed.table, self._default_index_config
+                ),
+                engine_config=EngineConfig(
+                    k=parsed.k, batch_size=parsed.batch_size,
+                ),
+                sync_interval=self._sync_interval,
+                seed=parsed.seed,
+            )
+            try:
+                return sharded.run(budget)
+            finally:
+                sharded.close()
         engine = TopKEngine(
             self._index_for(parsed.table),
             EngineConfig(k=parsed.k, batch_size=parsed.batch_size,

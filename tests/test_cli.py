@@ -54,6 +54,51 @@ class TestQuery:
         assert code == 1
 
 
+class TestParallelFlags:
+    def test_info_lists_backends(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel backends:" in out
+        assert "serial" in out and "thread" in out and "process" in out
+        assert "repro.parallel" in out
+
+    def test_demo_with_workers(self, capsys):
+        code = main(["demo", "--clusters", "4", "--per-cluster", "50",
+                     "--k", "5", "--workers", "2", "--backend", "serial"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: serial, 2 workers" in out
+        assert "STK fraction of optimal" in out
+
+    def test_query_with_workers_clause(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu BUDGET 30% SEED 1 "
+            "WORKERS 2",
+            "--rows", "1000",
+        ])
+        assert code == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_query_workers_flag_default(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu BUDGET 30% SEED 1",
+            "--rows", "1000", "--workers", "2",
+        ])
+        assert code == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_query_bad_backend_is_clean_error(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu WORKERS 2 BACKEND gpu",
+            "--rows", "500",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -30,3 +30,14 @@ def test_engine_overhead_within_25pct_of_baseline():
         sys.path.remove(str(BENCHMARKS_DIR))
     failures = check(verbose=False)
     assert not failures, "\n".join(failures)
+
+
+def test_sharded_wall_clock_within_50pct_of_baseline():
+    """Re-runs the small sharded cells against BENCH_sharded.json."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_sharded
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_sharded(verbose=False)
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,110 @@
+"""Session dialect: doctests as tier-1, plus the WORKERS/BACKEND clause."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.session
+from repro.core.result import QueryResult
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.errors import ConfigurationError
+from repro.index.builder import IndexConfig
+from repro.parallel.engine import DistributedResult
+from repro.scoring.relu import ReluScorer
+from repro.session import OpaqueQuerySession, parse_query
+
+
+def test_session_doctests():
+    """Every grammar example in the module docstring runs as written."""
+    results = doctest.testmod(repro.session, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+class TestWorkersClause:
+    def test_workers_parsed(self):
+        parsed = parse_query("SELECT TOP 5 FROM t ORDER BY f WORKERS 4")
+        assert parsed.workers == 4 and parsed.backend is None
+
+    def test_backend_parsed_lowercased(self):
+        parsed = parse_query(
+            "select top 5 from t order by f workers 2 backend THREAD"
+        )
+        assert parsed.workers == 2 and parsed.backend == "thread"
+
+    def test_workers_defaults_absent(self):
+        parsed = parse_query("SELECT TOP 5 FROM t ORDER BY f")
+        assert parsed.workers is None and parsed.backend is None
+        assert parsed.descending is True
+
+    def test_full_clause_order(self):
+        parsed = parse_query(
+            "SELECT TOP 9 FROM t ORDER BY f DESC BUDGET 10% BATCH 4 "
+            "SEED 3 WORKERS 2 BACKEND serial;"
+        )
+        assert (parsed.k, parsed.batch_size, parsed.seed,
+                parsed.workers, parsed.backend) == (9, 4, 3, 2, "serial")
+
+    def test_backend_requires_workers(self):
+        with pytest.raises(ConfigurationError):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f BACKEND thread")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown BACKEND"):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f WORKERS 2 "
+                        "BACKEND gpu")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="WORKERS"):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f WORKERS 0")
+
+
+@pytest.fixture()
+def session():
+    dataset = SyntheticClustersDataset.generate(n_clusters=4,
+                                                per_cluster=100, rng=0)
+    sess = OpaqueQuerySession()
+    sess.register_table("t", dataset,
+                        index_config=IndexConfig(n_clusters=4))
+    sess.register_udf("relu", ReluScorer())
+    return sess
+
+
+class TestWorkersExecution:
+    def test_workers_query_returns_distributed_result(self, session):
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0 WORKERS 2"
+        )
+        assert isinstance(result, DistributedResult)
+        assert len(result.workers) == 2
+        assert len(result.items) == 5
+        assert "workers" in result.summary()
+
+    def test_single_worker_stays_query_result(self, session):
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0 WORKERS 1"
+        )
+        assert isinstance(result, QueryResult)
+
+    def test_flag_default_applies_when_clause_absent(self, session):
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0",
+            workers=3,
+        )
+        assert isinstance(result, DistributedResult)
+        assert len(result.workers) == 3
+
+    def test_invalid_flag_default_rejected(self, session):
+        with pytest.raises(ConfigurationError, match="workers must be"):
+            session.execute("SELECT TOP 5 FROM t ORDER BY relu BUDGET 50",
+                            workers=0)
+
+    def test_explicit_clause_beats_flag_default(self, session):
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0 WORKERS 2",
+            workers=4, backend="thread",
+        )
+        assert len(result.workers) == 2
+        assert result.backend == "thread"  # flag fills the missing clause
