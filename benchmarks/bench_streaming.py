@@ -1,0 +1,246 @@
+"""Streaming-execution benchmark: time-to-first-result + anytime quality.
+
+The round-based coordinator returns nothing until the whole run
+completes; the streaming engine (:mod:`repro.streaming`) yields its first
+merged top-k after one slice of work.  This benchmark quantifies both
+halves of that trade on the same 1M-element synthetic index and blocking
+UDF as ``bench_sharded.py`` (a scorer that really sleeps for its
+latency-model cost — the paper's scoring-dominates regime):
+
+* **time-to-first-result (TTFR)** — wall-clock until the first
+  :class:`~repro.streaming.engine.ProgressiveResult` lands, versus the
+  round-based engine's *total* wall-clock for the same query (the
+  earliest moment it can show anything);
+* **anytime quality** — the (budget spent, STK) curve recorded at every
+  merge, demonstrating how much of the final answer quality is available
+  how early.
+
+Results go to ``BENCH_streaming.json`` in the shared benchmark schema
+(``results[label]`` rows + a headline table), consumed by
+``benchmarks/check_regression.py --benchmark streaming`` and the opt-in
+``pytest -m perf`` gate: the small 20k cells are re-measured against the
+committed baseline, and the committed full rows must keep
+``ttfr_seconds`` strictly below their round-based reference wall-clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_streaming.py --small    # gate cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from bench_sharded import SYNC_INTERVAL, build_dataset
+from repro.core.engine import EngineConfig
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig
+from repro.parallel import ShardedTopKEngine
+from repro.scoring.blocking import BlockingReluScorer
+from repro.streaming import StreamingTopKEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_streaming.json"
+
+FULL_N = 1_000_000
+SMALL_N = 20_000
+K = 50
+BATCH_SIZE = 16
+PER_CALL = 2e-3          # really-blocking seconds per UDF call
+SLICE_BUDGET = 500       # scoring calls per shard per streaming slice
+WORKERS = 4
+MAX_CURVE_POINTS = 60    # committed anytime-quality curve resolution
+
+#: Streaming backends of the full grid; serial doubles as the
+#: deterministic reference, thread/process overlap the blocking UDF.
+FULL_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+#: Regression-gate cells (fast; see check_regression.py --benchmark
+#: streaming).  Serial keeps the gate deterministic, thread exercises the
+#: real arrival path.
+SMALL_BACKENDS: Tuple[str, ...] = ("serial", "thread")
+
+
+def _shared_index_config() -> IndexConfig:
+    return IndexConfig(n_clusters=16, subsample=2_000, flat=True)
+
+
+def measure_round_reference(dataset: InMemoryDataset, budget: int,
+                            backend: str = "serial",
+                            per_call: float = PER_CALL,
+                            seed: int = 0) -> float:
+    """Total wall-clock of the round-based engine on this query.
+
+    Measured per backend so every streaming row is compared like for
+    like: a thread streaming run against the thread round engine, not
+    against the (fully serialized) serial round engine.
+    """
+    scorer = BlockingReluScorer(per_call)
+    engine = ShardedTopKEngine(
+        dataset, scorer, k=K, n_workers=WORKERS, backend=backend,
+        index_config=_shared_index_config(),
+        engine_config=EngineConfig(k=K, batch_size=BATCH_SIZE),
+        sync_interval=SYNC_INTERVAL, seed=seed,
+    )
+    started = time.perf_counter()
+    try:
+        engine.run(budget)
+    finally:
+        engine.close()
+    return time.perf_counter() - started
+
+
+def subsample_curve(curve: List[Tuple[float, int, float]],
+                    max_points: int = MAX_CURVE_POINTS) -> List[List[float]]:
+    """Thin the per-merge trace to a committed-size quality curve."""
+    if len(curve) <= max_points:
+        picked = curve
+    else:
+        step = len(curve) / max_points
+        picked = [curve[int(i * step)] for i in range(max_points)]
+        if picked[-1] != curve[-1]:
+            picked.append(curve[-1])
+    return [[round(wall, 6), spent, round(stk, 6)]
+            for wall, spent, stk in picked]
+
+
+def measure_once(dataset: InMemoryDataset, backend: str, budget: int,
+                 round_wall: float, per_call: float = PER_CALL,
+                 seed: int = 0) -> Dict[str, object]:
+    """One streaming run end to end; TTFR and wall are measured for real."""
+    scorer = BlockingReluScorer(per_call)
+    engine = StreamingTopKEngine(
+        dataset, scorer, k=K, n_workers=WORKERS, backend=backend,
+        index_config=_shared_index_config(),
+        engine_config=EngineConfig(k=K, batch_size=BATCH_SIZE),
+        slice_budget=SLICE_BUDGET, seed=seed,
+    )
+    started = time.perf_counter()
+    ttfr = None
+    try:
+        for _snapshot in engine.results_iter(budget):
+            if ttfr is None:
+                ttfr = time.perf_counter() - started
+        result = engine.result()
+    finally:
+        engine.close()
+    wall = time.perf_counter() - started
+    return {
+        "mode": "streaming",
+        "backend": backend,
+        "workers": WORKERS,
+        "n": len(dataset),
+        "batch_size": BATCH_SIZE,
+        "slice_budget": SLICE_BUDGET,
+        "budget": budget,
+        "n_scored": result.total_scored,
+        "n_merges": result.n_merges,
+        "wall_seconds": wall,
+        "wall_per_element_us": wall / max(1, result.total_scored) * 1e6,
+        "ttfr_seconds": ttfr,
+        "round_wall_seconds": round_wall,
+        "ttfr_speedup_vs_round": round_wall / max(ttfr or 0.0, 1e-12),
+        "stk": result.stk,
+        "quality_curve": subsample_curve(result.progressive),
+    }
+
+
+def run_grid(backends: Sequence[str] = FULL_BACKENDS,
+             n: int = FULL_N, budget: Optional[int] = None,
+             per_call: float = PER_CALL, seed: int = 0,
+             verbose: bool = True) -> List[Dict[str, object]]:
+    """Measure a per-backend round reference, then every streaming cell."""
+    if budget is None:
+        budget = min(n, 20_000)
+    dataset = build_dataset(n, seed=seed)
+    references: Dict[str, float] = {}
+    for backend in dict.fromkeys(backends):
+        references[backend] = measure_round_reference(
+            dataset, budget, backend=backend, per_call=per_call, seed=seed
+        )
+        if verbose:
+            print(f"n={n:>9,}  round-{backend:>7}@{WORKERS} reference: "
+                  f"{references[backend]:8.2f} s total wall")
+    rows: List[Dict[str, object]] = []
+    for backend in backends:
+        row = measure_once(dataset, backend, budget, references[backend],
+                           per_call=per_call, seed=seed)
+        rows.append(row)
+        if verbose:
+            print(f"n={n:>9,}  stream-{backend:>7}@{WORKERS}  "
+                  f"scored={row['n_scored']:>7,}  "
+                  f"wall={row['wall_seconds']:8.2f} s  "
+                  f"ttfr={row['ttfr_seconds']:7.3f} s  "
+                  f"({row['ttfr_speedup_vs_round']:,.0f}x earlier than "
+                  f"round total)")
+    return rows
+
+
+def ttfr_table(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Headline table: first result vs the round engine's total wall."""
+    return [{
+        "backend": row["backend"],
+        "workers": row["workers"],
+        "n": row["n"],
+        "round_wall_seconds": row["round_wall_seconds"],
+        "ttfr_seconds": row["ttfr_seconds"],
+        "ttfr_speedup_vs_round": row["ttfr_speedup_vs_round"],
+        "wall_seconds": row["wall_seconds"],
+    } for row in rows]
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (shared benchmark schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "streaming")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["ttfr"] = ttfr_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--small", action="store_true",
+                        help="only the 20k gate cells")
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--per-call", type=float, default=PER_CALL,
+                        help="really-blocking seconds per UDF call")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    if args.small:
+        rows = run_grid(SMALL_BACKENDS, n=SMALL_N,
+                        budget=args.budget or min(SMALL_N, 4_000),
+                        per_call=args.per_call)
+    else:
+        # Gate cells first (small), then the headline 1M grid.
+        rows = run_grid(SMALL_BACKENDS, n=SMALL_N,
+                        budget=min(SMALL_N, 4_000),
+                        per_call=args.per_call)
+        rows += run_grid(FULL_BACKENDS, n=FULL_N, budget=args.budget,
+                         per_call=args.per_call)
+    for line in ttfr_table(rows):
+        print(f"  stream-{line['backend']:>7}@{line['workers']} "
+              f"n={line['n']:,}: first result {line['ttfr_seconds']:.3f} s "
+              f"vs {line['round_wall_seconds']:.2f} s round total "
+              f"({line['ttfr_speedup_vs_round']:,.0f}x earlier)")
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

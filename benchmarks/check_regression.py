@@ -1,7 +1,7 @@
 """Performance regression gate for the committed benchmark baselines.
 
-Two benchmarks share the same JSON schema (``results[label]`` rows plus a
-``speedup`` table) and hence the same gate machinery:
+Three benchmarks share the same JSON schema (``results[label]`` rows plus
+a headline table) and hence the same gate machinery:
 
 * ``engine`` — re-measures the small engine-overhead configuration (the
   10k-element synthetic index at every batch size) and fails if
@@ -12,6 +12,11 @@ Two benchmarks share the same JSON schema (``results[label]`` rows plus a
   wall-clock-per-element regressed more than ``SHARDED_TOLERANCE``
   (default 50%, real concurrency is noisier) versus the committed rows of
   ``BENCH_sharded.json``.
+* ``streaming`` — checks the committed ``BENCH_streaming.json`` full rows
+  structurally (time-to-first-result must stay strictly below the
+  round-based reference's total wall-clock), then re-measures the small
+  20k streaming cells and fails on >``SHARDED_TOLERANCE`` regression of
+  either wall-clock-per-element or TTFR.
 
 The gate is opt-in — wire-compatible with ``pytest -m perf`` via
 ``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
@@ -20,11 +25,13 @@ hardware regenerate them first with::
 
     PYTHONPATH=src python benchmarks/bench_engine_overhead.py
     PYTHONPATH=src python benchmarks/bench_sharded.py
+    PYTHONPATH=src python benchmarks/bench_streaming.py
 
 Standalone usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py          # engine gate
     PYTHONPATH=src python benchmarks/check_regression.py --benchmark sharded
+    PYTHONPATH=src python benchmarks/check_regression.py --benchmark streaming
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5
 """
 
@@ -124,10 +131,69 @@ def check_sharded(tolerance: float = SHARDED_TOLERANCE,
     return failures
 
 
+def check_streaming(tolerance: float = SHARDED_TOLERANCE,
+                    baseline_path: Optional[Path] = None,
+                    repeats: int = 1, verbose: bool = True) -> List[str]:
+    """Streaming gate: anytime invariants + small-cell wall/TTFR drift.
+
+    Two parts:
+
+    1. *Structural*: every committed full row must show a
+       time-to-first-result strictly below its round-based reference's
+       total wall-clock — the whole point of the streaming mode.
+    2. *Regression*: re-measure the small 20k cells and compare both
+       wall-clock-per-element and TTFR against the committed baseline
+       (fastest of ``repeats``, same noise policy as the sharded gate).
+    """
+    import bench_streaming
+
+    baseline_path = baseline_path or bench_streaming.DEFAULT_OUTPUT
+    committed = load_rows(baseline_path)
+    failures: List[str] = []
+    for row in committed:
+        ttfr = float(row["ttfr_seconds"])
+        round_wall = float(row["round_wall_seconds"])
+        if ttfr >= round_wall:
+            failures.append(
+                f"{row['backend']}@{row['workers']} n={row['n']}: committed "
+                f"ttfr {ttfr:.3f} s is not below the round-based total "
+                f"wall {round_wall:.3f} s"
+            )
+    baseline = {
+        (row["backend"], row["workers"], row["n"]): row
+        for row in committed
+    }
+    best: Dict[tuple, dict] = {}
+    for _ in range(max(1, repeats)):
+        for row in bench_streaming.run_grid(
+                bench_streaming.SMALL_BACKENDS, n=bench_streaming.SMALL_N,
+                budget=4_000, verbose=verbose):
+            key = (row["backend"], row["workers"], row["n"])
+            if (key not in best
+                    or row["wall_per_element_us"]
+                    < best[key]["wall_per_element_us"]):
+                best[key] = row
+    for key, row in best.items():
+        reference = baseline.get(key)
+        if reference is None:
+            continue
+        for metric, unit, fmt in (("wall_per_element_us", "us/elem", ".1f"),
+                                  ("ttfr_seconds", "s ttfr", ".3f")):
+            measured = float(row[metric])
+            allowed = float(reference[metric]) * (1.0 + tolerance)
+            if measured > allowed:
+                failures.append(
+                    f"{key[0]}@{key[1]} n={key[2]}: {measured:{fmt}} {unit} "
+                    f"exceeds baseline {float(reference[metric]):{fmt}} "
+                    f"(+{tolerance:.0%} allowed = {allowed:{fmt}})"
+                )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
-                        choices=("engine", "sharded"),
+                        choices=("engine", "sharded", "streaming"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -135,7 +201,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "sharded":
+    if args.benchmark == "streaming":
+        failures = check_streaming(
+            tolerance=(SHARDED_TOLERANCE if args.tolerance is None
+                       else args.tolerance),
+            baseline_path=args.baseline,
+            repeats=args.repeats,
+        )
+    elif args.benchmark == "sharded":
         failures = check_sharded(
             tolerance=(SHARDED_TOLERANCE if args.tolerance is None
                        else args.tolerance),

@@ -99,7 +99,16 @@ from repro.applications import (
 )
 from repro.session import OpaqueQuerySession, ParsedQuery, parse_query
 from repro.distributed import DistributedTopKExecutor, DistributedResult
-from repro.parallel import ShardedTopKEngine, available_backends
+from repro.parallel import (
+    ShardIndexCache,
+    ShardedTopKEngine,
+    available_backends,
+)
+from repro.streaming import (
+    ProgressiveResult,
+    StreamingResult,
+    StreamingTopKEngine,
+)
 from repro.core.sketches import (
     EquiDepthSketch,
     ExactEmpiricalSketch,
@@ -184,6 +193,10 @@ __all__ = [
     "DistributedTopKExecutor",
     "DistributedResult",
     "ShardedTopKEngine",
+    "ShardIndexCache",
+    "StreamingTopKEngine",
+    "StreamingResult",
+    "ProgressiveResult",
     "available_backends",
     "snapshot_engine",
     "restore_engine",

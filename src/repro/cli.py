@@ -4,15 +4,22 @@ Three commands, mirroring how the library is used:
 
 * ``demo``    — run the quickstart scenario end to end and print the
   quality report.  Configurable dataset size / k / budget / seed, plus
-  ``--workers N`` / ``--backend {serial,thread,process}`` to run the same
-  scenario sharded across parallel workers (see :mod:`repro.parallel`).
+  ``--workers N`` / ``--backend <name>`` to run the same scenario sharded
+  across parallel workers (see :mod:`repro.parallel`) and ``--stream`` /
+  ``--every N`` to run it barrier-free with live progressive output (see
+  :mod:`repro.streaming`).
 * ``query``   — execute one SQL-ish opaque top-k query (see
   :mod:`repro.session`) against a generated demo table.  The dialect's
-  ``WORKERS <w> [BACKEND <b>]`` clause — or the equivalent ``--workers`` /
-  ``--backend`` flags — shards the query; an explicit clause in the SQL
-  wins over the flags.
+  ``WORKERS <w> [BACKEND <b>]`` and ``STREAM [EVERY <n>]`` clauses — or
+  the equivalent ``--workers`` / ``--backend`` / ``--stream`` /
+  ``--every`` flags — select the execution mode; an explicit clause in
+  the SQL wins over the flags.
 * ``info``    — print version, module inventory, the experiment index, and
-  the available parallel backends.
+  the available execution backends.
+
+Backend names are introspected from the :mod:`repro.parallel` /
+:mod:`repro.streaming` registries (one shared vocabulary), never
+hard-coded here.
 """
 
 from __future__ import annotations
@@ -24,7 +31,24 @@ from typing import List, Optional
 import numpy as np
 
 
+def _backend_choices() -> List[str]:
+    """The shared backend vocabulary, introspected from the registries."""
+    from repro.parallel import available_backends
+
+    return available_backends()
+
+
+def _add_stream_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--stream", action="store_true",
+                         help="execute barrier-free with live progressive "
+                              "output (merge on arrival)")
+    command.add_argument("--every", type=int, default=None,
+                         help="progressive snapshot granularity in scored "
+                              "elements (implies --stream)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    backends = _backend_choices()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Approximate opaque top-k queries "
@@ -34,7 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser(
         "demo",
-        help="run the quickstart scenario (optionally sharded: --workers)",
+        help="run the quickstart scenario "
+             "(optionally sharded: --workers; streaming: --stream)",
     )
     demo.add_argument("--clusters", type=int, default=20)
     demo.add_argument("--per-cluster", type=int, default=500)
@@ -44,29 +69,36 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--workers", type=int, default=1,
                       help="shard the query across this many workers "
                            "(default 1: single engine)")
-    demo.add_argument("--backend", default="serial",
-                      help="parallel backend for --workers > 1: "
-                           "serial, thread, or process (default serial)")
+    demo.add_argument("--backend", default="serial", choices=backends,
+                      help="execution backend for --workers > 1 or "
+                           "--stream (default serial)")
+    _add_stream_flags(demo)
 
     query = sub.add_parser(
         "query",
-        help="run one SQL-ish query on a demo table "
-             "(supports WORKERS/BACKEND clauses and flags)",
+        help="run one SQL-ish query on a demo table (supports "
+             "WORKERS/BACKEND/STREAM clauses and flags)",
     )
     query.add_argument("sql", help='e.g. "SELECT TOP 50 FROM demo ORDER BY '
-                                   'relu BUDGET 20%% WORKERS 4"')
+                                   'relu BUDGET 20%% WORKERS 4 STREAM"')
     query.add_argument("--rows", type=int, default=5_000)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--workers", type=int, default=None,
                        help="default worker count when the query has no "
                             "WORKERS clause")
-    query.add_argument("--backend", default=None,
+    query.add_argument("--backend", default=None, choices=backends,
                        help="default backend when the query has no "
-                            "BACKEND clause (serial, thread, process)")
+                            "BACKEND clause")
+    _add_stream_flags(query)
 
     sub.add_parser("info",
-                   help="print version, inventory, and parallel backends")
+                   help="print version, inventory, and execution backends")
     return parser
+
+
+def _print_progressive(snapshot) -> None:
+    """One live line per progressive snapshot (ProgressiveResult.summary)."""
+    print(f"  {snapshot.summary()}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -82,7 +114,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     budget = max(args.k, int(args.budget_fraction * len(dataset)))
     truth = compute_ground_truth(dataset, scorer)
     optimal = truth.optimal_stk(args.k)
-    if args.workers > 1:
+    streaming_mode = args.stream or args.every is not None
+    if streaming_mode:
+        from repro.streaming import StreamingTopKEngine
+
+        with StreamingTopKEngine(dataset, scorer, k=args.k,
+                                 n_workers=max(1, args.workers),
+                                 backend=args.backend,
+                                 seed=args.seed) as streaming:
+            for snapshot in streaming.results_iter(budget, every=args.every):
+                _print_progressive(snapshot)
+            result = streaming.result()
+        print(result.summary())
+        print(f"backend: {result.backend}, "
+              f"{len(result.workers)} workers, "
+              f"{result.n_merges} merges")
+    elif args.workers > 1:
         from repro.parallel import ShardedTopKEngine
 
         with ShardedTopKEngine(dataset, scorer, k=args.k,
@@ -102,7 +149,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"STK fraction of optimal: {result.stk / optimal:.1%}")
     print(f"Precision@{args.k}: "
           f"{precision_at_k(result.ids, truth, args.k):.1%}")
-    n_scored = (result.total_scored if args.workers > 1
+    n_scored = (result.total_scored
+                if streaming_mode or args.workers > 1
                 else result.n_scored)
     print(f"UDF calls: {n_scored:,} of {len(dataset):,} "
           f"({n_scored / len(dataset):.0%})")
@@ -110,7 +158,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro import OpaqueQuerySession, ReluScorer
+    from repro import OpaqueQuerySession, ReluScorer, parse_query
     from repro.data.synthetic import SyntheticClustersDataset
     from repro.index.builder import IndexConfig
     from repro.scoring.base import FunctionScorer
@@ -128,13 +176,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session.register_udf("relu", ReluScorer())
     session.register_udf("squared",
                          FunctionScorer(lambda v: float(v) ** 2))
-    result = session.execute(args.sql, workers=args.workers,
-                             backend=args.backend)
-    print(result.summary())
-    for element_id, score in result.items[:10]:
+    streaming_mode = args.stream or args.every is not None
+    if not streaming_mode:
+        try:
+            streaming_mode = parse_query(args.sql).stream
+        except Exception:
+            pass  # let execute() raise the clean parse error below
+    if streaming_mode:
+        snapshot = None
+        for snapshot in session.stream(args.sql, workers=args.workers,
+                                       backend=args.backend,
+                                       every=args.every):
+            _print_progressive(snapshot)
+        items = snapshot.top_k if snapshot is not None else []
+    else:
+        result = session.execute(args.sql, workers=args.workers,
+                                 backend=args.backend)
+        print(result.summary())
+        items = result.items
+    for element_id, score in items[:10]:
         print(f"  {element_id}\t{score:.4f}")
-    if len(result.items) > 10:
-        print(f"  ... {len(result.items) - 10} more rows")
+    if len(items) > 10:
+        print(f"  ... {len(items) - 10} more rows")
     return 0
 
 
@@ -143,6 +206,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
     import repro
     from repro.parallel import available_backends
+    from repro.streaming import available_backends as stream_backends
 
     print(f"repro {repro.__version__} — Approximating Opaque Top-k Queries "
           "(SIGMOD 2025 reproduction)")
@@ -158,9 +222,11 @@ def _cmd_info(_args: argparse.Namespace) -> int:
         ("repro.experiments", "ground truth, metrics, runner, reports"),
         ("repro.applications", "data acquisition over source unions"),
         ("repro.session", "SQL-ish declarative interface "
-                          "(WORKERS clause for sharded queries)"),
+                          "(WORKERS / STREAM clauses)"),
         ("repro.parallel", "sharded execution: per-worker index + engine, "
                            "coordinator merge, threshold broadcast"),
+        ("repro.streaming", "barrier-free pipeline: merge on arrival, "
+                            "anytime progressive results"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
@@ -169,6 +235,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           f"({os.cpu_count() or 1} CPU core(s) available); "
           "'process' uses real cores, 'thread' suits GIL-releasing UDFs, "
           "'serial' is the deterministic simulation")
+    print(f"streaming backends: {', '.join(stream_backends())} "
+          "(same names, barrier-free merge-on-arrival execution)")
     print("\nexperiments: benchmarks/bench_fig{2,4,5,6,7,8,9}_*.py "
           "+ bench_theory_regret.py + bench_ablation_design.py")
     print("run: pytest benchmarks/ --benchmark-only")

@@ -24,6 +24,7 @@ from repro.parallel.backends import (
     available_backends,
     make_backend,
 )
+from repro.parallel.cache import ShardIndexCache, shard_cache_key
 from repro.parallel.engine import (
     DistributedResult,
     ShardedTopKEngine,
@@ -35,6 +36,7 @@ from repro.parallel.worker import (
     ShardDataset,
     ShardSpec,
     ShardWorker,
+    build_shard_specs,
     partition_ids,
 )
 
@@ -46,13 +48,16 @@ __all__ = [
     "SerialBackend",
     "ShardBackend",
     "ShardDataset",
+    "ShardIndexCache",
     "ShardSpec",
     "ShardWorker",
     "ShardedTopKEngine",
     "ThreadBackend",
     "WorkerReport",
     "available_backends",
+    "build_shard_specs",
     "make_backend",
     "merge_worker_topk",
     "partition_ids",
+    "shard_cache_key",
 ]

@@ -78,6 +78,16 @@ class ShardBackend:
         """Collect every shard's engine snapshot (see core.snapshot)."""
         raise NotImplementedError
 
+    def inline_workers(self) -> Optional[List[ShardWorker]]:
+        """The live :class:`ShardWorker` list when it exists in-process.
+
+        Backends whose shards live in the coordinator process (serial,
+        thread) return them so the coordinator can harvest freshly built
+        shard indexes into a :class:`~repro.parallel.cache.ShardIndexCache`;
+        placement-remote backends (process) return ``None``.
+        """
+        return None
+
     def close(self) -> None:
         """Release any pools; idempotent."""
 
@@ -111,6 +121,9 @@ class SerialBackend(ShardBackend):
     def snapshots(self) -> List[dict]:
         return [worker.snapshot() for worker in self.workers]
 
+    def inline_workers(self) -> Optional[List[ShardWorker]]:
+        return self.workers
+
 
 class ThreadBackend(ShardBackend):
     """One thread per shard per round via ThreadPoolExecutor."""
@@ -142,6 +155,9 @@ class ThreadBackend(ShardBackend):
 
     def snapshots(self) -> List[dict]:
         return [worker.snapshot() for worker in self.workers]
+
+    def inline_workers(self) -> Optional[List[ShardWorker]]:
+        return self.workers
 
     def close(self) -> None:
         if self._pool is not None:

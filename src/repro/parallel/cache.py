@@ -1,0 +1,98 @@
+"""Cross-run cache of per-shard partitions and partition indexes.
+
+Sharded (round-based) and streaming runs over the same table rebuild
+identical per-partition artefacts whenever they share the partitioning
+inputs: partitions are dealt by
+``RngFactory(root_entropy).named("partition")`` and each shard's index is
+built from ``named(f"index:{w}")`` over the partition's features, so both
+are pure functions of ``(root entropy, worker count, index config)`` for a
+fixed immutable dataset.  :class:`ShardIndexCache` memoizes the
+``(partitions, indexes)`` pair under exactly that key, letting a repeat
+query skip the shuffle and every per-shard k-means fit — the ROADMAP's
+"sharded runs rebuild per-partition indexes at start" open item.
+
+Sharing rules
+-------------
+* One cache maps to one immutable dataset.  The session layer keeps one
+  cache per registered table; library users who share a cache across
+  engines must do the same.
+* A cache hit is **bit-identical** to a rebuild: named RNG streams are
+  independent per name, so skipping the ``partition`` / ``index:{w}``
+  draws never perturbs the ``engine:{w}`` streams.
+* Indexes are harvested only from backends whose workers live in the
+  coordinator process (``serial``/``thread``); the ``process`` backend's
+  indexes are born in child processes and are never reached into.  A warm
+  cache still *serves* every backend via
+  :attr:`~repro.parallel.worker.ShardSpec.prebuilt_index` (the tree is
+  picklable, so it ships to children instead of being rebuilt there).
+* Entries are LRU-bounded (default 8) because fresh-entropy runs
+  (``seed=None``) can never hit and would otherwise grow the cache without
+  bound.
+
+The cluster tree is read-only at query time — the bandit mirrors it into
+its own :class:`~repro.core.hierarchical.BanditNode` objects and arms copy
+their member lists — so one cached index may back many concurrent engines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.index.builder import IndexConfig
+from repro.index.tree import ClusterTree
+
+#: (root_entropy, n_workers, index-config fingerprint, n_elements)
+CacheKey = Tuple[int, int, str, int]
+
+#: (partitions, per-worker indexes), id-aligned with worker order.
+CacheEntry = Tuple[List[List[str]], List[ClusterTree]]
+
+
+def shard_cache_key(root_entropy: int, n_workers: int,
+                    index_config: Optional[IndexConfig],
+                    n_elements: int) -> CacheKey:
+    """The full determinism fingerprint of one sharded index build."""
+    return (int(root_entropy), int(n_workers), repr(index_config),
+            int(n_elements))
+
+
+class ShardIndexCache:
+    """LRU cache of ``(partitions, shard indexes)`` keyed by build inputs."""
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Fetch (and LRU-touch) an entry; count the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, partitions: List[List[str]],
+            indexes: List[ClusterTree]) -> None:
+        """Store one build, evicting the least recently used beyond capacity."""
+        if len(partitions) != len(indexes):
+            raise ValueError(
+                f"{len(partitions)} partitions for {len(indexes)} indexes"
+            )
+        self._entries[key] = ([list(p) for p in partitions], list(indexes))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

@@ -20,6 +20,12 @@ simulation bit for bit (same RNG streams, same budget split, same merge
 order, same virtual clock); ``thread`` and ``process`` run the same
 protocol on real concurrency and measure real wall-clock.  See
 ``docs/architecture.md`` for the protocol invariants.
+
+Two cross-cutting siblings: :mod:`repro.streaming` runs the same
+shard/coordinator protocol *without* the round barrier (continuous
+slices, merge on arrival, anytime progressive results), and
+:mod:`repro.parallel.cache` shares per-shard partition indexes across
+round and streaming runs on the same dataset.
 """
 
 from __future__ import annotations
@@ -34,11 +40,12 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError, SerializationError
 from repro.index.builder import IndexConfig
 from repro.parallel.backends import ShardBackend, make_backend
+from repro.parallel.cache import ShardIndexCache
 from repro.parallel.worker import (
     RoundOutcome,
     ShardSpec,
-    partition_ids,
-    shard_features,
+    build_shard_specs,
+    harvest_shard_indexes,
 )
 from repro.scoring.base import Scorer
 from repro.utils.rng import RngFactory
@@ -128,6 +135,11 @@ class ShardedTopKEngine:
         Root seed; shards get independent derived streams regardless of the
         backend (the root entropy travels to child processes, not live
         generators).
+    index_cache:
+        Optional :class:`~repro.parallel.cache.ShardIndexCache` shared
+        across runs on the same immutable dataset: a hit reuses the cached
+        partitions and per-shard indexes bit-identically; a miss harvests
+        them after the build (in-process backends only).
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -137,7 +149,8 @@ class ShardedTopKEngine:
                  engine_config: Optional[EngineConfig] = None,
                  sync_interval: int = 100,
                  share_threshold: bool = True,
-                 seed=None) -> None:
+                 seed=None,
+                 index_cache: Optional[ShardIndexCache] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -162,6 +175,7 @@ class ShardedTopKEngine:
         self._root_entropy = self._factory._root.entropy
         self._index_config = index_config
         self._engine_config = engine_config or EngineConfig(k=k)
+        self._index_cache = index_cache
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -178,6 +192,7 @@ class ShardedTopKEngine:
         self._last_outcomes: List[Optional[RoundOutcome]] = [None] * self.n_workers
         self._resume_count = 0
         self._restore_payloads: Optional[List[dict]] = None
+        self._cache_hit = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -194,37 +209,17 @@ class ShardedTopKEngine:
     # -- setup ---------------------------------------------------------------
 
     def _build_specs(self) -> List[ShardSpec]:
-        self._partitions = partition_ids(
-            self.dataset.ids(), self.n_workers,
-            self._factory.named("partition"),
+        self._partitions, specs, self._cache_hit = build_shard_specs(
+            self.dataset, self.scorer,
+            n_workers=self.n_workers, k=self.k,
+            engine_config=self._engine_config,
+            index_config=self._index_config,
+            factory=self._factory, root_entropy=self._root_entropy,
+            materialize=self.backend.name == "process",
+            restore_payloads=self._restore_payloads,
+            resume_count=self._resume_count,
+            index_cache=self._index_cache,
         )
-        materialize = self.backend.name == "process"
-        specs: List[ShardSpec] = []
-        for worker, members in enumerate(self._partitions):
-            snapshot = None
-            resume_seed = None
-            if self._restore_payloads is not None:
-                snapshot = self._restore_payloads[worker]
-                resume_seed = int(
-                    self._factory.named(
-                        f"resume:{worker}:{self._resume_count}"
-                    ).integers(2**31)
-                )
-            specs.append(ShardSpec(
-                worker_id=worker,
-                member_ids=list(members),
-                k=self.k,
-                engine_config=self._engine_config,
-                index_config=self._index_config,
-                root_entropy=self._root_entropy,
-                scorer=self.scorer if materialize else None,
-                objects=(self.dataset.fetch_batch(members)
-                         if materialize else None),
-                features=(shard_features(self.dataset, members)
-                          if materialize else None),
-                engine_snapshot=snapshot,
-                resume_seed=resume_seed,
-            ))
         return specs
 
     def _ensure_started(self) -> None:
@@ -232,6 +227,15 @@ class ShardedTopKEngine:
             return
         self.backend.start(self._build_specs(), self.dataset, self.scorer)
         self._started = True
+        if not self._cache_hit:
+            harvest_shard_indexes(
+                self._index_cache,
+                root_entropy=self._root_entropy,
+                index_config=self._index_config,
+                n_elements=len(self.dataset),
+                partitions=self._partitions,
+                workers=self.backend.inline_workers(),
+            )
 
     # -- execution -----------------------------------------------------------
 
@@ -353,6 +357,7 @@ class ShardedTopKEngine:
                 backend: Optional[str] = None,
                 index_config: Optional[IndexConfig] = None,
                 engine_config: Optional[EngineConfig] = None,
+                index_cache: Optional[ShardIndexCache] = None,
                 ) -> "ShardedTopKEngine":
         """Rebuild a sharded run from :meth:`snapshot` output.
 
@@ -377,6 +382,7 @@ class ShardedTopKEngine:
             sync_interval=int(snapshot["sync_interval"]),
             share_threshold=bool(snapshot["share_threshold"]),
             seed=None,
+            index_cache=index_cache,
         )
         # Re-anchor the RNG streams to the original run's root entropy so
         # partitions and shard indexes rebuild identically.

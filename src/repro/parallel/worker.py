@@ -114,6 +114,7 @@ class ShardSpec:
     features: Optional[np.ndarray] = None    # partition features, id-aligned
     engine_snapshot: Optional[dict] = None   # resume payload
     resume_seed: Optional[int] = None
+    prebuilt_index: Optional[ClusterTree] = None  # cache hit: skip the build
 
 
 @dataclass
@@ -129,6 +130,88 @@ class RoundOutcome:
     n_scored_total: int
     local_stk: float
     fallback_events: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
+                      engine_config: EngineConfig,
+                      index_config: Optional[IndexConfig],
+                      factory: RngFactory, root_entropy: int,
+                      materialize: bool,
+                      restore_payloads: Optional[List[dict]] = None,
+                      resume_count: int = 0,
+                      index_cache=None,
+                      ) -> Tuple[List[List[str]], List[ShardSpec], bool]:
+    """Partition the dataset and assemble one :class:`ShardSpec` per worker.
+
+    Shared by the round-based (:mod:`repro.parallel.engine`) and streaming
+    (:mod:`repro.streaming.engine`) coordinators so both produce identical
+    shards from identical inputs.  When ``index_cache`` (a
+    :class:`~repro.parallel.cache.ShardIndexCache`) holds an entry for this
+    build's key, the cached partitions are reused and each spec carries its
+    ``prebuilt_index``, skipping the per-shard k-means fits bit-identically
+    (named RNG streams are independent per name).  Returns
+    ``(partitions, specs, cache_hit)``.
+    """
+    from repro.parallel.cache import shard_cache_key
+
+    cached = None
+    if index_cache is not None:
+        key = shard_cache_key(root_entropy, n_workers, index_config,
+                              len(dataset))
+        cached = index_cache.get(key)
+    if cached is not None:
+        partitions, indexes = cached
+        partitions = [list(p) for p in partitions]
+    else:
+        partitions = partition_ids(dataset.ids(), n_workers,
+                                   factory.named("partition"))
+        indexes = [None] * n_workers
+    specs: List[ShardSpec] = []
+    for worker, members in enumerate(partitions):
+        snapshot = None
+        resume_seed = None
+        if restore_payloads is not None:
+            snapshot = restore_payloads[worker]
+            resume_seed = int(
+                factory.named(f"resume:{worker}:{resume_count}")
+                .integers(2**31)
+            )
+        specs.append(ShardSpec(
+            worker_id=worker,
+            member_ids=list(members),
+            k=k,
+            engine_config=engine_config,
+            index_config=index_config,
+            root_entropy=root_entropy,
+            scorer=scorer if materialize else None,
+            objects=(dataset.fetch_batch(members) if materialize else None),
+            features=(shard_features(dataset, members)
+                      if materialize else None),
+            engine_snapshot=snapshot,
+            resume_seed=resume_seed,
+            prebuilt_index=indexes[worker],
+        ))
+    return partitions, specs, cached is not None
+
+
+def harvest_shard_indexes(index_cache, *, root_entropy: int,
+                          index_config: Optional[IndexConfig],
+                          n_elements: int,
+                          partitions: List[List[str]],
+                          workers: Optional[List["ShardWorker"]]) -> None:
+    """Store freshly built shard indexes from in-process workers.
+
+    No-op when there is no cache, the entry already exists, or the backend
+    keeps its workers out of reach (``process`` children own their
+    indexes).
+    """
+    from repro.parallel.cache import shard_cache_key
+
+    if index_cache is None or workers is None or not partitions:
+        return
+    key = shard_cache_key(root_entropy, len(partitions), index_config,
+                          n_elements)
+    index_cache.put(key, partitions, [worker.index for worker in workers])
 
 
 class ShardWorker:
@@ -147,16 +230,25 @@ class ShardWorker:
             raise ValueError("shard needs a scorer (inline or via spec)")
         self.scorer = scorer
         factory = RngFactory(spec.root_entropy)
-        if spec.features is not None:
-            features = np.asarray(spec.features, dtype=float)
+        if spec.prebuilt_index is not None:
+            # Cache hit: the tree is a pure function of (root entropy,
+            # worker id, partition, index config), and it is read-only at
+            # query time (the bandit mirrors it into its own nodes), so
+            # reuse is bit-identical to a rebuild.  Named RNG streams are
+            # independent, so skipping the index:{w} draws never perturbs
+            # the engine:{w} stream derived below.
+            self.index: ClusterTree = spec.prebuilt_index
         else:
-            features = shard_features(self.dataset, self.member_ids)
-        local_config = shard_index_config(spec.index_config,
-                                          len(self.member_ids))
-        self.index: ClusterTree = build_index(
-            features, self.member_ids, local_config,
-            rng=factory.named(f"index:{self.worker_id}"),
-        )
+            if spec.features is not None:
+                features = np.asarray(spec.features, dtype=float)
+            else:
+                features = shard_features(self.dataset, self.member_ids)
+            local_config = shard_index_config(spec.index_config,
+                                              len(self.member_ids))
+            self.index = build_index(
+                features, self.member_ids, local_config,
+                rng=factory.named(f"index:{self.worker_id}"),
+            )
         engine_seed = int(
             factory.named(f"engine:{self.worker_id}").integers(2**31)
         )

@@ -15,6 +15,7 @@ optional trailing ``;``::
         [BATCH <b>]
         [SEED <s>]
         [WORKERS <w> [BACKEND serial|thread|process]]
+        [STREAM [EVERY <n>]]
 
 Clause semantics, each with a runnable example:
 
@@ -79,6 +80,23 @@ and ``process`` run on real concurrency.  Default: ``serial``.
     ... ).backend
     'process'
 
+``STREAM [EVERY <n>]`` — execute barrier-free (see :mod:`repro.streaming`):
+shard workers run continuously in small budget slices, the coordinator
+merges outcomes on arrival, and progressive snapshots are available from
+the first slice onward.  ``EVERY <n>`` throttles snapshots to one per
+``n`` scored elements (default: one per slice).
+:meth:`OpaqueQuerySession.execute` returns the final
+:class:`~repro.streaming.engine.StreamingResult`;
+:meth:`OpaqueQuerySession.stream` yields the
+:class:`~repro.streaming.engine.ProgressiveResult` snapshots live.
+
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f STREAM").stream
+    True
+    >>> parse_query(
+    ...     "SELECT TOP 5 FROM t ORDER BY f WORKERS 4 STREAM EVERY 200"
+    ... ).every
+    200
+
 Malformed queries raise :class:`~repro.errors.ConfigurationError` with the
 expected shape:
 
@@ -87,8 +105,8 @@ expected shape:
         ...
     repro.errors.ConfigurationError: could not parse query; expected: \
 SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC] [BUDGET <n> | \
-BUDGET <p>%] [BATCH <b>] [SEED <s>] [WORKERS <w> [BACKEND <name>]] — \
-got 'SELECT * FROM t'
+BUDGET <p>%] [BATCH <b>] [SEED <s>] [WORKERS <w> [BACKEND <name>]] \
+[STREAM [EVERY <n>]] — got 'SELECT * FROM t'
 
 The session builds (and caches) one index per table — the index is
 task-independent, so every UDF registered against a table reuses it — and
@@ -96,14 +114,20 @@ runs the anytime engine for the requested budget.  ``WORKERS`` queries
 instead build one index per partition inside
 :class:`~repro.parallel.engine.ShardedTopKEngine` and return its
 :class:`~repro.parallel.engine.DistributedResult` (same ``items`` /
-``summary()`` surface as :class:`~repro.core.result.QueryResult`).
+``summary()`` surface as :class:`~repro.core.result.QueryResult`);
+``STREAM`` queries run the barrier-free
+:class:`~repro.streaming.engine.StreamingTopKEngine` instead.  Per-shard
+partition indexes are cached across sharded *and* streaming runs on the
+same table (one :class:`~repro.parallel.cache.ShardIndexCache` per
+table), so repeat queries with the same seed, worker count, and index
+configuration skip every per-partition k-means fit.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.engine import EngineConfig, TopKEngine
 from repro.core.result import QueryResult
@@ -112,8 +136,14 @@ from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
 from repro.parallel.backends import available_backends
+from repro.parallel.cache import ShardIndexCache
 from repro.parallel.engine import DistributedResult, ShardedTopKEngine
 from repro.scoring.base import Scorer
+from repro.streaming.engine import (
+    ProgressiveResult,
+    StreamingResult,
+    StreamingTopKEngine,
+)
 
 _QUERY_RE = re.compile(
     r"""
@@ -126,6 +156,8 @@ _QUERY_RE = re.compile(
     (?:\s+SEED\s+(?P<seed>\d+))?
     (?:\s+WORKERS\s+(?P<workers>\d+)
        (?:\s+BACKEND\s+(?P<backend>[A-Za-z_]+))?)?
+    (?:\s+(?P<stream>STREAM)
+       (?:\s+EVERY\s+(?P<every>\d+))?)?
     \s*;?\s*$
     """,
     re.IGNORECASE | re.VERBOSE,
@@ -146,6 +178,8 @@ class ParsedQuery:
     descending: bool = True        # DESC is documentary; top-k maximizes
     workers: Optional[int] = None  # WORKERS clause (None = not specified)
     backend: Optional[str] = None  # BACKEND clause (None = not specified)
+    stream: bool = False           # STREAM clause (barrier-free execution)
+    every: Optional[int] = None    # EVERY clause (snapshot granularity)
 
 
 def parse_query(text: str) -> ParsedQuery:
@@ -158,7 +192,8 @@ def parse_query(text: str) -> ParsedQuery:
         raise ConfigurationError(
             "could not parse query; expected: SELECT TOP <k> FROM <table> "
             "ORDER BY <udf> [DESC] [BUDGET <n> | BUDGET <p>%] [BATCH <b>] "
-            f"[SEED <s>] [WORKERS <w> [BACKEND <name>]] — got {text!r}"
+            "[SEED <s>] [WORKERS <w> [BACKEND <name>]] "
+            f"[STREAM [EVERY <n>]] — got {text!r}"
         )
     groups = match.groupdict()
     budget: Optional[int] = None
@@ -188,6 +223,11 @@ def parse_query(text: str) -> ParsedQuery:
                 f"unknown BACKEND {backend!r}; available: "
                 f"{', '.join(available_backends())}"
             )
+    every: Optional[int] = None
+    if groups["every"] is not None:
+        every = int(groups["every"])
+        if every <= 0:
+            raise ConfigurationError("EVERY must be positive")
     return ParsedQuery(
         k=int(groups["k"]),
         table=groups["table"],
@@ -199,6 +239,8 @@ def parse_query(text: str) -> ParsedQuery:
         descending=True,
         workers=workers,
         backend=backend,
+        stream=groups["stream"] is not None,
+        every=every,
     )
 
 
@@ -214,7 +256,12 @@ class OpaqueQuerySession:
         self._udfs: Dict[str, Scorer] = {}
         self._default_index_config = default_index_config
         self._index_seed = index_seed
-        self._sync_interval = sync_interval  # WORKERS merge cadence
+        self._sync_interval = sync_interval  # WORKERS merge / slice cadence
+        # Per-table cache of per-shard partition indexes, shared by the
+        # sharded (round) and streaming engines: datasets are immutable
+        # once registered, so a repeat query with the same seed / worker
+        # count / index config reuses every partition index.
+        self._shard_caches: Dict[str, ShardIndexCache] = {}
 
     # -- registration --------------------------------------------------------
 
@@ -257,20 +304,20 @@ class OpaqueQuerySession:
             )
         return self._indexes[table]
 
-    def execute(self, query: str, *,
-                workers: Optional[int] = None,
-                backend: Optional[str] = None,
-                ) -> Union[QueryResult, DistributedResult]:
-        """Parse and run one query.
+    def _shard_cache_for(self, table: str) -> ShardIndexCache:
+        """The table's cross-run cache of per-shard partition indexes."""
+        if table not in self._shard_caches:
+            self._shard_caches[table] = ShardIndexCache()
+        return self._shard_caches[table]
 
-        ``workers`` / ``backend`` are caller-side defaults (e.g. CLI
-        flags); an explicit ``WORKERS`` / ``BACKEND`` clause in the query
-        text wins.  Single-engine queries return a
-        :class:`~repro.core.result.QueryResult`; ``WORKERS > 1`` queries
-        run sharded and return a
-        :class:`~repro.parallel.engine.DistributedResult`.
+    def _resolve(self, parsed: ParsedQuery,
+                 workers: Optional[int], backend: Optional[str],
+                 ) -> Tuple[Dataset, Scorer, Optional[int], int, str]:
+        """Check registrations and resolve execution parameters.
+
+        Returns ``(dataset, scorer, budget, n_workers, backend_name)``;
+        explicit clauses in the query text beat the caller-side defaults.
         """
-        parsed = parse_query(query)
         if parsed.table not in self._tables:
             raise ConfigurationError(
                 f"unknown table {parsed.table!r}; registered: "
@@ -285,7 +332,8 @@ class OpaqueQuerySession:
         scorer = self._udfs[parsed.udf]
         budget = parsed.budget
         if parsed.budget_fraction is not None:
-            budget = max(parsed.k, int(parsed.budget_fraction * len(dataset)))
+            budget = max(parsed.k,
+                         int(parsed.budget_fraction * len(dataset)))
         if workers is not None and workers <= 0:
             raise ConfigurationError(
                 f"workers must be positive, got {workers!r}"
@@ -294,6 +342,58 @@ class OpaqueQuerySession:
             workers if workers is not None else 1
         )
         backend_name = parsed.backend or backend or "serial"
+        return dataset, scorer, budget, n_workers, backend_name
+
+    def _streaming_engine(self, parsed: ParsedQuery, dataset: Dataset,
+                          scorer: Scorer, n_workers: int,
+                          backend_name: str) -> StreamingTopKEngine:
+        return StreamingTopKEngine(
+            dataset, scorer, k=parsed.k,
+            n_workers=n_workers,
+            backend=backend_name,
+            index_config=self._index_configs.get(
+                parsed.table, self._default_index_config
+            ),
+            engine_config=EngineConfig(
+                k=parsed.k, batch_size=parsed.batch_size,
+            ),
+            slice_budget=self._sync_interval,
+            seed=parsed.seed,
+            index_cache=self._shard_cache_for(parsed.table),
+        )
+
+    def execute(self, query: str, *,
+                workers: Optional[int] = None,
+                backend: Optional[str] = None,
+                stream: Optional[bool] = None,
+                every: Optional[int] = None,
+                ) -> Union[QueryResult, DistributedResult, StreamingResult]:
+        """Parse and run one query.
+
+        ``workers`` / ``backend`` / ``stream`` / ``every`` are caller-side
+        defaults (e.g. CLI flags); explicit ``WORKERS`` / ``BACKEND`` /
+        ``STREAM EVERY`` clauses in the query text win.  Single-engine
+        queries return a :class:`~repro.core.result.QueryResult`;
+        ``WORKERS > 1`` queries run sharded and return a
+        :class:`~repro.parallel.engine.DistributedResult`; ``STREAM``
+        queries run barrier-free and return the final
+        :class:`~repro.streaming.engine.StreamingResult` (use
+        :meth:`stream` to consume the progressive snapshots live).
+        """
+        parsed = parse_query(query)
+        dataset, scorer, budget, n_workers, backend_name = self._resolve(
+            parsed, workers, backend
+        )
+        if parsed.stream or stream:
+            streaming = self._streaming_engine(
+                parsed, dataset, scorer, n_workers, backend_name
+            )
+            try:
+                return streaming.run(
+                    budget, every=parsed.every or every
+                )
+            finally:
+                streaming.close()
         if n_workers > 1:
             sharded = ShardedTopKEngine(
                 dataset, scorer, k=parsed.k,
@@ -307,6 +407,7 @@ class OpaqueQuerySession:
                 ),
                 sync_interval=self._sync_interval,
                 seed=parsed.seed,
+                index_cache=self._shard_cache_for(parsed.table),
             )
             try:
                 return sharded.run(budget)
@@ -320,3 +421,29 @@ class OpaqueQuerySession:
             / max(1, parsed.batch_size),
         )
         return engine.run(dataset, scorer, budget=budget)
+
+    def stream(self, query: str, *,
+               workers: Optional[int] = None,
+               backend: Optional[str] = None,
+               every: Optional[int] = None,
+               ) -> Iterator[ProgressiveResult]:
+        """Run one query barrier-free, yielding progressive snapshots.
+
+        Any query is accepted (a ``STREAM`` clause is implied); snapshots
+        arrive from the first slice onward and the last one carries
+        ``converged=True``.  ``workers`` / ``backend`` / ``every`` default
+        the missing clauses, as in :meth:`execute`.
+        """
+        parsed = parse_query(query)
+        dataset, scorer, budget, n_workers, backend_name = self._resolve(
+            parsed, workers, backend
+        )
+        streaming = self._streaming_engine(
+            parsed, dataset, scorer, n_workers, backend_name
+        )
+        try:
+            yield from streaming.results_iter(
+                budget, every=parsed.every or every
+            )
+        finally:
+            streaming.close()

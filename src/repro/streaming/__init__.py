@@ -1,0 +1,50 @@
+"""Barrier-free streaming execution of opaque top-k queries.
+
+Where :mod:`repro.parallel` runs the paper's Section 6 shard/coordinator
+protocol in synchronized rounds, this subsystem runs it as a *pipeline*:
+shard workers execute continuously in small budget slices, an
+event-driven coordinator merges each slice outcome the moment it arrives,
+the k-th-score threshold is re-broadcast asynchronously (picked up at the
+next slice boundary), and callers consume an **anytime results API** —
+:meth:`~repro.streaming.engine.StreamingTopKEngine.results_iter` yields
+:class:`~repro.streaming.engine.ProgressiveResult` snapshots from the
+first slice onward, with an early-stop rule once the top-k is stable.
+
+Backends mirror :mod:`repro.parallel` name for name (``serial`` is a
+deterministic event-driven simulation; ``thread`` / ``process`` run real
+concurrency on the same picklable :class:`~repro.parallel.worker.ShardSpec`
+bootstrap).  Entry point:
+:class:`~repro.streaming.engine.StreamingTopKEngine`.  The merge-on-arrival
+protocol and its threshold-staleness invariants are documented in
+``docs/architecture.md`` ("Streaming execution").
+"""
+
+from repro.streaming.backends import (
+    STREAM_BACKENDS,
+    ProcessStreamBackend,
+    SerialStreamBackend,
+    SliceEvent,
+    StreamBackend,
+    ThreadStreamBackend,
+    available_backends,
+    make_stream_backend,
+)
+from repro.streaming.engine import (
+    ProgressiveResult,
+    StreamingResult,
+    StreamingTopKEngine,
+)
+
+__all__ = [
+    "STREAM_BACKENDS",
+    "ProcessStreamBackend",
+    "ProgressiveResult",
+    "SerialStreamBackend",
+    "SliceEvent",
+    "StreamBackend",
+    "StreamingResult",
+    "StreamingTopKEngine",
+    "ThreadStreamBackend",
+    "available_backends",
+    "make_stream_backend",
+]

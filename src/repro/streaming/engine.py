@@ -1,0 +1,580 @@
+"""Barrier-free streaming top-k: merge on arrival, progressive results.
+
+The round-based coordinator (:mod:`repro.parallel.engine`) synchronizes
+every shard at a barrier each round, so the slowest shard gates the merge
+and callers see nothing until the whole run returns.
+:class:`StreamingTopKEngine` removes the barrier: shard workers run
+continuously in small budget *slices*, the coordinator merges each
+:class:`~repro.streaming.backends.SliceEvent` the moment it arrives into
+the global :class:`~repro.core.minmax_heap.TopKBuffer`, and the k-th-score
+threshold is re-broadcast asynchronously — a shard picks up the latest
+floor at its next slice boundary, never mid-slice.
+
+Protocol invariants (normative statement in ``docs/architecture.md``):
+
+* **One slice in flight per shard.**  A shard is resubmitted only after
+  its previous outcome is merged, so the floor a slice runs under is at
+  most one slice stale, and the merge order is a total order of arrivals.
+* **Budget reservation.**  A slice reserves its cap from the shared
+  budget at submission and returns the unused part on arrival; after
+  every merge the unreserved budget is re-offered to *all* idle active
+  shards (dealt fairly when it cannot fund a full slice each), so a
+  shard that exhausts mid-slice frees budget for the others and the
+  engine never overshoots the requested budget even though shards stop
+  at different times.
+* **Monotone floor.**  The broadcast floor only rises (the global buffer
+  threshold is monotone), so a stale floor is always a *lower bound* on
+  the true one — shards may waste a little effort, never lose answers.
+* **Lossless merge.**  Identical to the round engine:
+  :func:`repro.parallel.engine.merge_worker_topk` offers every first
+  sighting and never re-admits an evicted id.
+
+The anytime surface is :meth:`StreamingTopKEngine.results_iter`, a
+generator of :class:`ProgressiveResult` snapshots (top-k, budget spent,
+threshold, convergence flag) emitted as merges land — the first snapshot
+arrives after the first slice, i.e. time-to-first-result is one slice
+latency instead of one full run.  ``converged`` turns true when the
+answer is provably final for the drive (budget spent or every shard
+exhausted) or when the optional early-stop rule fires: with
+``stable_slices=s``, the run stops once every still-active shard has
+reported ``s`` consecutive slices without the top-k id set changing.
+
+On the ``serial`` backend the whole pipeline is a deterministic
+event-driven simulation (virtual clocks, arrival order =
+``(completion, worker)``), so streaming runs are snapshot-testable; on
+``thread`` / ``process`` the same protocol runs on real concurrency and
+the clocks are measured.  Shard bootstrap, picklable
+:class:`~repro.parallel.worker.ShardSpec`, snapshot/resume, and the
+shard-index cache are all shared with the round engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.engine import EngineConfig
+from repro.core.minmax_heap import TopKBuffer
+from repro.data.dataset import Dataset
+from repro.errors import ConfigurationError, SerializationError
+from repro.index.builder import IndexConfig
+from repro.parallel.cache import ShardIndexCache
+from repro.parallel.engine import WorkerReport, merge_worker_topk
+from repro.parallel.worker import (
+    RoundOutcome,
+    build_shard_specs,
+    harvest_shard_indexes,
+)
+from repro.scoring.base import Scorer
+from repro.streaming.backends import (
+    SliceEvent,
+    StreamBackend,
+    make_stream_backend,
+)
+from repro.utils.rng import RngFactory
+
+_SNAPSHOT_FORMAT = "repro-streaming-snapshot/1"
+
+
+@dataclass(frozen=True)
+class ProgressiveResult:
+    """One anytime snapshot of a streaming run, yielded per merge window.
+
+    ``top_k`` is the current merged answer (best first), ``budget_spent``
+    the scoring calls consumed so far, ``threshold`` the global k-th score
+    being broadcast (``None`` until the buffer fills), and ``converged``
+    whether the answer is final for this drive (budget spent, every shard
+    exhausted, or the early-stop stability rule fired).
+    """
+
+    top_k: List[Tuple[str, float]]
+    budget_spent: int
+    threshold: Optional[float]
+    converged: bool
+    stk: float
+    wall_time: float
+    n_merges: int
+    backend: str
+
+    @property
+    def ids(self) -> List[str]:
+        """Element IDs of the current answer, best first."""
+        return [element_id for element_id, _score in self.top_k]
+
+    def summary(self) -> str:
+        """One-line progress report."""
+        threshold = ("-" if self.threshold is None
+                     else f"{self.threshold:.4f}")
+        tail = " [converged]" if self.converged else ""
+        return (f"t={self.wall_time:.3f}s scored={self.budget_spent} "
+                f"stk={self.stk:.4f} threshold={threshold} "
+                f"merges={self.n_merges}{tail}")
+
+
+@dataclass
+class StreamingResult:
+    """Final answer of a streaming drive plus its anytime trace."""
+
+    k: int
+    items: List[Tuple[str, float]]
+    stk: float
+    wall_time: float
+    total_scored: int
+    n_merges: int
+    time_to_first_result: Optional[float]
+    converged: bool
+    workers: List[WorkerReport]
+    #: (wall_time, budget_spent, stk) per merge — the anytime-quality curve.
+    progressive: List[Tuple[float, int, float]] = field(default_factory=list)
+    backend: str = "serial"
+
+    @property
+    def ids(self) -> List[str]:
+        """Element IDs of the merged answer, best first."""
+        return [element_id for element_id, _score in self.items]
+
+    def summary(self) -> str:
+        """One-line report (mirrors ``DistributedResult.summary``)."""
+        ttfr = ("n/a" if self.time_to_first_result is None
+                else f"{self.time_to_first_result:.3f}s")
+        return (
+            f"top-{self.k}: STK={self.stk:.4f} from {len(self.workers)} "
+            f"workers, {self.total_scored} total scores in "
+            f"{self.n_merges} merges, wall time {self.wall_time:.3f}s, "
+            f"first result after {ttfr}"
+        )
+
+
+class StreamingTopKEngine:
+    """Barrier-free coordinator: continuous shards, merge-on-arrival.
+
+    Parameters
+    ----------
+    dataset / scorer / k:
+        The query, exactly as for the round-based
+        :class:`~repro.parallel.engine.ShardedTopKEngine`.
+    n_workers:
+        Number of shards (1 is valid: a single shard still streams
+        progressive snapshots every slice).
+    backend:
+        ``"serial"`` (deterministic event-driven simulation, virtual
+        clock), ``"thread"`` or ``"process"`` (real concurrency, measured
+        clock).  Same name vocabulary as :mod:`repro.parallel`.
+    slice_budget:
+        Scoring calls per shard per slice — the streaming analogue of the
+        round engine's ``sync_interval``; smaller slices mean fresher
+        thresholds and earlier first results at slightly more merge
+        traffic.
+    share_threshold:
+        Re-broadcast the global k-th score after every merge (shards pick
+        it up at their next slice boundary).
+    stable_slices:
+        Optional early-stop rule: stop once every still-active shard has
+        reported this many consecutive slices while the top-k id set and
+        the buffer's fill stayed unchanged.  ``None`` disables.
+    seed / index_config / engine_config / index_cache:
+        As for the round engine (shard streams derive from the root
+        entropy; the cache shares partition indexes across runs).
+    """
+
+    def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
+                 n_workers: int = 4,
+                 backend: str = "serial",
+                 index_config: Optional[IndexConfig] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 slice_budget: int = 100,
+                 share_threshold: bool = True,
+                 stable_slices: Optional[int] = None,
+                 seed=None,
+                 index_cache: Optional[ShardIndexCache] = None) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError(
+                f"n_workers must be positive, got {n_workers!r}"
+            )
+        if slice_budget <= 0:
+            raise ConfigurationError(
+                f"slice_budget must be positive, got {slice_budget!r}"
+            )
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k!r}")
+        if stable_slices is not None and stable_slices <= 0:
+            raise ConfigurationError(
+                f"stable_slices must be positive, got {stable_slices!r}"
+            )
+        if len(dataset) < n_workers:
+            raise ConfigurationError(
+                f"{n_workers} workers for only {len(dataset)} elements"
+            )
+        self.dataset = dataset
+        self.scorer = scorer
+        self.k = int(k)
+        self.n_workers = int(n_workers)
+        self.slice_budget = int(slice_budget)
+        self.share_threshold = share_threshold
+        self.stable_slices = stable_slices
+        self._factory = RngFactory(seed)
+        self._root_entropy = self._factory._root.entropy
+        self._index_config = index_config
+        self._engine_config = engine_config or EngineConfig(k=k)
+        self._index_cache = index_cache
+        self.backend: StreamBackend = make_stream_backend(backend)
+        # Coordinator state (persists across drives for resumption).
+        self._started = False
+        self._cache_hit = False
+        self._partitions: List[List[str]] = []
+        self._buffer: TopKBuffer[str] = TopKBuffer(self.k)
+        self._merged_ids: Set[str] = set()
+        self.wall_time = 0.0
+        self.total_scored = 0
+        self.n_merges = 0
+        self.time_to_first_result: Optional[float] = None
+        self.converged = False
+        self.progressive: List[Tuple[float, int, float]] = []
+        self._worker_times: List[float] = [0.0] * self.n_workers
+        self._active: List[bool] = [True] * self.n_workers
+        self._floor: Optional[float] = None
+        self._last_outcomes: List[Optional[RoundOutcome]] = (
+            [None] * self.n_workers
+        )
+        self._inflight: Dict[int, int] = {}   # worker -> reserved cap
+        self._reserved = 0
+        self._stable_count: List[int] = [0] * self.n_workers
+        self._resume_count = 0
+        self._restore_payloads: Optional[List[dict]] = None
+        # Real-clock bookkeeping for the current drive.
+        self._drive_started: Optional[float] = None
+        self._wall_base = 0.0
+        self._last_total = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "StreamingTopKEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release backend resources (child processes, thread pools)."""
+        self.backend.close()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._partitions, specs, self._cache_hit = build_shard_specs(
+            self.dataset, self.scorer,
+            n_workers=self.n_workers, k=self.k,
+            engine_config=self._engine_config,
+            index_config=self._index_config,
+            factory=self._factory, root_entropy=self._root_entropy,
+            materialize=self.backend.name == "process",
+            restore_payloads=self._restore_payloads,
+            resume_count=self._resume_count,
+            index_cache=self._index_cache,
+        )
+        self.backend.start(specs, self.dataset, self.scorer,
+                           worker_times=list(self._worker_times))
+        self._started = True
+        if not self._cache_hit:
+            harvest_shard_indexes(
+                self._index_cache,
+                root_entropy=self._root_entropy,
+                index_config=self._index_config,
+                n_elements=len(self.dataset),
+                partitions=self._partitions,
+                workers=self.backend.inline_workers(),
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def _refill(self, total_budget: int) -> None:
+        """Submit slices to every idle active shard the budget can cover.
+
+        Called at drive start and after every merge, so budget freed by a
+        shard that exhausted mid-slice is re-offered to *all* idle shards,
+        not just the one that arrived.  When the unreserved budget cannot
+        fund a full slice per idle shard, it is dealt fairly (each shard
+        gets its share of what remains) instead of front-loading the
+        lowest worker ids.
+        """
+        idle = [worker for worker in range(self.n_workers)
+                if self._active[worker] and worker not in self._inflight]
+        for position, worker in enumerate(idle):
+            unreserved = total_budget - self.total_scored - self._reserved
+            if unreserved <= 0:
+                return
+            cap = min(self.slice_budget,
+                      max(1, unreserved // (len(idle) - position)),
+                      unreserved)
+            self.backend.submit(
+                worker, cap, self._floor if self.share_threshold else None
+            )
+            self._inflight[worker] = cap
+            self._reserved += cap
+
+    def _topk_signature(self) -> Tuple[int, frozenset]:
+        return len(self._buffer), frozenset(self._buffer.payloads())
+
+    def _absorb(self, event: SliceEvent) -> None:
+        """Merge one arrived slice into the global state."""
+        outcome = event.outcome
+        worker = outcome.worker_id
+        cap = self._inflight.pop(worker)
+        self._reserved -= cap
+        self.total_scored += outcome.scored
+        self._worker_times[worker] += outcome.cost
+        self._active[worker] = not outcome.exhausted
+        self._last_outcomes[worker] = outcome
+        before = self._topk_signature()
+        merge_worker_topk(self._buffer, self._merged_ids, outcome.topk)
+        self.n_merges += 1
+        if self.backend.virtual_clock:
+            self.wall_time = max(self.wall_time,
+                                 event.virtual_completion or 0.0)
+        else:
+            assert self._drive_started is not None
+            self.wall_time = self._wall_base + (
+                time.perf_counter() - self._drive_started
+            )
+        if self.time_to_first_result is None:
+            self.time_to_first_result = self.wall_time
+        if self.share_threshold and self._buffer.threshold is not None:
+            self._floor = self._buffer.threshold
+        if self._topk_signature() == before:
+            self._stable_count[worker] += 1
+        else:
+            self._stable_count = [0] * self.n_workers
+        self.progressive.append(
+            (self.wall_time, self.total_scored, self._buffer.stk)
+        )
+
+    def _is_stable(self) -> bool:
+        """Early-stop rule: every active shard quiet for ``stable_slices``."""
+        if self.stable_slices is None or len(self._buffer) < self.k:
+            return False
+        active = [w for w in range(self.n_workers) if self._active[w]]
+        if not active:
+            return True
+        return all(self._stable_count[w] >= self.stable_slices
+                   for w in active)
+
+    def _is_finished(self, total_budget: int) -> bool:
+        """Provably final for this drive: budget spent or shards exhausted."""
+        return (self.total_scored >= total_budget
+                or not any(self._active))
+
+    def _progressive(self, converged: bool) -> ProgressiveResult:
+        return ProgressiveResult(
+            top_k=[(element_id, score)
+                   for score, element_id in self._buffer.items()],
+            budget_spent=self.total_scored,
+            threshold=self._buffer.threshold,
+            converged=converged,
+            stk=self._buffer.stk,
+            wall_time=self.wall_time,
+            n_merges=self.n_merges,
+            backend=self.backend.name,
+        )
+
+    def _begin_drive(self) -> None:
+        self._drive_started = time.perf_counter()
+        self._wall_base = self.wall_time
+
+    def results_iter(self, budget: Optional[int] = None,
+                     every: Optional[int] = None,
+                     ) -> Iterator[ProgressiveResult]:
+        """Drive the pipeline, yielding anytime snapshots as merges land.
+
+        ``budget`` is cumulative total scoring calls across drives (like
+        the round engine's ``run``); ``every`` throttles snapshots to one
+        per that many newly scored elements (default: one per slice, i.e.
+        roughly every merge).  The final snapshot is always yielded and
+        carries the drive's ``converged`` verdict.  Abandoning the
+        generator mid-drive leaves slices in flight; they are drained on
+        the next drive or :meth:`snapshot` call.
+        """
+        self._ensure_started()
+        total = (len(self.dataset) if budget is None
+                 else min(budget, len(self.dataset)))
+        self._last_total = total
+        step = self.slice_budget if every is None else max(1, int(every))
+        self._begin_drive()
+        self._refill(total)
+        last_yield = self.total_scored
+        stopping = False
+        while self._inflight:
+            event = self.backend.next_event()
+            self._absorb(event)
+            if not stopping and self._is_stable():
+                stopping = True  # early stop: drain, no resubmissions
+            if not stopping:
+                self._refill(total)
+            if (self._inflight
+                    and self.total_scored - last_yield >= step):
+                yield self._progressive(converged=False)
+                last_yield = self.total_scored
+        self.converged = stopping or self._is_finished(total)
+        yield self._progressive(converged=self.converged)
+
+    def run(self, budget: Optional[int] = None,
+            every: Optional[int] = None) -> StreamingResult:
+        """Drive to completion and return the final result with its trace."""
+        for _snapshot in self.results_iter(budget, every=every):
+            pass
+        return self.result()
+
+    def result(self) -> StreamingResult:
+        """Assemble the merged answer and anytime trace reached so far."""
+        workers = []
+        for worker in range(self.n_workers):
+            outcome = self._last_outcomes[worker]
+            n_members = (len(self._partitions[worker])
+                         if self._partitions else 0)
+            workers.append(WorkerReport(
+                worker_id=worker,
+                n_elements=n_members,
+                n_scored=outcome.n_scored_total if outcome else 0,
+                virtual_time=self._worker_times[worker],
+                local_stk=outcome.local_stk if outcome else 0.0,
+                fallback_events=tuple(outcome.fallback_events)
+                if outcome else (),
+            ))
+        items = [(element_id, score)
+                 for score, element_id in self._buffer.items()]
+        return StreamingResult(
+            k=self.k,
+            items=items,
+            stk=self._buffer.stk,
+            wall_time=self.wall_time,
+            total_scored=self.total_scored,
+            n_merges=self.n_merges,
+            time_to_first_result=self.time_to_first_result,
+            converged=self.converged,
+            workers=workers,
+            progressive=list(self.progressive),
+            backend=self.backend.name,
+        )
+
+    # -- pause / resume ------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Absorb any in-flight slices without resubmitting (quiesce)."""
+        if not self._inflight:
+            return
+        if self._drive_started is None:
+            self._begin_drive()
+        while self._inflight:
+            self._absorb(self.backend.next_event())
+
+    def snapshot(self) -> dict:
+        """Capture the full streaming run: coordinator + shard engines.
+
+        In-flight slices are drained first (shards snapshot at slice
+        boundaries, where no batch is pending).  The payload nests one
+        :func:`repro.core.snapshot.snapshot_engine` dict per shard; RNG
+        state is *not* captured, so a resumed run is a valid streaming
+        execution but not bit-identical to the uninterrupted one.
+        """
+        self._ensure_started()
+        self._drain()
+        return {
+            "format": _SNAPSHOT_FORMAT,
+            "k": self.k,
+            "n_workers": self.n_workers,
+            "slice_budget": self.slice_budget,
+            "share_threshold": self.share_threshold,
+            "stable_slices": self.stable_slices,
+            "backend": self.backend.name,
+            "root_entropy": self._root_entropy,
+            "resume_count": self._resume_count,
+            "coordinator": {
+                "buffer": [[score, element_id]
+                           for score, element_id in self._buffer.items()],
+                "merged_ids": sorted(self._merged_ids),
+                "wall_time": self.wall_time,
+                "total_scored": self.total_scored,
+                "n_merges": self.n_merges,
+                "time_to_first_result": self.time_to_first_result,
+                "progressive": [list(point) for point in self.progressive],
+                "worker_times": list(self._worker_times),
+                "active": list(self._active),
+                "pending_floor": self._floor,
+                "worker_stats": [
+                    [o.n_scored_total, o.local_stk,
+                     [list(e) for e in o.fallback_events]]
+                    if o else None
+                    for o in self._last_outcomes
+                ],
+            },
+            "workers": self.backend.snapshots(),
+        }
+
+    @classmethod
+    def restore(cls, dataset: Dataset, scorer: Scorer, snapshot: dict,
+                backend: Optional[str] = None,
+                index_config: Optional[IndexConfig] = None,
+                engine_config: Optional[EngineConfig] = None,
+                index_cache: Optional[ShardIndexCache] = None,
+                ) -> "StreamingTopKEngine":
+        """Rebuild a streaming run from :meth:`snapshot` output.
+
+        Same contract as the round engine's restore: the dataset must be
+        the same immutable dataset, ``index_config`` / ``engine_config``
+        must repeat the original run's, and ``backend`` may differ — a run
+        paused under ``thread`` can resume under ``serial`` or ``process``
+        and vice versa.
+        """
+        if snapshot.get("format") != _SNAPSHOT_FORMAT:
+            raise SerializationError(
+                f"unrecognized streaming snapshot format "
+                f"{snapshot.get('format')!r}"
+            )
+        stable = snapshot.get("stable_slices")
+        engine = cls(
+            dataset, scorer, k=int(snapshot["k"]),
+            n_workers=int(snapshot["n_workers"]),
+            backend=backend or snapshot["backend"],
+            index_config=index_config,
+            engine_config=engine_config,
+            slice_budget=int(snapshot["slice_budget"]),
+            share_threshold=bool(snapshot["share_threshold"]),
+            stable_slices=None if stable is None else int(stable),
+            seed=None,
+            index_cache=index_cache,
+        )
+        # Re-anchor the RNG streams to the original run's root entropy so
+        # partitions and shard indexes rebuild identically.
+        engine._factory = RngFactory(snapshot["root_entropy"])
+        engine._root_entropy = snapshot["root_entropy"]
+        engine._resume_count = int(snapshot.get("resume_count", 0)) + 1
+        engine._restore_payloads = list(snapshot["workers"])
+        state = snapshot["coordinator"]
+        for score, element_id in state["buffer"]:
+            engine._buffer.offer(float(score), element_id)
+        engine._merged_ids = set(state["merged_ids"])
+        engine.wall_time = float(state["wall_time"])
+        engine.total_scored = int(state["total_scored"])
+        engine.n_merges = int(state["n_merges"])
+        ttfr = state.get("time_to_first_result")
+        engine.time_to_first_result = None if ttfr is None else float(ttfr)
+        engine.progressive = [tuple(point)
+                              for point in state.get("progressive", [])]
+        engine._worker_times = [float(t) for t in state["worker_times"]]
+        engine._active = [bool(flag) for flag in state["active"]]
+        floor = state.get("pending_floor")
+        engine._floor = None if floor is None else float(floor)
+        for worker, stats in enumerate(state.get("worker_stats", [])):
+            if stats is not None:
+                n_scored, local_stk, events = stats
+                engine._last_outcomes[worker] = RoundOutcome(
+                    worker_id=worker, scored=0, cost=0.0, elapsed=0.0,
+                    topk=[], exhausted=not engine._active[worker],
+                    n_scored_total=int(n_scored),
+                    local_stk=float(local_stk),
+                    fallback_events=[(int(t), str(kind))
+                                     for t, kind in events],
+                )
+        return engine

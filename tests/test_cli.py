@@ -99,6 +99,52 @@ class TestParallelFlags:
         assert "error:" in capsys.readouterr().err
 
 
+class TestStreamingFlags:
+    def test_info_lists_streaming_backends(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming backends:" in out
+        assert "repro.streaming" in out
+
+    def test_backend_choices_are_introspected(self, capsys):
+        """--backend rejects names missing from the shared registry at the
+        argparse layer (no hard-coded list to drift)."""
+        with pytest.raises(SystemExit):
+            main(["demo", "--workers", "2", "--backend", "gpu"])
+        err = capsys.readouterr().err
+        assert "serial" in err and "thread" in err and "process" in err
+
+    def test_demo_stream_prints_progressive(self, capsys):
+        code = main(["demo", "--clusters", "4", "--per-cluster", "50",
+                     "--k", "5", "--workers", "2", "--stream"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scored" in out and "[converged]" in out
+        assert "first result after" in out
+        assert "STK fraction of optimal" in out
+
+    def test_query_stream_clause_streams(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu BUDGET 200 SEED 1 "
+            "WORKERS 2 STREAM EVERY 100",
+            "--rows", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[converged]" in out
+        assert out.count("scored") >= 2  # live progressive lines
+
+    def test_query_every_flag_implies_stream(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu BUDGET 200 SEED 1",
+            "--rows", "1000", "--workers", "2", "--every", "100",
+        ])
+        assert code == 0
+        assert "[converged]" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -243,10 +243,71 @@ class TestSnapshotResume:
         assert final.total_scored >= 400 - 2
         assert final.stk >= partial.stk - 1e-9
 
+    def test_thread_midrun_snapshot_resumes_on_thread(self, world):
+        """Snapshot taken mid-run under the thread backend (shards live on
+        pool threads) resumes cleanly on the same backend."""
+        dataset, scorer, _ = world
+        engine = ShardedTopKEngine(dataset, scorer, k=10, n_workers=3,
+                                   seed=0, backend="thread")
+        partial = engine.run(budget=300)
+        snapshot = json.loads(json.dumps(engine.snapshot()))
+        engine.close()
+        resumed = ShardedTopKEngine.restore(dataset, scorer, snapshot)
+        try:
+            final = resumed.run(budget=600)
+        finally:
+            resumed.close()
+        assert final.backend == "thread"
+        assert final.total_scored >= 600 - 3
+        assert final.stk >= partial.stk - 1e-9
+
+    def test_thread_midrun_snapshot_resumes_on_serial(self, world):
+        """A run paused under thread continues under serial: the resumed
+        virtual clock keeps the checkpoints monotone."""
+        dataset, scorer, _ = world
+        engine = ShardedTopKEngine(dataset, scorer, k=10, n_workers=2,
+                                   seed=3, backend="thread")
+        partial = engine.run(budget=250)
+        snapshot = engine.snapshot()
+        engine.close()
+        resumed = ShardedTopKEngine.restore(dataset, scorer, snapshot,
+                                            backend="serial")
+        final = resumed.run(budget=500)
+        assert final.backend == "serial"
+        assert final.total_scored >= 500 - 2
+        assert final.stk >= partial.stk - 1e-9
+        stks = [stk for _t, stk in final.checkpoints]
+        assert all(a <= b + 1e-9 for a, b in zip(stks, stks[1:]))
+
     def test_bad_format_rejected(self, world):
         dataset, scorer, _ = world
         with pytest.raises(Exception, match="format"):
             ShardedTopKEngine.restore(dataset, scorer, {"format": "nope"})
+
+
+class TestRoundIndexCache:
+    def test_warm_cache_bit_identical(self, world):
+        from repro.parallel import ShardIndexCache
+
+        dataset, scorer, _ = world
+        cache = ShardIndexCache()
+        cold = run_sharded(dataset, scorer, "serial", budget=400,
+                           index_cache=cache)
+        assert len(cache) == 1 and cache.hits == 0
+        warm = run_sharded(dataset, scorer, "serial", budget=400,
+                           index_cache=cache)
+        assert cache.hits == 1
+        assert warm.items == cold.items
+        assert warm.checkpoints == cold.checkpoints
+
+    def test_thread_backend_harvests_too(self, world):
+        from repro.parallel import ShardIndexCache
+
+        dataset, scorer, _ = world
+        cache = ShardIndexCache()
+        run_sharded(dataset, scorer, "thread", budget=300,
+                    index_cache=cache)
+        assert len(cache) == 1
 
 
 class TestExhaustiveParallel:

@@ -41,3 +41,15 @@ def test_sharded_wall_clock_within_50pct_of_baseline():
         sys.path.remove(str(BENCHMARKS_DIR))
     failures = check_sharded(verbose=False)
     assert not failures, "\n".join(failures)
+
+
+def test_streaming_ttfr_and_wall_within_50pct_of_baseline():
+    """Checks the committed TTFR-beats-round invariant and re-runs the
+    small streaming cells against BENCH_streaming.json."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_streaming
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_streaming(verbose=False)
+    assert not failures, "\n".join(failures)

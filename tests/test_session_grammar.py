@@ -108,3 +108,95 @@ class TestWorkersExecution:
         )
         assert len(result.workers) == 2
         assert result.backend == "thread"  # flag fills the missing clause
+
+
+class TestStreamClause:
+    def test_stream_parsed(self):
+        parsed = parse_query("SELECT TOP 5 FROM t ORDER BY f STREAM")
+        assert parsed.stream is True and parsed.every is None
+
+    def test_stream_every_parsed(self):
+        parsed = parse_query(
+            "select top 5 from t order by f workers 4 stream every 250"
+        )
+        assert parsed.stream is True and parsed.every == 250
+        assert parsed.workers == 4
+
+    def test_stream_defaults_absent(self):
+        parsed = parse_query("SELECT TOP 5 FROM t ORDER BY f")
+        assert parsed.stream is False and parsed.every is None
+
+    def test_every_requires_stream(self):
+        with pytest.raises(ConfigurationError):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f EVERY 100")
+
+    def test_every_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match="EVERY"):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f STREAM EVERY 0")
+
+    def test_full_clause_order_with_stream(self):
+        parsed = parse_query(
+            "SELECT TOP 9 FROM t ORDER BY f DESC BUDGET 10% BATCH 4 "
+            "SEED 3 WORKERS 2 BACKEND serial STREAM EVERY 50;"
+        )
+        assert (parsed.k, parsed.workers, parsed.backend,
+                parsed.stream, parsed.every) == (9, 2, "serial", True, 50)
+
+
+class TestStreamExecution:
+    def test_stream_query_returns_streaming_result(self, session):
+        from repro.streaming import StreamingResult
+
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 200 SEED 0 "
+            "WORKERS 2 STREAM"
+        )
+        assert isinstance(result, StreamingResult)
+        assert len(result.items) == 5
+        assert result.total_scored == 200
+        assert result.converged
+
+    def test_stream_flag_default_applies(self, session):
+        from repro.streaming import StreamingResult
+
+        result = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 200 SEED 0",
+            workers=2, stream=True,
+        )
+        assert isinstance(result, StreamingResult)
+
+    def test_stream_generator_yields_progressive(self, session):
+        from repro.streaming import ProgressiveResult
+
+        snapshots = list(session.stream(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 300 SEED 0 "
+            "WORKERS 2 STREAM EVERY 100"
+        ))
+        assert all(isinstance(s, ProgressiveResult) for s in snapshots)
+        assert snapshots[-1].converged
+        assert snapshots[-1].budget_spent == 300
+        assert len(snapshots[-1].top_k) == 5
+
+    def test_stream_without_clause_is_implied(self, session):
+        snapshots = list(session.stream(
+            "SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0"
+        ))
+        assert snapshots and snapshots[-1].converged
+
+    def test_repeat_stream_query_hits_shard_index_cache(self, session):
+        query = ("SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0 "
+                 "WORKERS 2 STREAM")
+        session.execute(query)
+        cache = session._shard_caches["t"]
+        assert len(cache) == 1 and cache.hits == 0
+        session.execute(query)
+        assert cache.hits == 1
+
+    def test_sharded_and_stream_queries_share_cache(self, session):
+        sharded = ("SELECT TOP 5 FROM t ORDER BY relu BUDGET 120 SEED 0 "
+                   "WORKERS 2")
+        session.execute(sharded)
+        cache = session._shard_caches["t"]
+        warm_hits = cache.hits
+        session.execute(sharded + " STREAM")
+        assert cache.hits == warm_hits + 1
