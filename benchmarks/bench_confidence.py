@@ -1,0 +1,232 @@
+"""Confidence-bounded early stopping: budget saved at ``CONFIDENCE p``.
+
+The streaming engine has two ways to stop before the budget runs out:
+
+* ``stable_slices=s`` — the PR-3 *stability heuristic*: quiesce once
+  every active shard reported ``s`` consecutive slices without the top-k
+  changing.  Cheap, but blind: a quiet window proves nothing, and the
+  safe ``s`` is workload-dependent.
+* ``confidence=p`` — the convergence *certificate*
+  (:mod:`repro.core.convergence`): stop once the shards' per-leaf sketch
+  tails bound the probability of any further displacement by ``1 - p``.
+  The bound only fires when the sketches genuinely show no remaining
+  mass above the global k-th score — exhausted top clusters subtracted
+  out, threshold past every active cluster's range.
+
+This benchmark measures both on the same 1M-element clustered setup as
+``bench_sharded.py`` / ``bench_streaming.py`` (k=50, 4 shard workers,
+500-call slices, 2 ms/call UDF latency model) with a generous 300k-call
+budget, on the deterministic ``serial`` backend so every row is exactly
+reproducible at its seed.  The UDF latency is charged to the virtual
+pipeline clock (``FixedPerCallLatency``), so the committed numbers
+measure *budget* and *virtual pipeline wall* rather than sleeping for
+ten minutes per run; at 2 ms/call the two are proportional.
+
+Headline (committed to ``BENCH_confidence.json``, same shared schema as
+the other benchmarks): scoring calls needed by ``CONFIDENCE 0.95``
+versus each ``stable_slices`` setting and versus the full-budget run,
+plus whether each early answer matches the full-budget top-k.
+``benchmarks/check_regression.py --benchmark confidence`` (and the
+``pytest -m perf`` gate) re-measures the small 20k cells and asserts the
+committed acceptance invariant: the certificate stops with *less* budget
+than every committed ``stable_slices`` row while returning the
+full-budget answer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_confidence.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_confidence.py --small    # gate cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from bench_sharded import build_dataset
+from repro.core.engine import EngineConfig
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig
+from repro.parallel import ShardIndexCache
+from repro.scoring.base import FixedPerCallLatency
+from repro.scoring.relu import ReluScorer
+from repro.streaming import StreamingTopKEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_confidence.json"
+
+FULL_N = 1_000_000
+SMALL_N = 20_000
+FULL_BUDGET = 300_000
+SMALL_BUDGET = 8_000
+K = 50
+BATCH_SIZE = 16
+PER_CALL = 2e-3          # UDF latency model (virtual pipeline clock)
+SLICE_BUDGET = 500
+WORKERS = 4
+CONFIDENCE = 0.95
+STABLE_SETTINGS = (2, 4, 8)
+SEEDS = (0, 1)
+
+
+def _shared_index_config() -> IndexConfig:
+    return IndexConfig(n_clusters=16, subsample=2_000, flat=True)
+
+
+def run_mode(dataset: InMemoryDataset, budget: int, seed: int,
+             cache: ShardIndexCache,
+             stable_slices: Optional[int] = None,
+             confidence: Optional[float] = None):
+    """One serial streaming run; returns (result, real seconds)."""
+    scorer = ReluScorer(FixedPerCallLatency(PER_CALL))
+    engine = StreamingTopKEngine(
+        dataset, scorer, k=K, n_workers=WORKERS, backend="serial",
+        index_config=_shared_index_config(),
+        engine_config=EngineConfig(k=K, batch_size=BATCH_SIZE),
+        slice_budget=SLICE_BUDGET,
+        stable_slices=stable_slices,
+        confidence=confidence,
+        seed=seed, index_cache=cache,
+    )
+    started = time.perf_counter()
+    try:
+        result = engine.run(budget)
+    finally:
+        engine.close()
+    return result, time.perf_counter() - started
+
+
+def measure_cell(n: int, budget: int, seed: int,
+                 verbose: bool = True) -> List[Dict[str, object]]:
+    """Full + every stable_slices + the confidence certificate, one seed."""
+    dataset = build_dataset(n, seed=seed)
+    cache = ShardIndexCache()    # shared: one index build per cell
+    rows: List[Dict[str, object]] = []
+
+    def record(mode: str, result, real_seconds: float, **extra) -> None:
+        row: Dict[str, object] = {
+            "mode": mode,
+            "n": n,
+            "budget": budget,
+            "seed": seed,
+            "k": K,
+            "workers": WORKERS,
+            "slice_budget": SLICE_BUDGET,
+            "per_call": PER_CALL,
+            "n_scored": result.total_scored,
+            "virtual_wall_seconds": result.wall_time,
+            "real_seconds": real_seconds,
+            "stk": result.stk,
+            "converged": result.converged,
+            "displacement_bound": result.displacement_bound,
+            "exhaustive_bound": result.exhaustive_bound,
+        }
+        row.update(extra)
+        rows.append(row)
+        if verbose:
+            match = extra.get("ids_match_full")
+            match_note = "" if match is None else f"  ids==full: {match}"
+            print(f"n={n:>9,} seed={seed}  {mode:<12} "
+                  f"scored={result.total_scored:>8,}  "
+                  f"virtual wall={result.wall_time:8.2f} s{match_note}")
+
+    full, full_real = run_mode(dataset, budget, seed, cache)
+    full_ids = sorted(full.ids)
+    record("full", full, full_real)
+    for stable in STABLE_SETTINGS:
+        result, real = run_mode(dataset, budget, seed, cache,
+                                stable_slices=stable)
+        record(f"stable_{stable}", result, real, stable_slices=stable,
+               ids_match_full=sorted(result.ids) == full_ids,
+               budget_saved=full.total_scored - result.total_scored)
+    result, real = run_mode(dataset, budget, seed, cache,
+                            confidence=CONFIDENCE)
+    record("confidence", result, real, confidence=CONFIDENCE,
+           ids_match_full=sorted(result.ids) == full_ids,
+           budget_saved=full.total_scored - result.total_scored)
+    return rows
+
+
+def run_grid(small_only: bool = False,
+             verbose: bool = True) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for seed in SEEDS:
+        rows += measure_cell(SMALL_N, SMALL_BUDGET, seed, verbose=verbose)
+    if not small_only:
+        for seed in SEEDS:
+            rows += measure_cell(FULL_N, FULL_BUDGET, seed,
+                                 verbose=verbose)
+    return rows
+
+
+def savings_table(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Headline: certificate budget vs heuristic budget per cell."""
+    table = []
+    cells = {(row["n"], row["seed"]) for row in rows}
+    for n, seed in sorted(cells):
+        cell = [r for r in rows if r["n"] == n and r["seed"] == seed]
+        by_mode = {r["mode"]: r for r in cell}
+        if "confidence" not in by_mode or "full" not in by_mode:
+            continue
+        conf = by_mode["confidence"]
+        stable_spent = {m: r["n_scored"] for m, r in by_mode.items()
+                        if m.startswith("stable_")}
+        table.append({
+            "n": n,
+            "seed": seed,
+            "full_scored": by_mode["full"]["n_scored"],
+            "confidence_scored": conf["n_scored"],
+            "confidence_matches_full": conf["ids_match_full"],
+            "stable_scored": stable_spent,
+            "saved_vs_full_pct": round(
+                100.0 * conf["budget_saved"]
+                / max(1, by_mode["full"]["n_scored"]), 2),
+        })
+    return table
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (shared benchmark schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "confidence")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["savings"] = savings_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--small", action="store_true",
+                        help="only the 20k gate cells")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    rows = run_grid(small_only=args.small)
+    for line in savings_table(rows):
+        print(f"  n={line['n']:,} seed={line['seed']}: "
+              f"CONFIDENCE {CONFIDENCE:g} stopped at "
+              f"{line['confidence_scored']:,} of "
+              f"{line['full_scored']:,} calls "
+              f"({line['saved_vs_full_pct']}% saved), "
+              f"answer matches full budget: "
+              f"{line['confidence_matches_full']}; "
+              f"stable_slices spent {line['stable_scored']}")
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ a headline table) and hence the same gate machinery:
   round-based reference's total wall-clock), then re-measures the small
   20k streaming cells and fails on >``SHARDED_TOLERANCE`` regression of
   either wall-clock-per-element or TTFR.
+* ``confidence`` — checks the committed ``BENCH_confidence.json`` rows
+  structurally (``CONFIDENCE 0.95`` must stop with less budget than every
+  ``stable_slices`` row while matching the full-budget top-k) and
+  re-measures the deterministic small 20k cells live.
 
 The gate is opt-in — wire-compatible with ``pytest -m perf`` via
 ``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
@@ -26,6 +30,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_engine_overhead.py
     PYTHONPATH=src python benchmarks/bench_sharded.py
     PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src python benchmarks/bench_confidence.py
 
 Standalone usage::
 
@@ -38,11 +43,30 @@ Standalone usage::
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+_BENCHMARKS_DIR = str(Path(__file__).resolve().parent)
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
+
 from bench_engine_overhead import DEFAULT_OUTPUT, SMALL_SIZES, run_grid
+
+
+def _bench(name: str):
+    """Import a sibling bench_* module, re-pinning benchmarks/ first.
+
+    The check_* functions run long after import — callers like
+    ``tests/test_perf_regression`` put this directory on ``sys.path``
+    only while importing :mod:`check_regression` itself — so every lazy
+    bench import goes through here.
+    """
+    if _BENCHMARKS_DIR not in sys.path:
+        sys.path.insert(0, _BENCHMARKS_DIR)
+    return importlib.import_module(name)
 
 TOLERANCE = 0.25
 SHARDED_TOLERANCE = 0.50
@@ -97,7 +121,7 @@ def check_sharded(tolerance: float = SHARDED_TOLERANCE,
     perturbed by scheduler noise); the default is a single run because
     these cells sleep for real and repeats multiply the gate's runtime.
     """
-    import bench_sharded
+    bench_sharded = _bench("bench_sharded")
 
     baseline_path = baseline_path or bench_sharded.DEFAULT_OUTPUT
     baseline = {
@@ -145,7 +169,7 @@ def check_streaming(tolerance: float = SHARDED_TOLERANCE,
        wall-clock-per-element and TTFR against the committed baseline
        (fastest of ``repeats``, same noise policy as the sharded gate).
     """
-    import bench_streaming
+    bench_streaming = _bench("bench_streaming")
 
     baseline_path = baseline_path or bench_streaming.DEFAULT_OUTPUT
     committed = load_rows(baseline_path)
@@ -190,10 +214,64 @@ def check_streaming(tolerance: float = SHARDED_TOLERANCE,
     return failures
 
 
+def check_confidence(baseline_path: Optional[Path] = None,
+                     verbose: bool = True) -> List[str]:
+    """Confidence gate: the certificate must beat the stability heuristic.
+
+    Two parts:
+
+    1. *Structural*: in every committed cell of ``BENCH_confidence.json``
+       the ``CONFIDENCE 0.95`` run must (a) return the same top-k as the
+       full-budget run and (b) stop with strictly less budget than every
+       committed ``stable_slices`` row — the acceptance invariant of the
+       confidence-bound feature.
+    2. *Re-measure*: re-run the small 20k cells (serial backend, so the
+       numbers are deterministic at the committed seeds) and assert the
+       same invariant holds live, plus that the certified run still
+       matches the full answer.
+    """
+    bench_confidence = _bench("bench_confidence")
+
+    baseline_path = baseline_path or bench_confidence.DEFAULT_OUTPUT
+    failures: List[str] = []
+
+    def assert_invariant(rows: List[dict], source: str) -> None:
+        cells = {(row["n"], row["seed"]) for row in rows}
+        for n, seed in sorted(cells):
+            cell = {row["mode"]: row for row in rows
+                    if row["n"] == n and row["seed"] == seed}
+            conf = cell.get("confidence")
+            if conf is None:
+                failures.append(f"{source} n={n} seed={seed}: "
+                                "no confidence row")
+                continue
+            if not conf.get("ids_match_full"):
+                failures.append(
+                    f"{source} n={n} seed={seed}: CONFIDENCE answer "
+                    f"diverges from the full-budget top-k"
+                )
+            for mode, row in cell.items():
+                if not mode.startswith("stable_"):
+                    continue
+                if conf["n_scored"] >= row["n_scored"]:
+                    failures.append(
+                        f"{source} n={n} seed={seed}: CONFIDENCE spent "
+                        f"{conf['n_scored']} calls, not less than "
+                        f"{mode} at {row['n_scored']}"
+                    )
+
+    assert_invariant(load_rows(baseline_path), "committed")
+    assert_invariant(bench_confidence.run_grid(small_only=True,
+                                               verbose=verbose),
+                     "re-measured")
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
-                        choices=("engine", "sharded", "streaming"),
+                        choices=("engine", "sharded", "streaming",
+                                 "confidence"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -201,7 +279,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "streaming":
+    if args.benchmark == "confidence":
+        failures = check_confidence(baseline_path=args.baseline)
+    elif args.benchmark == "streaming":
         failures = check_streaming(
             tolerance=(SHARDED_TOLERANCE if args.tolerance is None
                        else args.tolerance),

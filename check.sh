@@ -1,16 +1,24 @@
 #!/bin/sh
 # CI-style check: byte-compile everything, run the doctest'd grammar,
-# then tier-1.  Perf gates stay opt-in (`pytest -m perf`), matching the
-# benchmarks/ pattern.
+# run the documentation gates (executable docs examples, API-symbol
+# imports, relative links), then tier-1.  Perf gates stay opt-in
+# (`pytest -m perf`), matching the benchmarks/ pattern.
 set -eu
 cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== compileall =="
-python -m compileall -q src benchmarks examples tests
+python -m compileall -q src benchmarks examples tests tools
 
 echo "== doctests (session grammar + rng) =="
 python -m doctest src/repro/session.py src/repro/utils/rng.py
+
+# SKIP_DOCS=1 skips the docs gates (used by the CI matrix job, where the
+# dedicated `docs` job is the single owner of these checks).
+if [ "${SKIP_DOCS:-0}" != "1" ]; then
+    echo "== docs gates (README + docs/: examples run, API imports, links) =="
+    python tools/check_docs.py
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

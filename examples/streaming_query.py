@@ -16,7 +16,11 @@ Three parts:
    wall-clock on the identical query;
 3. the same thing declaratively: ``STREAM EVERY`` in the SQL dialect,
    plus the early-stop rule (``stable_slices``) that quiesces the run
-   once the top-k stops moving.
+   once the top-k stops moving;
+4. the principled alternative to (3): ``CONFIDENCE p`` stops once the
+   shards' sketch tails certify the answer (``docs/streaming.md``), and
+   ``record=True`` + ``repro.replay`` re-executes the real thread-backend
+   run bit for bit.
 
 Run:  python examples/streaming_query.py
 """
@@ -95,6 +99,28 @@ def main() -> None:
     print(f"\n  early stop: scored {early_result.total_scored:,} of "
           f"{len(dataset):,} before the top-{K} went quiet "
           f"(STK {early_result.stk / optimal:.1%} of optimal)")
+
+    print("\n-- 4. confidence-bounded stop + recorded-arrival replay --")
+    with StreamingTopKEngine(
+        dataset, scorer, k=K, n_workers=4, backend="thread",
+        index_config=IndexConfig(n_clusters=5), slice_budget=100,
+        confidence=0.95, record=True, seed=0,
+    ) as certified:
+        certified_result = certified.run()
+        trace = certified.trace()
+    print(f"  CONFIDENCE 0.95: scored {certified_result.total_scored:,} of "
+          f"{len(dataset):,} — displacement bound "
+          f"{certified_result.displacement_bound:.3g} "
+          f"(STK {certified_result.stk / optimal:.1%} of optimal)")
+
+    from repro.replay import replay_run
+
+    replayed = replay_run(dataset, scorer, trace,
+                          index_config=IndexConfig(n_clusters=5))
+    identical = (replayed.items == certified_result.items
+                 and replayed.progressive == certified_result.progressive)
+    print(f"  replayed {trace.summary()}")
+    print(f"  replay reproduces the real run bit for bit: {identical}")
 
 
 if __name__ == "__main__":

@@ -27,6 +27,8 @@ from repro.core import (
     AdaptiveHistogram,
     BanditConfig,
     Checkpoint,
+    ConvergenceBound,
+    TailSummary,
     DiscreteArm,
     DiscreteTopKBandit,
     EngineConfig,
@@ -108,6 +110,12 @@ from repro.streaming import (
     ProgressiveResult,
     StreamingResult,
     StreamingTopKEngine,
+)
+from repro.replay import (
+    ArrivalTrace,
+    ReplayStreamBackend,
+    replay_engine,
+    replay_run,
 )
 from repro.core.sketches import (
     EquiDepthSketch,
@@ -197,6 +205,12 @@ __all__ = [
     "StreamingTopKEngine",
     "StreamingResult",
     "ProgressiveResult",
+    "ConvergenceBound",
+    "TailSummary",
+    "ArrivalTrace",
+    "ReplayStreamBackend",
+    "replay_engine",
+    "replay_run",
     "available_backends",
     "snapshot_engine",
     "restore_engine",

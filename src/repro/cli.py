@@ -1,25 +1,31 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands, mirroring how the library is used:
+Three commands, mirroring how the library is used (full walkthrough in
+``docs/quickstart.md``; dialect reference in ``docs/dialect.md``):
 
 * ``demo``    — run the quickstart scenario end to end and print the
   quality report.  Configurable dataset size / k / budget / seed, plus
   ``--workers N`` / ``--backend <name>`` to run the same scenario sharded
-  across parallel workers (see :mod:`repro.parallel`) and ``--stream`` /
-  ``--every N`` to run it barrier-free with live progressive output (see
-  :mod:`repro.streaming`).
+  across parallel workers (see :mod:`repro.parallel`); ``--stream`` /
+  ``--every N`` / ``--confidence P`` to run it barrier-free with live
+  progressive output and the confidence-bounded early stop (see
+  :mod:`repro.streaming`); and ``--record-trace`` / ``--replay-trace`` to
+  record a real run's arrival order and re-execute it deterministically
+  (see :mod:`repro.replay`).
 * ``query``   — execute one SQL-ish opaque top-k query (see
   :mod:`repro.session`) against a generated demo table.  The dialect's
-  ``WORKERS <w> [BACKEND <b>]`` and ``STREAM [EVERY <n>]`` clauses — or
-  the equivalent ``--workers`` / ``--backend`` / ``--stream`` /
-  ``--every`` flags — select the execution mode; an explicit clause in
-  the SQL wins over the flags.
+  ``WORKERS <w> [BACKEND <b>]`` and ``STREAM [EVERY <n>]
+  [CONFIDENCE <p>]`` clauses — or the equivalent ``--workers`` /
+  ``--backend`` / ``--stream`` / ``--every`` / ``--confidence`` flags —
+  select the execution mode; an explicit clause in the SQL wins over the
+  flags.
 * ``info``    — print version, module inventory, the experiment index, and
   the available execution backends.
 
 Backend names are introspected from the :mod:`repro.parallel` /
 :mod:`repro.streaming` registries (one shared vocabulary), never
-hard-coded here.
+hard-coded here; the ``replay`` backend is trace-driven and therefore
+reached through ``--replay-trace`` rather than ``--backend``.
 """
 
 from __future__ import annotations
@@ -45,6 +51,11 @@ def _add_stream_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument("--every", type=int, default=None,
                          help="progressive snapshot granularity in scored "
                               "elements (implies --stream)")
+    command.add_argument("--confidence", type=float, default=None,
+                         metavar="P",
+                         help="stop early once the displacement bound "
+                              "certifies the top-k at this confidence "
+                              "level, e.g. 0.95 (implies --stream)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,14 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Approximate opaque top-k queries "
-                    "(SIGMOD 2025 reproduction).",
+                    "(SIGMOD 2025 reproduction); guides in docs/, "
+                    "dialect reference in docs/dialect.md.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser(
         "demo",
-        help="run the quickstart scenario "
-             "(optionally sharded: --workers; streaming: --stream)",
+        help="run the quickstart scenario (sharded: --workers; streaming: "
+             "--stream/--every/--confidence; audit: --record-trace / "
+             "--replay-trace)",
     )
     demo.add_argument("--clusters", type=int, default=20)
     demo.add_argument("--per-cluster", type=int, default=500)
@@ -71,16 +84,30 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default 1: single engine)")
     demo.add_argument("--backend", default="serial", choices=backends,
                       help="execution backend for --workers > 1 or "
-                           "--stream (default serial)")
+                           "--stream; registry-driven choices "
+                           "(default serial)")
     _add_stream_flags(demo)
+    trace_flags = demo.add_mutually_exclusive_group()
+    trace_flags.add_argument("--record-trace", metavar="PATH", default=None,
+                             help="record the streaming run's arrival "
+                                  "order to this JSON file (implies "
+                                  "--stream); replay it later with "
+                                  "--replay-trace and the same flags")
+    trace_flags.add_argument("--replay-trace", metavar="PATH", default=None,
+                             help="re-execute a recorded arrival trace "
+                                  "deterministically on the replay backend "
+                                  "(requires the same dataset flags as the "
+                                  "recorded run)")
 
     query = sub.add_parser(
         "query",
-        help="run one SQL-ish query on a demo table (supports "
-             "WORKERS/BACKEND/STREAM clauses and flags)",
+        help="run one SQL-ish query on a demo table (supports the "
+             "WORKERS/BACKEND and STREAM/EVERY/CONFIDENCE clauses and "
+             "the equivalent flags)",
     )
     query.add_argument("sql", help='e.g. "SELECT TOP 50 FROM demo ORDER BY '
-                                   'relu BUDGET 20%% WORKERS 4 STREAM"')
+                                   'relu BUDGET 20%% WORKERS 4 STREAM '
+                                   'CONFIDENCE 0.95"')
     query.add_argument("--rows", type=int, default=5_000)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--workers", type=int, default=None,
@@ -88,7 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "WORKERS clause")
     query.add_argument("--backend", default=None, choices=backends,
                        help="default backend when the query has no "
-                            "BACKEND clause")
+                            "BACKEND clause; registry-driven choices")
     _add_stream_flags(query)
 
     sub.add_parser("info",
@@ -114,17 +141,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     budget = max(args.k, int(args.budget_fraction * len(dataset)))
     truth = compute_ground_truth(dataset, scorer)
     optimal = truth.optimal_stk(args.k)
-    streaming_mode = args.stream or args.every is not None
-    if streaming_mode:
+    streaming_mode = (args.stream or args.every is not None
+                      or args.confidence is not None
+                      or args.record_trace is not None
+                      or args.replay_trace is not None)
+    if args.replay_trace is not None:
+        from repro.replay import ArrivalTrace, replay_engine
+
+        trace = ArrivalTrace.load(args.replay_trace)
+        if trace.k != args.k:
+            # The engine takes k from the trace; report with the same k so
+            # "STK fraction of optimal" / precision stay meaningful.
+            print(f"note: trace was recorded with k={trace.k}; "
+                  f"reporting at that k (not --k {args.k})")
+            args.k = trace.k
+        optimal = truth.optimal_stk(args.k)
+        print(f"replaying {trace.summary()}")
+        with replay_engine(dataset, scorer, trace) as streaming:
+            for drive in trace.drives:
+                for snapshot in streaming.results_iter(
+                        int(drive["budget"]), every=drive.get("every")):
+                    _print_progressive(snapshot)
+            result = streaming.result()
+        print(result.summary())
+        print(f"backend: {result.backend} (recorded on {trace.backend}), "
+              f"{len(result.workers)} workers, {result.n_merges} merges")
+    elif streaming_mode:
         from repro.streaming import StreamingTopKEngine
 
         with StreamingTopKEngine(dataset, scorer, k=args.k,
                                  n_workers=max(1, args.workers),
                                  backend=args.backend,
+                                 confidence=args.confidence,
+                                 record=args.record_trace is not None,
                                  seed=args.seed) as streaming:
             for snapshot in streaming.results_iter(budget, every=args.every):
                 _print_progressive(snapshot)
             result = streaming.result()
+            if args.record_trace is not None:
+                path = streaming.trace().save(args.record_trace)
+                print(f"recorded arrival trace -> {path}")
         print(result.summary())
         print(f"backend: {result.backend}, "
               f"{len(result.workers)} workers, "
@@ -176,7 +232,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session.register_udf("relu", ReluScorer())
     session.register_udf("squared",
                          FunctionScorer(lambda v: float(v) ** 2))
-    streaming_mode = args.stream or args.every is not None
+    streaming_mode = (args.stream or args.every is not None
+                      or args.confidence is not None)
     if not streaming_mode:
         try:
             streaming_mode = parse_query(args.sql).stream
@@ -186,7 +243,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         snapshot = None
         for snapshot in session.stream(args.sql, workers=args.workers,
                                        backend=args.backend,
-                                       every=args.every):
+                                       every=args.every,
+                                       confidence=args.confidence):
             _print_progressive(snapshot)
         items = snapshot.top_k if snapshot is not None else []
     else:
@@ -221,12 +279,15 @@ def _cmd_info(_args: argparse.Namespace) -> int:
         ("repro.data", "synthetic / UsedCars-style / image generators"),
         ("repro.experiments", "ground truth, metrics, runner, reports"),
         ("repro.applications", "data acquisition over source unions"),
-        ("repro.session", "SQL-ish declarative interface "
-                          "(WORKERS / STREAM clauses)"),
+        ("repro.session", "SQL-ish declarative interface (WORKERS / "
+                          "STREAM / CONFIDENCE clauses)"),
         ("repro.parallel", "sharded execution: per-worker index + engine, "
                            "coordinator merge, threshold broadcast"),
         ("repro.streaming", "barrier-free pipeline: merge on arrival, "
-                            "anytime progressive results"),
+                            "anytime progressive results, "
+                            "confidence-bounded early stop"),
+        ("repro.replay", "recorded-arrival traces + deterministic "
+                         "replay of real streaming runs"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
@@ -236,10 +297,14 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "'process' uses real cores, 'thread' suits GIL-releasing UDFs, "
           "'serial' is the deterministic simulation")
     print(f"streaming backends: {', '.join(stream_backends())} "
-          "(same names, barrier-free merge-on-arrival execution)")
+          "(same names, barrier-free merge-on-arrival execution), "
+          "plus the trace-driven 'replay' backend "
+          "(repro demo --replay-trace)")
     print("\nexperiments: benchmarks/bench_fig{2,4,5,6,7,8,9}_*.py "
           "+ bench_theory_regret.py + bench_ablation_design.py")
     print("run: pytest benchmarks/ --benchmark-only")
+    print("docs: docs/quickstart.md, docs/dialect.md, docs/streaming.md, "
+          "docs/api.md, docs/architecture.md")
     return 0
 
 

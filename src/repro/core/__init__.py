@@ -13,6 +13,11 @@ from repro.core.stk import (
 )
 from repro.core.minmax_heap import MinMaxHeap, TopKBuffer
 from repro.core.histogram import AdaptiveHistogram
+from repro.core.convergence import (
+    ConvergenceBound,
+    TailSummary,
+    tail_summary_from_engine,
+)
 from repro.core.sketches import (
     EquiDepthSketch,
     ExactEmpiricalSketch,
@@ -44,6 +49,9 @@ __all__ = [
     "MinMaxHeap",
     "TopKBuffer",
     "AdaptiveHistogram",
+    "ConvergenceBound",
+    "TailSummary",
+    "tail_summary_from_engine",
     "ScoreSketch",
     "ReservoirSketch",
     "EquiDepthSketch",

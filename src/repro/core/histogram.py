@@ -466,6 +466,27 @@ class AdaptiveHistogram:
         frac_above = np.clip((highs - threshold) / widths, 0.0, 1.0)
         return float(np.dot(self.counts / mass, frac_above))
 
+    def survival_curve(self) -> Tuple[Tuple[float, ...], Tuple[float, ...], str]:
+        """Breakpoints of ``tau -> tail_mass(tau)`` for the bound layer.
+
+        Under the uniform-in-bin assumption the tail mass is piecewise
+        *linear* in the threshold with breakpoints exactly at the bin
+        edges, so ``(edges, tail_mass at each edge, "linear")`` lets
+        :class:`repro.core.convergence.TailSummary` reproduce
+        :meth:`tail_mass` exactly by interpolation.
+        """
+        mass = self.total_mass
+        if mass <= 0.0:
+            return (), (), "linear"
+        above = np.concatenate(
+            (np.cumsum(self.counts[::-1])[::-1], [0.0])
+        ) / mass
+        return (
+            tuple(float(edge) for edge in self.edges),
+            tuple(float(value) for value in above),
+            "linear",
+        )
+
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:

@@ -79,9 +79,53 @@ class ScoreSketch(ABC):
         """Histogram-specific re-binning hook; a no-op for other sketches."""
         return False
 
+    def tail_mass(self, threshold: float) -> float:
+        """Estimated ``P(X > threshold)`` under the sketch.
+
+        The conservative default (1.0 while any mass exists) keeps custom
+        sketches sound for the convergence-bound layer
+        (:mod:`repro.core.convergence`): an unknown tail can never make a
+        displacement bound too small.  Built-in sketches override this
+        with real estimates.
+        """
+        return 1.0 if self.total_mass > 0.0 else 0.0
+
+    def survival_curve(self) -> tuple:
+        """``(support, survival, kind)`` breakpoints of the tail function.
+
+        Evaluated by :meth:`repro.core.convergence.TailSummary.survival_at`
+        — ``kind`` is ``"linear"`` (interpolate between breakpoints, for
+        histogram sketches) or ``"step"`` (right-continuous steps, for
+        empirical sketches).  The default empty curve means "unknown",
+        which the bound layer treats as survival 1 everywhere.
+        """
+        return (), (), "step"
+
 
 # The adaptive histogram already satisfies the protocol.
 ScoreSketch.register(AdaptiveHistogram)
+
+
+def _empirical_tail_mass(values: List[float], threshold: float) -> float:
+    """Fraction of ``values`` strictly above ``threshold`` (0 if empty)."""
+    if not values:
+        return 0.0
+    arr = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(arr > threshold)) / arr.size
+
+
+def _empirical_curve(values: List[float]) -> tuple:
+    """Step survival curve of a raw sample: ``P(X > v)`` at each value."""
+    if not values:
+        return (), (), "step"
+    support, counts = np.unique(np.asarray(values, dtype=float),
+                                return_counts=True)
+    above = (len(values) - np.cumsum(counts)) / len(values)
+    return (
+        tuple(float(v) for v in support),
+        tuple(float(v) for v in above),
+        "step",
+    )
 
 
 class ExactEmpiricalSketch(ScoreSketch):
@@ -132,6 +176,14 @@ class ExactEmpiricalSketch(ScoreSketch):
         if not self._values:
             raise ConfigurationError("empty sketch has no quantiles")
         return float(np.quantile(np.asarray(self._values), q))
+
+    def tail_mass(self, threshold: float) -> float:
+        """Exact empirical ``P(X > threshold)`` over the stored scores."""
+        return _empirical_tail_mass(self._values, threshold)
+
+    def survival_curve(self) -> tuple:
+        """Exact step survival curve over the stored scores."""
+        return _empirical_curve(self._values)
 
 
 class EquiDepthSketch(ScoreSketch):
@@ -227,6 +279,14 @@ class EquiDepthSketch(ScoreSketch):
         """Current quantile bin borders (None while empty; test helper)."""
         return self._summarize()
 
+    def tail_mass(self, threshold: float) -> float:
+        """Empirical tail of the underlying reservoir sample."""
+        return self._reservoir.tail_mass(threshold)
+
+    def survival_curve(self) -> tuple:
+        """Step survival curve of the underlying reservoir sample."""
+        return self._reservoir.survival_curve()
+
 
 class ReservoirSketch(ScoreSketch):
     """Bounded uniform reservoir sample of scores with mass accounting.
@@ -304,3 +364,11 @@ class ReservoirSketch(ScoreSketch):
     def values(self) -> List[float]:
         """Snapshot of the current reservoir (test helper)."""
         return list(self._values)
+
+    def tail_mass(self, threshold: float) -> float:
+        """Empirical ``P(X > threshold)`` over the (unbiased) reservoir."""
+        return _empirical_tail_mass(self._values, threshold)
+
+    def survival_curve(self) -> tuple:
+        """Step survival curve over the reservoir sample."""
+        return _empirical_curve(self._values)

@@ -38,3 +38,13 @@ class SerializationError(ReproError):
 
 class NotFittedError(ReproError):
     """A model was used before :meth:`fit` was called."""
+
+
+class ReplayDivergenceError(ReproError):
+    """A recorded arrival trace does not match the replayed execution.
+
+    Raised by :mod:`repro.replay` when the coordinator's decisions during
+    replay (submissions, caps, floors) or the shard outcomes diverge from
+    what the trace recorded — almost always a sign that the dataset,
+    scorer, seed, or engine configuration differs from the recorded run.
+    """

@@ -25,7 +25,13 @@ Two cross-cutting siblings: :mod:`repro.streaming` runs the same
 shard/coordinator protocol *without* the round barrier (continuous
 slices, merge on arrival, anytime progressive results), and
 :mod:`repro.parallel.cache` shares per-shard partition indexes across
-round and streaming runs on the same dataset.
+round and streaming runs on the same dataset.  Every
+:class:`~repro.parallel.worker.RoundOutcome` also ships a sketch tail
+summary, which the coordinator folds into a
+:class:`~repro.core.convergence.ConvergenceBound` — the final
+:class:`DistributedResult` reports ``displacement_bound``, an explicit
+upper estimate of the probability that the budgeted answer differs from
+the exact one (``docs/streaming.md``, "Confidence-bounded convergence").
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
+from repro.core.convergence import ConvergenceBound
 from repro.core.engine import EngineConfig
 from repro.core.minmax_heap import TopKBuffer
 from repro.data.dataset import Dataset
@@ -78,6 +85,10 @@ class DistributedResult:
     workers: List[WorkerReport]
     checkpoints: List[Tuple[float, float]] = field(default_factory=list)
     backend: str = "serial"
+    #: Upper estimate of the probability that any *unscored* element
+    #: would displace this answer — the distance to the exact full-table
+    #: result, from the shards' sketch tails (:mod:`repro.core.convergence`).
+    displacement_bound: float = 1.0
 
     @property
     def ids(self) -> List[str]:
@@ -86,10 +97,13 @@ class DistributedResult:
 
     def summary(self) -> str:
         """One-line report."""
+        bound = ("" if self.displacement_bound >= 1.0
+                 else f", displacement bound<={self.displacement_bound:.3g}")
         return (
             f"top-{self.k}: STK={self.stk:.4f} from {len(self.workers)} "
             f"workers, {self.total_scored} total scores in "
             f"{self.n_rounds} rounds, wall time {self.wall_time:.3f}s"
+            f"{bound}"
         )
 
 
@@ -189,6 +203,7 @@ class ShardedTopKEngine:
         self._worker_times: List[float] = [0.0] * self.n_workers
         self._active: List[bool] = [True] * self.n_workers
         self._pending_floor: Optional[float] = None
+        self._bound = ConvergenceBound(self.n_workers)
         self._last_outcomes: List[Optional[RoundOutcome]] = [None] * self.n_workers
         self._resume_count = 0
         self._restore_payloads: Optional[List[dict]] = None
@@ -274,10 +289,22 @@ class ShardedTopKEngine:
             for outcome in outcomes:  # merge in worker order
                 merge_worker_topk(self._buffer, self._merged_ids,
                                   outcome.topk)
+            for outcome in outcomes:
+                self._bound.update(outcome.worker_id, outcome.tail)
+            self._bound.refresh(
+                self._buffer.threshold,
+                len(self._buffer) >= self.k,
+                max(0, total_budget - self.total_scored),
+            )
             self.checkpoints.append((self.wall_time, self._buffer.stk))
             if self.share_threshold and self._buffer.threshold is not None:
                 self._pending_floor = self._buffer.threshold
         return self.result()
+
+    @property
+    def displacement_bound(self) -> float:
+        """Bound on displacement by any unscored element (1.0 = unknown)."""
+        return self._bound.exhaustive_bound
 
     def result(self) -> DistributedResult:
         """Assemble the merged answer and trace reached so far."""
@@ -307,6 +334,7 @@ class ShardedTopKEngine:
             workers=workers,
             checkpoints=list(self.checkpoints),
             backend=self.backend.name,
+            displacement_bound=self._bound.exhaustive_bound,
         )
 
     # -- pause / resume ------------------------------------------------------
@@ -335,6 +363,7 @@ class ShardedTopKEngine:
                 "buffer": [[score, element_id]
                            for score, element_id in self._buffer.items()],
                 "merged_ids": sorted(self._merged_ids),
+                "exhaustive_bound": self._bound.exhaustive_bound,
                 "wall_time": self.wall_time,
                 "total_scored": self.total_scored,
                 "n_rounds": self.n_rounds,
@@ -399,6 +428,9 @@ class ShardedTopKEngine:
         engine.n_rounds = int(state["n_rounds"])
         engine.checkpoints = [tuple(point)
                               for point in state["checkpoints"]]
+        engine._bound.exhaustive_bound = float(
+            state.get("exhaustive_bound", 1.0)
+        )
         engine._worker_times = [float(t) for t in state["worker_times"]]
         engine._active = [bool(flag) for flag in state["active"]]
         floor = state.get("pending_floor")

@@ -3,7 +3,9 @@
 "A minimal implementation is natural in a system that supports UDFs and an
 incrementally updating query interface."  :class:`OpaqueQuerySession` is
 that minimal implementation: register tables (datasets) and UDFs (scorers),
-then execute queries written in a small SQL-ish dialect.
+then execute queries written in a small SQL-ish dialect.  (User-facing
+tour: ``docs/dialect.md``; this docstring is the normative grammar and
+its examples run as tier-1 doctests.)
 
 Grammar
 -------
@@ -15,7 +17,7 @@ optional trailing ``;``::
         [BATCH <b>]
         [SEED <s>]
         [WORKERS <w> [BACKEND serial|thread|process]]
-        [STREAM [EVERY <n>]]
+        [STREAM [EVERY <n>] [CONFIDENCE <p>]]
 
 Clause semantics, each with a runnable example:
 
@@ -97,6 +99,21 @@ the first slice onward.  ``EVERY <n>`` throttles snapshots to one per
     ... ).every
     200
 
+``CONFIDENCE <p>`` — principled early stop for streaming queries (only
+valid after ``STREAM``): stop once the coordinator's displacement bound
+(see :mod:`repro.core.convergence`) certifies that the probability of the
+rest of the budget still changing the top-k is at most ``1 - p``.  Accepts
+a decimal in (0, 1) or a percentage.
+
+    >>> parse_query(
+    ...     "SELECT TOP 5 FROM t ORDER BY f STREAM CONFIDENCE 0.95"
+    ... ).confidence
+    0.95
+    >>> parse_query(
+    ...     "SELECT TOP 5 FROM t ORDER BY f STREAM EVERY 100 CONFIDENCE 95%"
+    ... ).confidence
+    0.95
+
 Malformed queries raise :class:`~repro.errors.ConfigurationError` with the
 expected shape:
 
@@ -106,7 +123,7 @@ expected shape:
     repro.errors.ConfigurationError: could not parse query; expected: \
 SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC] [BUDGET <n> | \
 BUDGET <p>%] [BATCH <b>] [SEED <s>] [WORKERS <w> [BACKEND <name>]] \
-[STREAM [EVERY <n>]] — got 'SELECT * FROM t'
+[STREAM [EVERY <n>] [CONFIDENCE <p>]] — got 'SELECT * FROM t'
 
 The session builds (and caches) one index per table — the index is
 task-independent, so every UDF registered against a table reuses it — and
@@ -157,7 +174,9 @@ _QUERY_RE = re.compile(
     (?:\s+WORKERS\s+(?P<workers>\d+)
        (?:\s+BACKEND\s+(?P<backend>[A-Za-z_]+))?)?
     (?:\s+(?P<stream>STREAM)
-       (?:\s+EVERY\s+(?P<every>\d+))?)?
+       (?:\s+EVERY\s+(?P<every>\d+))?
+       (?:\s+CONFIDENCE\s+(?P<confidence>\d+(?:\.\d+)?|\.\d+)
+          (?P<confpct>%)?)?)?
     \s*;?\s*$
     """,
     re.IGNORECASE | re.VERBOSE,
@@ -180,6 +199,7 @@ class ParsedQuery:
     backend: Optional[str] = None  # BACKEND clause (None = not specified)
     stream: bool = False           # STREAM clause (barrier-free execution)
     every: Optional[int] = None    # EVERY clause (snapshot granularity)
+    confidence: Optional[float] = None  # CONFIDENCE clause (early stop)
 
 
 def parse_query(text: str) -> ParsedQuery:
@@ -193,7 +213,7 @@ def parse_query(text: str) -> ParsedQuery:
             "could not parse query; expected: SELECT TOP <k> FROM <table> "
             "ORDER BY <udf> [DESC] [BUDGET <n> | BUDGET <p>%] [BATCH <b>] "
             "[SEED <s>] [WORKERS <w> [BACKEND <name>]] "
-            f"[STREAM [EVERY <n>]] — got {text!r}"
+            f"[STREAM [EVERY <n>] [CONFIDENCE <p>]] — got {text!r}"
         )
     groups = match.groupdict()
     budget: Optional[int] = None
@@ -228,6 +248,21 @@ def parse_query(text: str) -> ParsedQuery:
         every = int(groups["every"])
         if every <= 0:
             raise ConfigurationError("EVERY must be positive")
+    confidence: Optional[float] = None
+    if groups["confidence"] is not None:
+        confidence = float(groups["confidence"])
+        if groups["confpct"]:
+            if not 0.0 < confidence < 100.0:
+                raise ConfigurationError(
+                    f"CONFIDENCE percentage must be in (0, 100), "
+                    f"got {confidence}"
+                )
+            confidence /= 100.0
+        elif not 0.0 < confidence < 1.0:
+            raise ConfigurationError(
+                f"CONFIDENCE must lie strictly inside (0, 1) "
+                f"(or be a percentage like 95%), got {confidence}"
+            )
     return ParsedQuery(
         k=int(groups["k"]),
         table=groups["table"],
@@ -241,6 +276,7 @@ def parse_query(text: str) -> ParsedQuery:
         backend=backend,
         stream=groups["stream"] is not None,
         every=every,
+        confidence=confidence,
     )
 
 
@@ -346,7 +382,9 @@ class OpaqueQuerySession:
 
     def _streaming_engine(self, parsed: ParsedQuery, dataset: Dataset,
                           scorer: Scorer, n_workers: int,
-                          backend_name: str) -> StreamingTopKEngine:
+                          backend_name: str,
+                          confidence: Optional[float] = None,
+                          ) -> StreamingTopKEngine:
         return StreamingTopKEngine(
             dataset, scorer, k=parsed.k,
             n_workers=n_workers,
@@ -358,6 +396,8 @@ class OpaqueQuerySession:
                 k=parsed.k, batch_size=parsed.batch_size,
             ),
             slice_budget=self._sync_interval,
+            confidence=(parsed.confidence if parsed.confidence is not None
+                        else confidence),
             seed=parsed.seed,
             index_cache=self._shard_cache_for(parsed.table),
         )
@@ -367,14 +407,16 @@ class OpaqueQuerySession:
                 backend: Optional[str] = None,
                 stream: Optional[bool] = None,
                 every: Optional[int] = None,
+                confidence: Optional[float] = None,
                 ) -> Union[QueryResult, DistributedResult, StreamingResult]:
         """Parse and run one query.
 
-        ``workers`` / ``backend`` / ``stream`` / ``every`` are caller-side
-        defaults (e.g. CLI flags); explicit ``WORKERS`` / ``BACKEND`` /
-        ``STREAM EVERY`` clauses in the query text win.  Single-engine
-        queries return a :class:`~repro.core.result.QueryResult`;
-        ``WORKERS > 1`` queries run sharded and return a
+        ``workers`` / ``backend`` / ``stream`` / ``every`` /
+        ``confidence`` are caller-side defaults (e.g. CLI flags); explicit
+        ``WORKERS`` / ``BACKEND`` / ``STREAM EVERY CONFIDENCE`` clauses in
+        the query text win.  Single-engine queries return a
+        :class:`~repro.core.result.QueryResult`; ``WORKERS > 1`` queries
+        run sharded and return a
         :class:`~repro.parallel.engine.DistributedResult`; ``STREAM``
         queries run barrier-free and return the final
         :class:`~repro.streaming.engine.StreamingResult` (use
@@ -384,9 +426,10 @@ class OpaqueQuerySession:
         dataset, scorer, budget, n_workers, backend_name = self._resolve(
             parsed, workers, backend
         )
-        if parsed.stream or stream:
+        if parsed.stream or stream or confidence is not None:
             streaming = self._streaming_engine(
-                parsed, dataset, scorer, n_workers, backend_name
+                parsed, dataset, scorer, n_workers, backend_name,
+                confidence=confidence,
             )
             try:
                 return streaming.run(
@@ -426,20 +469,22 @@ class OpaqueQuerySession:
                workers: Optional[int] = None,
                backend: Optional[str] = None,
                every: Optional[int] = None,
+               confidence: Optional[float] = None,
                ) -> Iterator[ProgressiveResult]:
         """Run one query barrier-free, yielding progressive snapshots.
 
         Any query is accepted (a ``STREAM`` clause is implied); snapshots
         arrive from the first slice onward and the last one carries
-        ``converged=True``.  ``workers`` / ``backend`` / ``every`` default
-        the missing clauses, as in :meth:`execute`.
+        ``converged=True``.  ``workers`` / ``backend`` / ``every`` /
+        ``confidence`` default the missing clauses, as in :meth:`execute`.
         """
         parsed = parse_query(query)
         dataset, scorer, budget, n_workers, backend_name = self._resolve(
             parsed, workers, backend
         )
         streaming = self._streaming_engine(
-            parsed, dataset, scorer, n_workers, backend_name
+            parsed, dataset, scorer, n_workers, backend_name,
+            confidence=confidence,
         )
         try:
             yield from streaming.results_iter(

@@ -8,15 +8,21 @@ the k-th-score threshold is re-broadcast asynchronously (picked up at the
 next slice boundary), and callers consume an **anytime results API** —
 :meth:`~repro.streaming.engine.StreamingTopKEngine.results_iter` yields
 :class:`~repro.streaming.engine.ProgressiveResult` snapshots from the
-first slice onward, with an early-stop rule once the top-k is stable.
+first slice onward, each carrying an explicit displacement bound.  Two
+early stops: the ``stable_slices`` heuristic, and the principled
+``confidence=p`` certificate built on
+:mod:`repro.core.convergence`.
 
 Backends mirror :mod:`repro.parallel` name for name (``serial`` is a
 deterministic event-driven simulation; ``thread`` / ``process`` run real
 concurrency on the same picklable :class:`~repro.parallel.worker.ShardSpec`
-bootstrap).  Entry point:
+bootstrap), plus the trace-driven ``replay`` backend of
+:mod:`repro.replay` for bit-identical re-execution of recorded real
+runs.  Entry point:
 :class:`~repro.streaming.engine.StreamingTopKEngine`.  The merge-on-arrival
 protocol and its threshold-staleness invariants are documented in
-``docs/architecture.md`` ("Streaming execution").
+``docs/architecture.md`` ("Streaming execution"); the user guide is
+``docs/streaming.md``.
 """
 
 from repro.streaming.backends import (

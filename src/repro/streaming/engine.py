@@ -31,29 +31,37 @@ Protocol invariants (normative statement in ``docs/architecture.md``):
 
 The anytime surface is :meth:`StreamingTopKEngine.results_iter`, a
 generator of :class:`ProgressiveResult` snapshots (top-k, budget spent,
-threshold, convergence flag) emitted as merges land — the first snapshot
-arrives after the first slice, i.e. time-to-first-result is one slice
-latency instead of one full run.  ``converged`` turns true when the
-answer is provably final for the drive (budget spent or every shard
-exhausted) or when the optional early-stop rule fires: with
-``stable_slices=s``, the run stops once every still-active shard has
-reported ``s`` consecutive slices without the top-k id set changing.
+threshold, convergence flag, displacement bounds) emitted as merges
+land — the first snapshot arrives after the first slice, i.e.
+time-to-first-result is one slice latency instead of one full run.
+``converged`` turns true when the answer is provably final for the drive
+(budget spent or every shard exhausted) or when an optional early-stop
+rule fires: ``stable_slices=s`` stops once every still-active shard has
+reported ``s`` consecutive slices without the top-k id set changing (a
+heuristic), and ``confidence=p`` stops once the coordinator's
+:class:`~repro.core.convergence.ConvergenceBound` — fed by the sketch
+tail summaries every slice ships — certifies at level ``p`` that the
+rest of the budget would not change the answer (the principled stop;
+see ``docs/streaming.md``).
 
 On the ``serial`` backend the whole pipeline is a deterministic
 event-driven simulation (virtual clocks, arrival order =
 ``(completion, worker)``), so streaming runs are snapshot-testable; on
 ``thread`` / ``process`` the same protocol runs on real concurrency and
-the clocks are measured.  Shard bootstrap, picklable
-:class:`~repro.parallel.worker.ShardSpec`, snapshot/resume, and the
-shard-index cache are all shared with the round engine.
+the clocks are measured — and with ``record=True`` the real arrival
+order is logged to a :class:`~repro.replay.trace.ArrivalTrace` that
+:mod:`repro.replay` re-executes bit-identically.  Shard bootstrap,
+picklable :class:`~repro.parallel.worker.ShardSpec`, snapshot/resume,
+and the shard-index cache are all shared with the round engine.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.core.convergence import ConvergenceBound, check_confidence
 from repro.core.engine import EngineConfig
 from repro.core.minmax_heap import TopKBuffer
 from repro.data.dataset import Dataset
@@ -96,6 +104,14 @@ class ProgressiveResult:
     wall_time: float
     n_merges: int
     backend: str
+    #: Upper estimate of the probability that the *remainder of this
+    #: drive's budget* still changes the top-k (what ``CONFIDENCE p``
+    #: compares against ``1 - p``); monotone non-increasing per drive.
+    displacement_bound: float = 1.0
+    #: Same union bound without the budget cap: the estimated probability
+    #: that *any* unscored element would displace the current answer —
+    #: the distance to the exact full-table result.
+    exhaustive_bound: float = 1.0
 
     @property
     def ids(self) -> List[str]:
@@ -106,10 +122,12 @@ class ProgressiveResult:
         """One-line progress report."""
         threshold = ("-" if self.threshold is None
                      else f"{self.threshold:.4f}")
+        bound = ("" if self.displacement_bound >= 1.0
+                 else f" bound<={self.displacement_bound:.3g}")
         tail = " [converged]" if self.converged else ""
         return (f"t={self.wall_time:.3f}s scored={self.budget_spent} "
                 f"stk={self.stk:.4f} threshold={threshold} "
-                f"merges={self.n_merges}{tail}")
+                f"merges={self.n_merges}{bound}{tail}")
 
 
 @dataclass
@@ -128,6 +146,10 @@ class StreamingResult:
     #: (wall_time, budget_spent, stk) per merge — the anytime-quality curve.
     progressive: List[Tuple[float, int, float]] = field(default_factory=list)
     backend: str = "serial"
+    #: Final drive-scoped / exhaustive displacement bounds (see
+    #: :class:`ProgressiveResult` and :mod:`repro.core.convergence`).
+    displacement_bound: float = 1.0
+    exhaustive_bound: float = 1.0
 
     @property
     def ids(self) -> List[str]:
@@ -160,7 +182,9 @@ class StreamingTopKEngine:
     backend:
         ``"serial"`` (deterministic event-driven simulation, virtual
         clock), ``"thread"`` or ``"process"`` (real concurrency, measured
-        clock).  Same name vocabulary as :mod:`repro.parallel`.
+        clock) — same name vocabulary as :mod:`repro.parallel` — or a
+        ready :class:`~repro.streaming.backends.StreamBackend` instance
+        (how :mod:`repro.replay` injects its trace-driven backend).
     slice_budget:
         Scoring calls per shard per slice — the streaming analogue of the
         round engine's ``sync_interval``; smaller slices mean fresher
@@ -173,6 +197,19 @@ class StreamingTopKEngine:
         Optional early-stop rule: stop once every still-active shard has
         reported this many consecutive slices while the top-k id set and
         the buffer's fill stayed unchanged.  ``None`` disables.
+    confidence:
+        Optional principled early stop (see :mod:`repro.core.convergence`
+        and ``docs/streaming.md``): stop once the displacement bound —
+        the estimated probability that the rest of the drive still
+        changes the top-k — drops to ``1 - confidence`` or below.
+        ``confidence=0.95`` stops when the answer is certified stable at
+        the 95% level under the shards' sketch model.  ``None`` disables;
+        composable with ``stable_slices`` (whichever fires first).
+    record:
+        Record every slice submission and merge arrival into a
+        JSON-safe :class:`~repro.replay.trace.ArrivalTrace` (read it with
+        :meth:`trace`), making real thread/process runs replayable
+        bit for bit via :mod:`repro.replay`.
     seed / index_config / engine_config / index_cache:
         As for the round engine (shard streams derive from the root
         entropy; the cache shares partition indexes across runs).
@@ -180,12 +217,14 @@ class StreamingTopKEngine:
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
                  n_workers: int = 4,
-                 backend: str = "serial",
+                 backend: Union[str, StreamBackend] = "serial",
                  index_config: Optional[IndexConfig] = None,
                  engine_config: Optional[EngineConfig] = None,
                  slice_budget: int = 100,
                  share_threshold: bool = True,
                  stable_slices: Optional[int] = None,
+                 confidence: Optional[float] = None,
+                 record: bool = False,
                  seed=None,
                  index_cache: Optional[ShardIndexCache] = None) -> None:
         if n_workers <= 0:
@@ -213,12 +252,21 @@ class StreamingTopKEngine:
         self.slice_budget = int(slice_budget)
         self.share_threshold = share_threshold
         self.stable_slices = stable_slices
+        self.confidence = check_confidence(confidence)
         self._factory = RngFactory(seed)
         self._root_entropy = self._factory._root.entropy
         self._index_config = index_config
         self._engine_config = engine_config or EngineConfig(k=k)
         self._index_cache = index_cache
-        self.backend: StreamBackend = make_stream_backend(backend)
+        self.backend: StreamBackend = (
+            backend if isinstance(backend, StreamBackend)
+            else make_stream_backend(backend)
+        )
+        self._recorder = None
+        if record:
+            from repro.replay.trace import TraceRecorder
+
+            self._recorder = TraceRecorder()
         # Coordinator state (persists across drives for resumption).
         self._started = False
         self._cache_hit = False
@@ -240,6 +288,7 @@ class StreamingTopKEngine:
         self._inflight: Dict[int, int] = {}   # worker -> reserved cap
         self._reserved = 0
         self._stable_count: List[int] = [0] * self.n_workers
+        self._bound = ConvergenceBound(self.n_workers)
         self._resume_count = 0
         self._restore_payloads: Optional[List[dict]] = None
         # Real-clock bookkeeping for the current drive.
@@ -309,9 +358,10 @@ class StreamingTopKEngine:
             cap = min(self.slice_budget,
                       max(1, unreserved // (len(idle) - position)),
                       unreserved)
-            self.backend.submit(
-                worker, cap, self._floor if self.share_threshold else None
-            )
+            floor = self._floor if self.share_threshold else None
+            if self._recorder is not None:
+                self._recorder.submit(worker, cap, floor)
+            self.backend.submit(worker, cap, floor)
             self._inflight[worker] = cap
             self._reserved += cap
 
@@ -347,6 +397,14 @@ class StreamingTopKEngine:
             self._stable_count[worker] += 1
         else:
             self._stable_count = [0] * self.n_workers
+        self._bound.update(worker, outcome.tail)
+        self._bound.refresh(
+            self._buffer.threshold,
+            len(self._buffer) >= self.k,
+            max(0, self._last_total - self.total_scored),
+        )
+        if self._recorder is not None:
+            self._recorder.arrival(worker, outcome.scored, self.wall_time)
         self.progressive.append(
             (self.wall_time, self.total_scored, self._buffer.stk)
         )
@@ -360,6 +418,22 @@ class StreamingTopKEngine:
             return True
         return all(self._stable_count[w] >= self.stable_slices
                    for w in active)
+
+    def _is_confident(self) -> bool:
+        """Principled early stop: displacement bound reached ``1 - p``."""
+        return (self.confidence is not None
+                and len(self._buffer) >= self.k
+                and self._bound.drive_bound <= 1.0 - self.confidence)
+
+    @property
+    def displacement_bound(self) -> float:
+        """Current drive-scoped displacement bound (1.0 = no certificate)."""
+        return self._bound.drive_bound
+
+    @property
+    def exhaustive_bound(self) -> float:
+        """Current bound on displacement by *any* unscored element."""
+        return self._bound.exhaustive_bound
 
     def _is_finished(self, total_budget: int) -> bool:
         """Provably final for this drive: budget spent or shards exhausted."""
@@ -377,6 +451,8 @@ class StreamingTopKEngine:
             wall_time=self.wall_time,
             n_merges=self.n_merges,
             backend=self.backend.name,
+            displacement_bound=self._bound.drive_bound,
+            exhaustive_bound=self._bound.exhaustive_bound,
         )
 
     def _begin_drive(self) -> None:
@@ -401,6 +477,9 @@ class StreamingTopKEngine:
                  else min(budget, len(self.dataset)))
         self._last_total = total
         step = self.slice_budget if every is None else max(1, int(every))
+        self._bound.begin_drive()
+        if self._recorder is not None:
+            self._recorder.begin_drive(total, every)
         self._begin_drive()
         self._refill(total)
         last_yield = self.total_scored
@@ -408,7 +487,7 @@ class StreamingTopKEngine:
         while self._inflight:
             event = self.backend.next_event()
             self._absorb(event)
-            if not stopping and self._is_stable():
+            if not stopping and (self._is_stable() or self._is_confident()):
                 stopping = True  # early stop: drain, no resubmissions
             if not stopping:
                 self._refill(total)
@@ -456,6 +535,37 @@ class StreamingTopKEngine:
             workers=workers,
             progressive=list(self.progressive),
             backend=self.backend.name,
+            displacement_bound=self._bound.drive_bound,
+            exhaustive_bound=self._bound.exhaustive_bound,
+        )
+
+    # -- recorded-arrival tracing -------------------------------------------
+
+    def trace(self):
+        """The recorded :class:`~repro.replay.trace.ArrivalTrace` so far.
+
+        Requires the engine to have been constructed with ``record=True``;
+        read it after (or during) a drive and replay it with
+        :func:`repro.replay.replay_run`.
+        """
+        if self._recorder is None:
+            raise ConfigurationError(
+                "arrival tracing is off; construct the engine with "
+                "record=True to record a replayable trace"
+            )
+        from repro.replay.trace import ArrivalTrace
+
+        return ArrivalTrace(
+            backend=self.backend.name,
+            n_workers=self.n_workers,
+            k=self.k,
+            slice_budget=self.slice_budget,
+            share_threshold=self.share_threshold,
+            stable_slices=self.stable_slices,
+            confidence=self.confidence,
+            root_entropy=self._root_entropy,
+            drives=[dict(drive) for drive in self._recorder.drives],
+            events=[dict(event) for event in self._recorder.events],
         )
 
     # -- pause / resume ------------------------------------------------------
@@ -487,10 +597,12 @@ class StreamingTopKEngine:
             "slice_budget": self.slice_budget,
             "share_threshold": self.share_threshold,
             "stable_slices": self.stable_slices,
+            "confidence": self.confidence,
             "backend": self.backend.name,
             "root_entropy": self._root_entropy,
             "resume_count": self._resume_count,
             "coordinator": {
+                "exhaustive_bound": self._bound.exhaustive_bound,
                 "buffer": [[score, element_id]
                            for score, element_id in self._buffer.items()],
                 "merged_ids": sorted(self._merged_ids),
@@ -533,6 +645,7 @@ class StreamingTopKEngine:
                 f"{snapshot.get('format')!r}"
             )
         stable = snapshot.get("stable_slices")
+        confidence = snapshot.get("confidence")
         engine = cls(
             dataset, scorer, k=int(snapshot["k"]),
             n_workers=int(snapshot["n_workers"]),
@@ -542,6 +655,7 @@ class StreamingTopKEngine:
             slice_budget=int(snapshot["slice_budget"]),
             share_threshold=bool(snapshot["share_threshold"]),
             stable_slices=None if stable is None else int(stable),
+            confidence=None if confidence is None else float(confidence),
             seed=None,
             index_cache=index_cache,
         )
@@ -564,6 +678,11 @@ class StreamingTopKEngine:
                               for point in state.get("progressive", [])]
         engine._worker_times = [float(t) for t in state["worker_times"]]
         engine._active = [bool(flag) for flag in state["active"]]
+        # The exhaustive certificate survives the pause (it only ever
+        # tightens); the drive-scoped bound resets with the next drive.
+        engine._bound.exhaustive_bound = float(
+            state.get("exhaustive_bound", 1.0)
+        )
         floor = state.get("pending_floor")
         engine._floor = None if floor is None else float(floor)
         for worker, stats in enumerate(state.get("worker_stats", [])):

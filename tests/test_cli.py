@@ -144,6 +144,37 @@ class TestStreamingFlags:
         assert code == 0
         assert "[converged]" in capsys.readouterr().out
 
+    def test_query_confidence_clause_streams(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu SEED 1 WORKERS 2 "
+            "STREAM CONFIDENCE 0.95",
+            "--rows", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[converged]" in out
+        assert "bound<=" in out
+
+    def test_query_confidence_flag_implies_stream(self, capsys):
+        code = main([
+            "query",
+            "SELECT TOP 5 FROM demo ORDER BY relu SEED 1",
+            "--rows", "1000", "--workers", "2", "--confidence", "0.95",
+        ])
+        assert code == 0
+        assert "[converged]" in capsys.readouterr().out
+
+    def test_demo_confidence_stops_early(self, capsys):
+        code = main(["demo", "--clusters", "4", "--per-cluster", "100",
+                     "--k", "5", "--workers", "2", "--budget-fraction",
+                     "1.0", "--confidence", "0.95"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[converged]" in out
+        # The confidence stop quits before scoring the whole table.
+        assert "(100%)" not in out
+
 
 class TestParser:
     def test_missing_command_exits(self):

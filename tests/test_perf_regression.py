@@ -53,3 +53,17 @@ def test_streaming_ttfr_and_wall_within_50pct_of_baseline():
         sys.path.remove(str(BENCHMARKS_DIR))
     failures = check_streaming(verbose=False)
     assert not failures, "\n".join(failures)
+
+
+def test_confidence_stop_beats_stable_slices_and_matches_full():
+    """Acceptance gate: in the committed BENCH_confidence.json cells and
+    in a live re-measurement of the 20k cells, CONFIDENCE 0.95 stops
+    with less budget than every stable_slices setting while returning
+    the full-budget top-k."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_confidence
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_confidence(verbose=False)
+    assert not failures, "\n".join(failures)

@@ -63,12 +63,17 @@ class TestWorkersClause:
 
 @pytest.fixture()
 def session():
+    from repro.scoring.base import FixedPerCallLatency
+
     dataset = SyntheticClustersDataset.generate(n_clusters=4,
                                                 per_cluster=100, rng=0)
     sess = OpaqueQuerySession()
     sess.register_table("t", dataset,
                         index_config=IndexConfig(n_clusters=4))
-    sess.register_udf("relu", ReluScorer())
+    # A non-zero latency model keeps the serial streaming simulation's
+    # arrival interleave honest (zero-cost slices all complete at virtual
+    # time 0, so one worker would monopolize the merge order).
+    sess.register_udf("relu", ReluScorer(FixedPerCallLatency(1e-3)))
     return sess
 
 
@@ -143,6 +148,47 @@ class TestStreamClause:
                 parsed.stream, parsed.every) == (9, 2, "serial", True, 50)
 
 
+class TestConfidenceClause:
+    def test_confidence_parsed(self):
+        parsed = parse_query(
+            "SELECT TOP 5 FROM t ORDER BY f STREAM CONFIDENCE 0.95"
+        )
+        assert parsed.stream is True and parsed.confidence == 0.95
+
+    def test_confidence_percentage(self):
+        parsed = parse_query(
+            "select top 5 from t order by f stream confidence 99%"
+        )
+        assert parsed.confidence == pytest.approx(0.99)
+
+    def test_confidence_after_every(self):
+        parsed = parse_query(
+            "SELECT TOP 9 FROM t ORDER BY f DESC BUDGET 10% BATCH 4 "
+            "SEED 3 WORKERS 2 BACKEND serial STREAM EVERY 50 "
+            "CONFIDENCE 0.9;"
+        )
+        assert (parsed.every, parsed.confidence) == (50, 0.9)
+
+    def test_confidence_defaults_absent(self):
+        assert parse_query(
+            "SELECT TOP 5 FROM t ORDER BY f STREAM"
+        ).confidence is None
+
+    def test_confidence_requires_stream(self):
+        with pytest.raises(ConfigurationError):
+            parse_query("SELECT TOP 5 FROM t ORDER BY f CONFIDENCE 0.9")
+
+    def test_confidence_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="CONFIDENCE"):
+            parse_query(
+                "SELECT TOP 5 FROM t ORDER BY f STREAM CONFIDENCE 1.5"
+            )
+        with pytest.raises(ConfigurationError, match="CONFIDENCE"):
+            parse_query(
+                "SELECT TOP 5 FROM t ORDER BY f STREAM CONFIDENCE 100%"
+            )
+
+
 class TestStreamExecution:
     def test_stream_query_returns_streaming_result(self, session):
         from repro.streaming import StreamingResult
@@ -200,3 +246,27 @@ class TestStreamExecution:
         warm_hits = cache.hits
         session.execute(sharded + " STREAM")
         assert cache.hits == warm_hits + 1
+
+    def test_confidence_clause_stops_early(self, session):
+        from repro.streaming import StreamingResult
+
+        full = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu SEED 0 WORKERS 2 STREAM"
+        )
+        early = session.execute(
+            "SELECT TOP 5 FROM t ORDER BY relu SEED 0 WORKERS 2 STREAM "
+            "CONFIDENCE 0.95"
+        )
+        assert isinstance(early, StreamingResult)
+        assert early.converged
+        assert early.total_scored < full.total_scored
+        assert early.ids == full.ids
+        assert early.displacement_bound <= 0.05
+
+    def test_confidence_flag_default_applies(self, session):
+        snapshots = list(session.stream(
+            "SELECT TOP 5 FROM t ORDER BY relu SEED 0 WORKERS 2",
+            confidence=0.95,
+        ))
+        assert snapshots[-1].converged
+        assert snapshots[-1].displacement_bound <= 0.05

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Documentation gates: executable docs, importable API, unbroken links.
+
+Three checks over ``README.md`` and ``docs/*.md`` (all run by default;
+select a subset with flags).  Wired into ``check.sh`` and the CI docs
+job so the documentation cannot rot:
+
+* ``--doctests`` — every fenced ```python``` block must execute.  Blocks
+  are run top-to-bottom per file in one shared namespace (so a page
+  builds on its own earlier examples, like a console session).  Blocks
+  containing ``>>>`` prompts run through :mod:`doctest` and must
+  reproduce their shown output; plain blocks are ``exec``-ed and must
+  not raise.  Annotate a fence ```` ```python no-run ```` to exclude it
+  (reserved for genuinely unrunnable fragments; currently none).
+* ``--api`` — ``docs/api.md`` is the reference for the public surface:
+  every ``### `symbol` `` heading under a ``## `module` `` section must
+  import (``getattr(import_module(module), symbol)``), so the reference
+  can never document a symbol that no longer exists.
+* ``--links`` — every relative markdown link target in ``README.md`` and
+  ``docs/*.md`` must exist on disk (anchors are stripped; external URLs
+  are ignored).
+
+Exit status is non-zero on the first category with failures; every
+failure is printed with its file and location.
+
+Usage::
+
+    python tools/check_docs.py                # all three gates
+    python tools/check_docs.py --doctests     # just run the docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import importlib
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md"] + sorted(
+    (REPO_ROOT / "docs").glob("*.md")
+)
+
+_FENCE_RE = re.compile(
+    r"^```python([^\n]*)\n(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_API_MODULE_RE = re.compile(r"^##\s+`?([A-Za-z_][\w.]*)`?\s*$")
+_API_SYMBOL_RE = re.compile(r"^###\s+`([A-Za-z_][\w]*)")
+
+
+def python_blocks(text: str) -> Iterator[Tuple[int, str, str]]:
+    """Yield ``(line_number, info_string, source)`` per python fence."""
+    for match in _FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        yield line, match.group(1).strip(), match.group(2)
+
+
+def run_doctests(files: List[Path]) -> List[str]:
+    """Execute every runnable python block; return failure messages."""
+    failures: List[str] = []
+    parser = doctest.DocTestParser()
+    for path in files:
+        namespace: dict = {}
+        rel = path.relative_to(REPO_ROOT)
+        for line, info, source in python_blocks(path.read_text()):
+            if "no-run" in info:
+                continue
+            label = f"{rel}:{line}"
+            if ">>>" in source:
+                test = parser.get_doctest(source, namespace, str(rel),
+                                          str(rel), line)
+                runner = doctest.DocTestRunner(
+                    optionflags=doctest.ELLIPSIS
+                    | doctest.NORMALIZE_WHITESPACE,
+                )
+                output: List[str] = []
+                runner.run(test, out=output.append)
+                if runner.failures:
+                    failures.append(
+                        f"{label}: {runner.failures} doctest failure(s)\n"
+                        + "".join(output)
+                    )
+            else:
+                try:
+                    exec(compile(source, label, "exec"), namespace)
+                except Exception:
+                    failures.append(
+                        f"{label}: block raised\n{traceback.format_exc()}"
+                    )
+    return failures
+
+
+def run_api_check(api_path: Path) -> List[str]:
+    """Import every documented symbol of docs/api.md."""
+    if not api_path.exists():
+        return [f"{api_path} is missing"]
+    failures: List[str] = []
+    module_name = None
+    n_symbols = 0
+    for number, line in enumerate(api_path.read_text().splitlines(), 1):
+        module_match = _API_MODULE_RE.match(line)
+        if module_match and module_match.group(1).startswith("repro"):
+            module_name = module_match.group(1)
+            try:
+                importlib.import_module(module_name)
+            except Exception as exc:
+                failures.append(
+                    f"docs/api.md:{number}: module {module_name!r} "
+                    f"does not import: {exc}"
+                )
+                module_name = None
+            continue
+        symbol_match = _API_SYMBOL_RE.match(line)
+        if symbol_match:
+            if module_name is None:
+                failures.append(
+                    f"docs/api.md:{number}: symbol outside a "
+                    f"`## repro...` module section"
+                )
+                continue
+            n_symbols += 1
+            symbol = symbol_match.group(1)
+            module = importlib.import_module(module_name)
+            if not hasattr(module, symbol):
+                failures.append(
+                    f"docs/api.md:{number}: {module_name}.{symbol} "
+                    f"does not exist"
+                )
+    if not failures and n_symbols == 0:
+        failures.append("docs/api.md documents no symbols")
+    return failures
+
+
+def run_link_check(files: List[Path]) -> List[str]:
+    """Verify every relative link target exists."""
+    failures: List[str] = []
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            for target in _LINK_RE.findall(line):
+                if "://" in target or target.startswith(("#", "mailto:")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{rel}:{number}: broken relative link {target!r}"
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--doctests", action="store_true")
+    parser.add_argument("--api", action="store_true")
+    parser.add_argument("--links", action="store_true")
+    args = parser.parse_args(argv)
+    run_all = not (args.doctests or args.api or args.links)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    status = 0
+    if run_all or args.doctests:
+        failures = run_doctests(DOC_FILES)
+        print(f"doc doctests: {'ok' if not failures else 'FAIL'} "
+              f"({len(DOC_FILES)} files)")
+        for failure in failures:
+            print(" ", failure)
+        status = status or (1 if failures else 0)
+    if run_all or args.api:
+        failures = run_api_check(REPO_ROOT / "docs" / "api.md")
+        print(f"api reference: {'ok' if not failures else 'FAIL'}")
+        for failure in failures:
+            print(" ", failure)
+        status = status or (1 if failures else 0)
+    if run_all or args.links:
+        failures = run_link_check(DOC_FILES)
+        print(f"relative links: {'ok' if not failures else 'FAIL'}")
+        for failure in failures:
+            print(" ", failure)
+        status = status or (1 if failures else 0)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
