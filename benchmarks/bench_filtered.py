@@ -1,0 +1,244 @@
+"""Filtered top-k: WHERE-pushdown savings versus post-filtering.
+
+The dialect's ``WHERE`` clause pushes a feature predicate down into the
+index (``docs/dialect.md``): leaves are masked to the surviving
+candidates *before* the bandit draws, so filtered-out elements are never
+fetched and never scored.  The alternative a user had before the clause
+existed — *post-filtering* — must score the **whole table** exhaustively
+(the global top-k of an unfiltered budgeted run is useless: it may
+contain arbitrarily few in-filter rows) and then filter + sort the full
+score column.
+
+This benchmark pins that trade on the 1M-element clustered setup shared
+with the other benches: ``feature[0]`` is the score-correlated value,
+``feature[1]`` an independent uniform "category" column, and the query
+keeps ``feature[1] < 0.25`` (25% selectivity).  Both strategies produce
+the *identical exact* filtered top-k (asserted per row); the comparison
+is pure cost:
+
+* ``udf_calls`` — pushdown scores exactly the candidate set; the
+  post-filter scan scores every element (1/selectivity more).
+* ``pipeline_seconds`` — virtual scoring latency (2 ms/call, the
+  paper's XGBoost CPU model, charged to the virtual clock exactly like
+  ``bench_confidence.py``) plus the strategy's *entire* measured wall:
+  for pushdown that includes the index build, the WHERE-mask
+  evaluation, and the engine overhead; for the scan baseline the batch
+  loop and the filter+sort.  The scan is implemented as the best
+  possible case (vectorized batches, zero engine machinery), so the
+  committed savings are conservative.
+
+Results go to ``BENCH_filtered.json`` (shared ``results[label]`` row
+schema).  ``benchmarks/check_regression.py --benchmark filtered`` (and
+the ``pytest -m perf`` gate) asserts the acceptance invariant on the
+committed rows *and* on a live re-measurement of the small 20k cells:
+pushdown returns exactly the post-filtered answer while scoring strictly
+fewer elements, and saves pipeline time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_filtered.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_filtered.py --small    # gate cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig
+from repro.scoring.base import CountingScorer, FixedPerCallLatency
+from repro.scoring.relu import ReluScorer
+from repro.session import OpaqueQuerySession
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_filtered.json"
+
+FULL_N = 1_000_000
+SMALL_N = 20_000
+K = 50
+BATCH_SIZE = 64
+SCAN_BATCH = 4_096       # post-filter scan batches (best-case baseline)
+PER_CALL = 2e-3          # UDF latency model (virtual pipeline clock)
+SELECTIVITY = 0.25
+PREDICATE = f"feature[1] < {SELECTIVITY}"
+SEEDS = (0, 1)
+
+
+def build_dataset(n: int, seed: int = 0,
+                  leaf_size: int = 256) -> InMemoryDataset:
+    """Clustered scores plus an independent uniform category column.
+
+    ``feature[0]`` carries the same gamma-mean cluster structure as the
+    sharded/streaming benches (real signal for the bandit);
+    ``feature[1]`` is uniform on [0, 1) and independent of the score, so
+    ``feature[1] < s`` selects an s-fraction spread across every cluster.
+    """
+    rng = np.random.default_rng(seed)
+    n_leaves = (n + leaf_size - 1) // leaf_size
+    means = rng.gamma(shape=2.0, scale=0.5, size=n_leaves)
+    values = rng.normal(loc=np.repeat(means, leaf_size)[:n], scale=0.25)
+    values = np.maximum(values, 0.0)
+    category = rng.random(n)
+    ids = [f"e{i}" for i in range(n)]
+    return InMemoryDataset(ids, values.tolist(),
+                           np.column_stack([values, category]))
+
+
+def _index_config() -> IndexConfig:
+    return IndexConfig(n_clusters=16, subsample=2_000, flat=True)
+
+
+def run_pushdown(dataset: InMemoryDataset, seed: int) -> Dict[str, object]:
+    """Execute the unbudgeted WHERE query through the session pipeline."""
+    scorer = CountingScorer(ReluScorer(FixedPerCallLatency(PER_CALL)))
+    session = OpaqueQuerySession()
+    session.register_table("t", dataset, index_config=_index_config())
+    session.register_udf("score", scorer)
+    started = time.perf_counter()
+    result = session.execute(
+        f"SELECT TOP {K} FROM t ORDER BY score WHERE {PREDICATE} "
+        f"BATCH {BATCH_SIZE} SEED {seed}"
+    )
+    wall = time.perf_counter() - started
+    return {
+        "mode": "pushdown",
+        "udf_calls": scorer.n_elements,
+        "wall_seconds": wall,
+        # Symmetric with the post-filter row: virtual scoring latency
+        # plus the *whole* measured wall — index build, WHERE mask, and
+        # engine overhead included, not just the engine's stopwatch.
+        "pipeline_seconds": result.virtual_time + wall,
+        "ids": result.ids,
+        "displacement_bound": result.displacement_bound,
+    }
+
+
+def run_postfilter(dataset: InMemoryDataset) -> Dict[str, object]:
+    """Best-case post-filter baseline: full vectorized scan, then filter.
+
+    Deterministic (no sampling), so it needs no seed; the virtual clock
+    charges the same 2 ms/call latency model as the pushdown run.
+    """
+    scorer = CountingScorer(ReluScorer(FixedPerCallLatency(PER_CALL)))
+    ids = dataset.ids()
+    features = dataset.features()
+    started = time.perf_counter()
+    scores = np.empty(len(ids))
+    virtual = 0.0
+    for begin in range(0, len(ids), SCAN_BATCH):
+        batch = ids[begin:begin + SCAN_BATCH]
+        scores[begin:begin + SCAN_BATCH] = scorer.score_batch(
+            dataset.fetch_batch(batch)
+        )
+        virtual += scorer.batch_cost(len(batch))
+    keep = features[:, 1] < SELECTIVITY
+    kept_scores = scores[keep]
+    kept_ids = np.asarray(ids, dtype=object)[keep]
+    order = np.argsort(kept_scores, kind="stable")[::-1][:K]
+    overhead = time.perf_counter() - started
+    return {
+        "mode": "postfilter",
+        "udf_calls": scorer.n_elements,
+        "wall_seconds": overhead,
+        "pipeline_seconds": virtual + overhead,
+        "ids": [str(element_id) for element_id in kept_ids[order]],
+    }
+
+
+def run_grid(n: int = FULL_N, seeds: Sequence[int] = SEEDS,
+             verbose: bool = True) -> List[Dict[str, object]]:
+    """Measure both strategies per seed over one shared dataset."""
+    rows: List[Dict[str, object]] = []
+    for seed in seeds:
+        dataset = build_dataset(n, seed=seed)
+        post = run_postfilter(dataset)
+        push = run_pushdown(dataset, seed=seed)
+        push["ids_match"] = push.pop("ids") == post["ids"]
+        post.pop("ids")
+        for row in (push, post):
+            row.update({"n": n, "seed": seed, "k": K,
+                        "selectivity": SELECTIVITY,
+                        "predicate": PREDICATE})
+            rows.append(row)
+        if verbose:
+            saved = 1.0 - push["udf_calls"] / post["udf_calls"]
+            speedup = post["pipeline_seconds"] / push["pipeline_seconds"]
+            print(f"n={n:>9,} seed={seed}  pushdown "
+                  f"{push['udf_calls']:>9,} calls "
+                  f"(vs {post['udf_calls']:,}; {saved:.1%} saved)  "
+                  f"pipeline {push['pipeline_seconds']:8.1f}s vs "
+                  f"{post['pipeline_seconds']:8.1f}s ({speedup:.2f}x)  "
+                  f"exact={push['ids_match']}")
+    return rows
+
+
+def savings_table(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-cell headline: calls saved and pipeline speedup."""
+    table = []
+    cells = sorted({(row["n"], row["seed"]) for row in rows})
+    for n, seed in cells:
+        cell = {row["mode"]: row for row in rows
+                if row["n"] == n and row["seed"] == seed}
+        if "pushdown" not in cell or "postfilter" not in cell:
+            continue
+        push, post = cell["pushdown"], cell["postfilter"]
+        table.append({
+            "n": n,
+            "seed": seed,
+            "selectivity": push["selectivity"],
+            "udf_calls_saved_fraction":
+                1.0 - push["udf_calls"] / post["udf_calls"],
+            "pipeline_speedup":
+                post["pipeline_seconds"]
+                / max(push["pipeline_seconds"], 1e-12),
+            "ids_match": push["ids_match"],
+        })
+    return table
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (shared bench schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "filtered")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["savings"] = savings_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--small", action="store_true",
+                        help="only the 20k gate cells")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    if args.small:
+        rows = run_grid(n=SMALL_N)
+    else:
+        rows = run_grid(n=SMALL_N) + run_grid(n=FULL_N)
+    for line in savings_table(rows):
+        print(f"  n={line['n']:,} seed={line['seed']}: "
+              f"{line['udf_calls_saved_fraction']:.1%} calls saved, "
+              f"{line['pipeline_speedup']:.2f}x pipeline speedup")
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,10 @@ a headline table) and hence the same gate machinery:
   structurally (``CONFIDENCE 0.95`` must stop with less budget than every
   ``stable_slices`` row while matching the full-budget top-k) and
   re-measures the deterministic small 20k cells live.
+* ``filtered`` — checks the committed ``BENCH_filtered.json`` rows
+  structurally (WHERE pushdown must return exactly the post-filtered
+  answer while scoring strictly fewer elements and spending less
+  pipeline time) and re-measures the small 20k cells live.
 
 The gate is opt-in — wire-compatible with ``pytest -m perf`` via
 ``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
@@ -267,11 +271,66 @@ def check_confidence(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_filtered(baseline_path: Optional[Path] = None,
+                   verbose: bool = True) -> List[str]:
+    """Filtered gate: pushdown is exact and strictly cheaper.
+
+    Two parts, mirroring the confidence gate:
+
+    1. *Structural*: every committed ``BENCH_filtered.json`` cell must
+       show the pushdown run returning exactly the post-filtered answer
+       (``ids_match``) with strictly fewer UDF calls and strictly less
+       pipeline time than the post-filter scan.
+    2. *Re-measure*: re-run the small 20k cells (deterministic at the
+       committed seeds) and assert the same invariant live.
+    """
+    bench_filtered = _bench("bench_filtered")
+
+    baseline_path = baseline_path or bench_filtered.DEFAULT_OUTPUT
+    failures: List[str] = []
+
+    def assert_invariant(rows: List[dict], source: str) -> None:
+        cells = sorted({(row["n"], row["seed"]) for row in rows})
+        for n, seed in cells:
+            cell = {row["mode"]: row for row in rows
+                    if row["n"] == n and row["seed"] == seed}
+            push = cell.get("pushdown")
+            post = cell.get("postfilter")
+            if push is None or post is None:
+                failures.append(f"{source} n={n} seed={seed}: "
+                                "missing pushdown/postfilter row")
+                continue
+            if not push.get("ids_match"):
+                failures.append(
+                    f"{source} n={n} seed={seed}: pushdown answer "
+                    f"diverges from the post-filtered top-k"
+                )
+            if push["udf_calls"] >= post["udf_calls"]:
+                failures.append(
+                    f"{source} n={n} seed={seed}: pushdown spent "
+                    f"{push['udf_calls']} UDF calls, not less than "
+                    f"post-filtering at {post['udf_calls']}"
+                )
+            if push["pipeline_seconds"] >= post["pipeline_seconds"]:
+                failures.append(
+                    f"{source} n={n} seed={seed}: pushdown pipeline "
+                    f"{push['pipeline_seconds']:.1f}s is not below "
+                    f"post-filtering at {post['pipeline_seconds']:.1f}s"
+                )
+
+    assert_invariant(load_rows(baseline_path), "committed")
+    assert_invariant(
+        bench_filtered.run_grid(n=bench_filtered.SMALL_N, verbose=verbose),
+        "re-measured",
+    )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
-                                 "confidence"),
+                                 "confidence", "filtered"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -279,7 +338,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "confidence":
+    if args.benchmark == "filtered":
+        failures = check_filtered(baseline_path=args.baseline)
+    elif args.benchmark == "confidence":
         failures = check_confidence(baseline_path=args.baseline)
     elif args.benchmark == "streaming":
         failures = check_streaming(

@@ -47,13 +47,25 @@ def main() -> None:
         "SELECT TOP 25 FROM listings ORDER BY valuation BUDGET 15% SEED 0",
         "SELECT TOP 25 FROM listings ORDER BY valuation BUDGET 40% SEED 0",
         "SELECT TOP 10 FROM listings ORDER BY bargain_score BUDGET 20% SEED 0",
+        # feature[5] is z-normalized horsepower: filtered top-k over the
+        # above-average-horsepower listings only.  The predicate is pushed
+        # down into the index, so filtered-out listings are never scored.
+        "SELECT TOP 10 FROM listings ORDER BY valuation "
+        "WHERE feature[5] > 0 BUDGET 20% SEED 0",
     ]
     for query in queries:
         result = session.execute(query)
         top_id, top_score = result.items[0]
         print(f"{query}\n  -> STK {result.stk:,.0f} after "
-              f"{result.n_scored:,} UDF calls; best {top_id} "
+              f"{result.budget_spent:,} UDF calls; best {top_id} "
               f"({top_score:,.1f})\n")
+
+    # EXPLAIN returns the resolved execution plan instead of running.
+    plan = session.execute(
+        "EXPLAIN SELECT TOP 10 FROM listings ORDER BY valuation "
+        "WHERE feature[5] > 0 BUDGET 20% WORKERS 4 STREAM"
+    )
+    print(plan.explain())
 
 
 if __name__ == "__main__":

@@ -99,6 +99,14 @@ from repro.applications import (
     UncertaintyScorer,
     acquire_topk,
 )
+from repro.core.result import ResultBase
+from repro.query import (
+    ExecutionPlan,
+    QueryPlan,
+    available_executors,
+    parse,
+    register_executor,
+)
 from repro.session import OpaqueQuerySession, ParsedQuery, parse_query
 from repro.distributed import DistributedTopKExecutor, DistributedResult
 from repro.parallel import (
@@ -198,6 +206,12 @@ __all__ = [
     "OpaqueQuerySession",
     "ParsedQuery",
     "parse_query",
+    "parse",
+    "QueryPlan",
+    "ExecutionPlan",
+    "register_executor",
+    "available_executors",
+    "ResultBase",
     "DistributedTopKExecutor",
     "DistributedResult",
     "ShardedTopKEngine",

@@ -13,12 +13,16 @@ Three commands, mirroring how the library is used (full walkthrough in
   record a real run's arrival order and re-execute it deterministically
   (see :mod:`repro.replay`).
 * ``query``   — execute one SQL-ish opaque top-k query (see
-  :mod:`repro.session`) against a generated demo table.  The dialect's
-  ``WORKERS <w> [BACKEND <b>]`` and ``STREAM [EVERY <n>]
-  [CONFIDENCE <p>]`` clauses — or the equivalent ``--workers`` /
-  ``--backend`` / ``--stream`` / ``--every`` / ``--confidence`` flags —
-  select the execution mode; an explicit clause in the SQL wins over the
-  flags.
+  :mod:`repro.session` and :mod:`repro.query`) against a generated demo
+  table.  The dialect's ``WORKERS <w>`` / ``BACKEND <b>`` and
+  ``STREAM`` / ``EVERY <n>`` / ``CONFIDENCE <p>`` clauses — or the
+  equivalent ``--workers`` / ``--backend`` / ``--stream`` / ``--every``
+  / ``--confidence`` flags — select the execution mode; an explicit
+  clause in the SQL wins over the flags.  ``WHERE feature[i] ...``
+  pushes a feature filter down into the index; ``EXPLAIN <query>`` (or
+  ``--explain``) prints the resolved execution plan instead of running
+  it.  Malformed queries fail with the offending column and a caret
+  span under the query text.
 * ``info``    — print version, module inventory, the experiment index, and
   the available execution backends.
 
@@ -102,12 +106,17 @@ def _build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "query",
         help="run one SQL-ish query on a demo table (supports the "
-             "WORKERS/BACKEND and STREAM/EVERY/CONFIDENCE clauses and "
-             "the equivalent flags)",
+             "WHERE/EXPLAIN, WORKERS/BACKEND, and STREAM/EVERY/"
+             "CONFIDENCE clauses and the equivalent flags)",
     )
     query.add_argument("sql", help='e.g. "SELECT TOP 50 FROM demo ORDER BY '
-                                   'relu BUDGET 20%% WORKERS 4 STREAM '
+                                   'relu WHERE feature[0] > 0.5 '
+                                   'BUDGET 20%% WORKERS 4 STREAM '
                                    'CONFIDENCE 0.95"')
+    query.add_argument("--explain", action="store_true",
+                       help="print the resolved execution plan instead of "
+                            "running the query (same as prefixing the SQL "
+                            "with EXPLAIN)")
     query.add_argument("--rows", type=int, default=5_000)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--workers", type=int, default=None,
@@ -232,13 +241,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session.register_udf("relu", ReluScorer())
     session.register_udf("squared",
                          FunctionScorer(lambda v: float(v) ** 2))
+    sql = args.sql
+    explain_mode = args.explain
     streaming_mode = (args.stream or args.every is not None
                       or args.confidence is not None)
-    if not streaming_mode:
-        try:
-            streaming_mode = parse_query(args.sql).stream
-        except Exception:
-            pass  # let execute() raise the clean parse error below
+    try:
+        parsed = parse_query(sql)
+    except Exception:
+        parsed = None  # let execute() raise the clean parse error below
+    if parsed is not None:
+        explain_mode = explain_mode or parsed.explain
+        streaming_mode = streaming_mode or parsed.stream
+    if explain_mode:
+        if parsed is not None and not parsed.explain:
+            sql = f"EXPLAIN {sql}"
+        plan = session.execute(sql, workers=args.workers,
+                               backend=args.backend,
+                               stream=args.stream or None,
+                               every=args.every,
+                               confidence=args.confidence)
+        print(plan.explain())
+        return 0
     if streaming_mode:
         snapshot = None
         for snapshot in session.stream(args.sql, workers=args.workers,
@@ -279,8 +302,10 @@ def _cmd_info(_args: argparse.Namespace) -> int:
         ("repro.data", "synthetic / UsedCars-style / image generators"),
         ("repro.experiments", "ground truth, metrics, runner, reports"),
         ("repro.applications", "data acquisition over source unions"),
-        ("repro.session", "SQL-ish declarative interface (WORKERS / "
-                          "STREAM / CONFIDENCE clauses)"),
+        ("repro.session", "SQL-ish declarative interface (WHERE / "
+                          "EXPLAIN / WORKERS / STREAM / CONFIDENCE)"),
+        ("repro.query", "dialect parser, logical plans, and the "
+                        "single/sharded/streaming executor registry"),
         ("repro.parallel", "sharded execution: per-worker index + engine, "
                            "coordinator merge, threshold broadcast"),
         ("repro.streaming", "barrier-free pipeline: merge on arrival, "

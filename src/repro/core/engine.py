@@ -399,4 +399,7 @@ class TopKEngine:
             overhead_time=self.overhead.elapsed,
             fallback_events=list(self.fallback_events),
             checkpoints=checkpoints,
+            # Every candidate scored => the answer is exact and the
+            # result's displacement_bound reads 0.0.
+            exhausted=self.exhausted,
         )

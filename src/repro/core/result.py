@@ -1,9 +1,90 @@
-"""Result and trace records returned by the query engine."""
+"""Result and trace records returned by the query engine.
+
+:class:`ResultBase` is the unified result protocol: every result type a
+query can produce — the single-engine :class:`QueryResult` here, the
+sharded :class:`~repro.parallel.engine.DistributedResult`, and the
+streaming :class:`~repro.streaming.engine.StreamingResult` — exposes the
+same minimal surface (``items``, ``ids``, ``scores``, ``summary()``,
+``budget_spent``, ``displacement_bound``, ``to_json()``) so callers can
+consume any execution mode uniformly.  Type-specific traces (checkpoints,
+worker reports, progressive curves) remain on the concrete classes.
+"""
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import ClassVar, List, Optional, Tuple
+
+
+class ResultBase(ABC):
+    """Protocol shared by every result type (see module docstring).
+
+    Concrete classes are dataclasses carrying at least ``k``, ``items``
+    (``(element_id, score)`` rows, best first), and ``stk``; they
+    implement ``summary()`` and ``budget_spent`` and may override
+    ``displacement_bound`` (default: 1.0, i.e. no certificate) and
+    ``_extra_json()`` (type-specific additions to :meth:`to_json`).
+    """
+
+    #: Registry-style tag identifying the concrete result type in
+    #: ``to_json()`` payloads (``single`` / ``sharded`` / ``streaming``).
+    kind: ClassVar[str] = "result"
+
+    # Concrete dataclasses provide these as fields.
+    k: int
+    items: List[Tuple[str, float]]
+    stk: float
+
+    @property
+    def ids(self) -> List[str]:
+        """Element IDs of the answer, best first."""
+        return [element_id for element_id, _score in self.items]
+
+    @property
+    def scores(self) -> List[float]:
+        """Scores of the answer, descending."""
+        return [score for _id, score in self.items]
+
+    @property
+    @abstractmethod
+    def budget_spent(self) -> int:
+        """Total opaque-UDF scoring calls this result consumed."""
+
+    @property
+    def displacement_bound(self) -> float:
+        """Upper estimate of the probability that an unscored element
+        would displace this answer (1.0 = no certificate, 0.0 = exact)."""
+        return 1.0
+
+    @abstractmethod
+    def summary(self) -> str:
+        """One-line human-readable report."""
+
+    def to_json(self) -> dict:
+        """JSON-safe dict: the shared protocol surface plus extras.
+
+        The shared keys (``kind``, ``k``, ``items``, ``stk``,
+        ``budget_spent``, ``displacement_bound``, ``summary``) are stable
+        across all result types; ``_extra_json()`` adds the type-specific
+        trace.
+        """
+        payload = {
+            "kind": self.kind,
+            "k": int(self.k),
+            "items": [[element_id, float(score)]
+                      for element_id, score in self.items],
+            "stk": float(self.stk),
+            "budget_spent": int(self.budget_spent),
+            "displacement_bound": float(self.displacement_bound),
+            "summary": self.summary(),
+        }
+        payload.update(self._extra_json())
+        return payload
+
+    def _extra_json(self) -> dict:
+        """Type-specific additions to :meth:`to_json` (JSON-safe)."""
+        return {}
 
 
 @dataclass(frozen=True)
@@ -37,13 +118,15 @@ class Checkpoint:
 
 
 @dataclass
-class QueryResult:
+class QueryResult(ResultBase):
     """Final answer plus execution trace of one top-k query.
 
     ``items`` holds (element_id, score) in descending score order — the rows
     the user would read.  ``checkpoints`` is the anytime quality trace used
     for every figure in the paper's evaluation.
     """
+
+    kind: ClassVar[str] = "single"
 
     k: int
     items: List[Tuple[str, float]]
@@ -56,16 +139,19 @@ class QueryResult:
     overhead_time: float
     fallback_events: List[Tuple[int, str]] = field(default_factory=list)
     checkpoints: List[Checkpoint] = field(default_factory=list)
+    #: 0.0 when the engine scored every candidate (the answer is exact);
+    #: 1.0 otherwise — the single engine carries no sketch certificate.
+    exhausted: bool = False
 
     @property
-    def ids(self) -> List[str]:
-        """Element IDs of the answer, best first."""
-        return [element_id for element_id, _score in self.items]
+    def budget_spent(self) -> int:
+        """Total scoring calls (alias of ``n_scored`` for the protocol)."""
+        return self.n_scored
 
     @property
-    def scores(self) -> List[float]:
-        """Scores of the answer, descending."""
-        return [score for _id, score in self.items]
+    def displacement_bound(self) -> float:
+        """0.0 once every candidate was scored (exact), else 1.0."""
+        return 0.0 if self.exhausted else 1.0
 
     @property
     def total_time(self) -> float:
@@ -80,3 +166,15 @@ class QueryResult:
             f"({self.n_explore} explore / {self.n_exploit} exploit batches), "
             f"time={self.total_time:.3f}s, fallbacks: {fallbacks}"
         )
+
+    def _extra_json(self) -> dict:
+        return {
+            "n_batches": int(self.n_batches),
+            "n_explore": int(self.n_explore),
+            "n_exploit": int(self.n_exploit),
+            "virtual_time": float(self.virtual_time),
+            "overhead_time": float(self.overhead_time),
+            "fallback_events": [[int(t), str(kind)]
+                                for t, kind in self.fallback_events],
+            "exhausted": bool(self.exhausted),
+        }

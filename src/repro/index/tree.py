@@ -141,6 +141,40 @@ class ClusterTree:
         """Height of the tree."""
         return self.root.depth()
 
+    def restricted(self, allowed: Sequence[str]) -> "ClusterTree":
+        """Copy of the tree with leaves masked to ``allowed`` element IDs.
+
+        The leaf-mask filtering behind the dialect's ``WHERE`` pushdown:
+        each leaf keeps only its members inside ``allowed`` (preserving
+        member order and centroids), emptied leaves are dropped, and
+        internal nodes whose children all vanish are pruned recursively —
+        so a bandit over the restricted tree can never draw (and a scorer
+        can never be charged for) a filtered-out element.  Restricting to
+        an empty set yields a valid empty tree (an engine over it is
+        immediately exhausted).
+        """
+        allowed_set = frozenset(allowed)
+
+        def prune(node: ClusterNode) -> Optional[ClusterNode]:
+            if node.is_leaf:
+                members = tuple(member for member in node.member_ids
+                                if member in allowed_set)
+                if not members:
+                    return None
+                return ClusterNode(node_id=node.node_id,
+                                   member_ids=members,
+                                   centroid=node.centroid)
+            children = [kept for kept in map(prune, node.children)
+                        if kept is not None]
+            if not children:
+                return None
+            return ClusterNode(node_id=node.node_id, children=children)
+
+        root = prune(self.root)
+        if root is None:
+            root = ClusterNode(node_id=self.root.node_id)
+        return ClusterTree(root)
+
     def flattened(self) -> "ClusterTree":
         """Return a flat copy: root directly over the current leaves.
 

@@ -36,25 +36,47 @@ their member lists — so one cached index may back many concurrent engines.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.index.builder import IndexConfig
 from repro.index.tree import ClusterTree
 
-#: (root_entropy, n_workers, index-config fingerprint, n_elements)
-CacheKey = Tuple[int, int, str, int]
+#: (root_entropy, n_workers, index-config fingerprint, n_elements,
+#:  candidate-subset fingerprint — "" when the whole table runs)
+CacheKey = Tuple[int, int, str, int, str]
 
 #: (partitions, per-worker indexes), id-aligned with worker order.
 CacheEntry = Tuple[List[List[str]], List[ClusterTree]]
 
 
+def subset_fingerprint(ids: Optional[Sequence[str]]) -> str:
+    """Stable fingerprint of a candidate-id subset (WHERE pushdown).
+
+    ``""`` when there is no filter; otherwise a digest of the ordered id
+    list, so two queries whose predicates select the same candidates (in
+    the same table order) share cached partitions and indexes.  Each id
+    is length-prefixed before hashing — ids are arbitrary user strings,
+    so no join character could be collision-free.
+    """
+    if ids is None:
+        return ""
+    digest = hashlib.sha256()
+    for element_id in ids:
+        encoded = element_id.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "big"))
+        digest.update(encoded)
+    return digest.hexdigest()[:16]
+
+
 def shard_cache_key(root_entropy: int, n_workers: int,
                     index_config: Optional[IndexConfig],
-                    n_elements: int) -> CacheKey:
+                    n_elements: int,
+                    subset: str = "") -> CacheKey:
     """The full determinism fingerprint of one sharded index build."""
     return (int(root_entropy), int(n_workers), repr(index_config),
-            int(n_elements))
+            int(n_elements), str(subset))
 
 
 class ShardIndexCache:

@@ -38,16 +38,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import ClassVar, List, Optional, Sequence, Set, Tuple
 
 from repro.core.convergence import ConvergenceBound
 from repro.core.engine import EngineConfig
 from repro.core.minmax_heap import TopKBuffer
+from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError, SerializationError
 from repro.index.builder import IndexConfig
 from repro.parallel.backends import ShardBackend, make_backend
-from repro.parallel.cache import ShardIndexCache
+from repro.parallel.cache import ShardIndexCache, subset_fingerprint
 from repro.parallel.worker import (
     RoundOutcome,
     ShardSpec,
@@ -73,8 +74,10 @@ class WorkerReport:
 
 
 @dataclass
-class DistributedResult:
+class DistributedResult(ResultBase):
     """Merged answer plus the (simulated or measured) execution trace."""
+
+    kind: ClassVar[str] = "sharded"
 
     k: int
     items: List[Tuple[str, float]]
@@ -91,9 +94,24 @@ class DistributedResult:
     displacement_bound: float = 1.0
 
     @property
-    def ids(self) -> List[str]:
-        """Element IDs of the merged answer, best first."""
-        return [element_id for element_id, _score in self.items]
+    def budget_spent(self) -> int:
+        """Total scoring calls across all shards (protocol alias)."""
+        return self.total_scored
+
+    def _extra_json(self) -> dict:
+        return {
+            "wall_time": float(self.wall_time),
+            "n_rounds": int(self.n_rounds),
+            "backend": str(self.backend),
+            "workers": [
+                {"worker_id": int(report.worker_id),
+                 "n_elements": int(report.n_elements),
+                 "n_scored": int(report.n_scored),
+                 "virtual_time": float(report.virtual_time),
+                 "local_stk": float(report.local_stk)}
+                for report in self.workers
+            ],
+        }
 
     def summary(self) -> str:
         """One-line report."""
@@ -164,7 +182,8 @@ class ShardedTopKEngine:
                  sync_interval: int = 100,
                  share_threshold: bool = True,
                  seed=None,
-                 index_cache: Optional[ShardIndexCache] = None) -> None:
+                 index_cache: Optional[ShardIndexCache] = None,
+                 ids: Optional[Sequence[str]] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -175,9 +194,16 @@ class ShardedTopKEngine:
             )
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k!r}")
-        if len(dataset) < n_workers:
+        # ids restricts execution to a candidate subset (WHERE pushdown):
+        # only those elements are partitioned, indexed, and drawn.
+        self._ids: Optional[List[str]] = (
+            list(ids) if ids is not None else None
+        )
+        self._population = (len(self._ids) if self._ids is not None
+                            else len(dataset))
+        if self._population < n_workers:
             raise ConfigurationError(
-                f"{n_workers} workers for only {len(dataset)} elements"
+                f"{n_workers} workers for only {self._population} elements"
             )
         self.dataset = dataset
         self.scorer = scorer
@@ -234,6 +260,7 @@ class ShardedTopKEngine:
             restore_payloads=self._restore_payloads,
             resume_count=self._resume_count,
             index_cache=self._index_cache,
+            ids=self._ids,
         )
         return specs
 
@@ -247,9 +274,10 @@ class ShardedTopKEngine:
                 self._index_cache,
                 root_entropy=self._root_entropy,
                 index_config=self._index_config,
-                n_elements=len(self.dataset),
+                n_elements=self._population,
                 partitions=self._partitions,
                 workers=self.backend.inline_workers(),
+                subset=subset_fingerprint(self._ids),
             )
 
     # -- execution -----------------------------------------------------------
@@ -262,8 +290,8 @@ class ShardedTopKEngine:
         continues from the merged state already reached.
         """
         self._ensure_started()
-        total_budget = len(self.dataset) if budget is None else min(
-            budget, len(self.dataset)
+        total_budget = self._population if budget is None else min(
+            budget, self._population
         )
         while self.total_scored < total_budget and any(self._active):
             self.n_rounds += 1
@@ -379,6 +407,8 @@ class ShardedTopKEngine:
                 ],
             },
             "workers": self.backend.snapshots(),
+            # WHERE candidate subset; None when the whole table ran.
+            "ids": self._ids,
         }
 
     @classmethod
@@ -402,6 +432,7 @@ class ShardedTopKEngine:
                 f"unrecognized sharded snapshot format "
                 f"{snapshot.get('format')!r}"
             )
+        subset = snapshot.get("ids")
         engine = cls(
             dataset, scorer, k=int(snapshot["k"]),
             n_workers=int(snapshot["n_workers"]),
@@ -412,6 +443,7 @@ class ShardedTopKEngine:
             share_threshold=bool(snapshot["share_threshold"]),
             seed=None,
             index_cache=index_cache,
+            ids=None if subset is None else [str(i) for i in subset],
         )
         # Re-anchor the RNG streams to the original run's root entropy so
         # partitions and shard indexes rebuild identically.

@@ -144,30 +144,36 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                       restore_payloads: Optional[List[dict]] = None,
                       resume_count: int = 0,
                       index_cache=None,
+                      ids: Optional[Sequence[str]] = None,
                       ) -> Tuple[List[List[str]], List[ShardSpec], bool]:
     """Partition the dataset and assemble one :class:`ShardSpec` per worker.
 
     Shared by the round-based (:mod:`repro.parallel.engine`) and streaming
     (:mod:`repro.streaming.engine`) coordinators so both produce identical
-    shards from identical inputs.  When ``index_cache`` (a
-    :class:`~repro.parallel.cache.ShardIndexCache`) holds an entry for this
-    build's key, the cached partitions are reused and each spec carries its
-    ``prebuilt_index``, skipping the per-shard k-means fits bit-identically
-    (named RNG streams are independent per name).  Returns
+    shards from identical inputs.  ``ids`` restricts execution to a
+    candidate subset (the dialect's ``WHERE`` pushdown): only those
+    elements are partitioned, indexed, and ever drawn.  When
+    ``index_cache`` (a :class:`~repro.parallel.cache.ShardIndexCache`)
+    holds an entry for this build's key — which includes the subset
+    fingerprint — the cached partitions are reused and each spec carries
+    its ``prebuilt_index``, skipping the per-shard k-means fits
+    bit-identically (named RNG streams are independent per name).  Returns
     ``(partitions, specs, cache_hit)``.
     """
-    from repro.parallel.cache import shard_cache_key
+    from repro.parallel.cache import shard_cache_key, subset_fingerprint
 
+    population = list(ids) if ids is not None else dataset.ids()
     cached = None
     if index_cache is not None:
         key = shard_cache_key(root_entropy, n_workers, index_config,
-                              len(dataset))
+                              len(population),
+                              subset=subset_fingerprint(ids))
         cached = index_cache.get(key)
     if cached is not None:
         partitions, indexes = cached
         partitions = [list(p) for p in partitions]
     else:
-        partitions = partition_ids(dataset.ids(), n_workers,
+        partitions = partition_ids(population, n_workers,
                                    factory.named("partition"))
         indexes = [None] * n_workers
     specs: List[ShardSpec] = []
@@ -202,19 +208,21 @@ def harvest_shard_indexes(index_cache, *, root_entropy: int,
                           index_config: Optional[IndexConfig],
                           n_elements: int,
                           partitions: List[List[str]],
-                          workers: Optional[List["ShardWorker"]]) -> None:
+                          workers: Optional[List["ShardWorker"]],
+                          subset: str = "") -> None:
     """Store freshly built shard indexes from in-process workers.
 
     No-op when there is no cache, the entry already exists, or the backend
     keeps its workers out of reach (``process`` children own their
-    indexes).
+    indexes).  ``subset`` is the candidate-subset fingerprint of the build
+    (see :func:`repro.parallel.cache.subset_fingerprint`).
     """
     from repro.parallel.cache import shard_cache_key
 
     if index_cache is None or workers is None or not partitions:
         return
     key = shard_cache_key(root_entropy, len(partitions), index_config,
-                          n_elements)
+                          n_elements, subset=subset)
     index_cache.put(key, partitions, [worker.index for worker in workers])
 
 

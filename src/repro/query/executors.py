@@ -1,0 +1,180 @@
+"""Executor registry: pluggable execution strategies for resolved plans.
+
+Mirrors the backend registries of :mod:`repro.parallel.backends` and
+:mod:`repro.streaming.backends`: each executor registers itself under a
+name (``single`` / ``sharded`` / ``streaming``), and
+:meth:`repro.session.OpaqueQuerySession.execute` dispatches one resolved
+:class:`~repro.query.plan.ExecutionPlan` through :func:`get_executor` —
+no if/elif chain, and a new execution strategy is one registered class.
+
+Executors are deliberately *thin*: all policy (clause merging, kwarg
+validation, WHERE mask evaluation, budget resolution) happens at plan
+time in the session, so an executor only instantiates its engine and
+runs it.  They read the owning session's registries and caches through
+its internal helpers — the session and this module are two halves of one
+subsystem.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, Type
+
+from repro.core.engine import EngineConfig, TopKEngine
+from repro.errors import ConfigurationError
+from repro.query.plan import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.result import ResultBase
+    from repro.session import OpaqueQuerySession
+    from repro.streaming.engine import StreamingTopKEngine
+
+
+class QueryExecutor(ABC):
+    """One execution strategy for resolved plans."""
+
+    #: Registry name; also the ``ExecutionPlan.mode`` it serves.
+    name: str = ""
+
+    @abstractmethod
+    def execute(self, session: "OpaqueQuerySession",
+                plan: ExecutionPlan) -> "ResultBase":
+        """Run the plan to completion and return its result."""
+
+
+EXECUTORS: Dict[str, Type[QueryExecutor]] = {}
+
+
+def register_executor(cls: Type[QueryExecutor]) -> Type[QueryExecutor]:
+    """Class decorator: add an executor to the registry under its name."""
+    if not cls.name:
+        raise ConfigurationError(
+            f"executor {cls.__name__} must define a registry name"
+        )
+    EXECUTORS[cls.name] = cls
+    return cls
+
+
+def available_executors() -> List[str]:
+    """Names of the registered executors, registration order."""
+    return list(EXECUTORS)
+
+
+def get_executor(name: str) -> QueryExecutor:
+    """Instantiate an executor by registry name; raise with guidance."""
+    try:
+        return EXECUTORS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: "
+            f"{', '.join(available_executors())}"
+        ) from None
+
+
+@register_executor
+class SingleExecutor(QueryExecutor):
+    """One in-process engine over the table's task-independent index.
+
+    A ``WHERE`` filter restricts the index to the candidate leaves
+    (:meth:`~repro.index.tree.ClusterTree.restricted`) before the engine
+    is built, so the bandit never draws — and the UDF never scores — a
+    filtered-out element.
+    """
+
+    name = "single"
+
+    def execute(self, session: "OpaqueQuerySession",
+                plan: ExecutionPlan) -> "ResultBase":
+        from repro.core.result import QueryResult
+
+        if plan.n_candidates == 0:
+            # WHERE filtered everything out: the empty answer is exact.
+            return QueryResult(
+                k=plan.k, items=[], stk=0.0, n_scored=0, n_batches=0,
+                n_explore=0, n_exploit=0, virtual_time=0.0,
+                overhead_time=0.0, exhausted=True,
+            )
+        dataset = session._tables[plan.table]
+        scorer = session._udfs[plan.udf]
+        index = session._index_for(plan.table)
+        if plan.allowed_ids is not None:
+            index = index.restricted(plan.allowed_ids)
+        engine = TopKEngine(
+            index,
+            EngineConfig(k=plan.k, batch_size=plan.batch_size,
+                         seed=plan.seed),
+            scoring_latency_hint=scorer.batch_cost(plan.batch_size)
+            / max(1, plan.batch_size),
+        )
+        return engine.run(dataset, scorer, budget=plan.budget)
+
+
+@register_executor
+class ShardedExecutor(QueryExecutor):
+    """Round-based sharded execution (:mod:`repro.parallel`)."""
+
+    name = "sharded"
+
+    def execute(self, session: "OpaqueQuerySession",
+                plan: ExecutionPlan) -> "ResultBase":
+        from repro.parallel.engine import ShardedTopKEngine
+
+        sharded = ShardedTopKEngine(
+            session._tables[plan.table], session._udfs[plan.udf],
+            k=plan.k,
+            n_workers=plan.workers,
+            backend=plan.backend,
+            index_config=session._index_configs.get(
+                plan.table, session._default_index_config
+            ),
+            engine_config=EngineConfig(k=plan.k,
+                                       batch_size=plan.batch_size),
+            sync_interval=session._sync_interval,
+            seed=plan.seed,
+            index_cache=session._shard_cache_for(plan.table),
+            ids=plan.allowed_ids,
+        )
+        try:
+            return sharded.run(plan.budget)
+        finally:
+            sharded.close()
+
+
+@register_executor
+class StreamingExecutor(QueryExecutor):
+    """Barrier-free streaming execution (:mod:`repro.streaming`).
+
+    Also builds the engine for :meth:`OpaqueQuerySession.stream`, which
+    consumes ``results_iter`` live instead of running to completion.
+    """
+
+    name = "streaming"
+
+    def engine(self, session: "OpaqueQuerySession",
+               plan: ExecutionPlan) -> "StreamingTopKEngine":
+        from repro.streaming.engine import StreamingTopKEngine
+
+        return StreamingTopKEngine(
+            session._tables[plan.table], session._udfs[plan.udf],
+            k=plan.k,
+            n_workers=plan.workers,
+            backend=plan.backend,
+            index_config=session._index_configs.get(
+                plan.table, session._default_index_config
+            ),
+            engine_config=EngineConfig(k=plan.k,
+                                       batch_size=plan.batch_size),
+            slice_budget=session._sync_interval,
+            confidence=plan.confidence,
+            seed=plan.seed,
+            index_cache=session._shard_cache_for(plan.table),
+            ids=plan.allowed_ids,
+        )
+
+    def execute(self, session: "OpaqueQuerySession",
+                plan: ExecutionPlan) -> "ResultBase":
+        streaming = self.engine(session, plan)
+        try:
+            return streaming.run(plan.budget, every=plan.every)
+        finally:
+            streaming.close()

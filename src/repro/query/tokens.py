@@ -1,0 +1,131 @@
+"""Tokenizer for the session dialect — words, numbers, operators, spans.
+
+The parser (:mod:`repro.query.parser`) consumes a flat list of
+:class:`Token` objects.  Every token remembers its character span in the
+original query text, so parse errors can point at the exact offending
+column and render a caret line under the source::
+
+    unexpected token 'CONFIDENCE' at column 32: CONFIDENCE requires STREAM
+        SELECT TOP 5 FROM t ORDER BY f CONFIDENCE 0.9
+                                       ^^^^^^^^^^
+
+Tokens are deliberately dumb: keywords are recognized by the *parser*
+(against :data:`repro.query.parser.KEYWORDS`), not here, so identifiers
+and keywords are both plain ``word`` tokens and the tokenizer never needs
+updating when the dialect grows a clause.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Token kinds: ``word`` (keyword or identifier), ``number`` (int or
+#: decimal literal), ``op`` (operator / punctuation), ``end`` (sentinel).
+WORD = "word"
+NUMBER = "number"
+OP = "op"
+END = "end"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<number>-?(?:\d+(?:\.\d+)?|\.\d+))
+    | (?P<op><=|>=|!=|==|[<>=%(){}\[\];,*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its half-open character span."""
+
+    kind: str
+    text: str
+    start: int
+    end: int
+
+    @property
+    def upper(self) -> str:
+        """Uppercased text — how keywords are matched (case-insensitive)."""
+        return self.text.upper()
+
+    def describe(self) -> str:
+        """Human-readable form for error messages."""
+        if self.kind == END:
+            return "end of query"
+        return f"{self.text!r}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens; raise on any unrecognized character.
+
+    The returned list always ends with one ``end`` sentinel token whose
+    span sits just past the last character.
+    """
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise span_error(
+                text, position, position + 1,
+                f"unrecognized character {text[position]!r}",
+            )
+        position = match.end()
+        if match.lastgroup == "space":
+            continue
+        tokens.append(Token(
+            kind=match.lastgroup,
+            text=match.group(),
+            start=match.start(),
+            end=match.end(),
+        ))
+    tokens.append(Token(kind=END, text="", start=len(text), end=len(text)))
+    return tokens
+
+
+def span_error(text: str, start: int, end: int, head: str,
+               reason: Optional[str] = None) -> ConfigurationError:
+    """Build a :class:`ConfigurationError` with a caret span under ``text``.
+
+    The message reads ``<head> at column <n>: <reason>`` (1-based column —
+    the error surface promised by the dialect docs) and appends the
+    offending source line with a caret run under the exact span, so CLI
+    users see::
+
+        error: unexpected token 'EVERY' at column 36: EVERY requires STREAM
+            SELECT TOP 5 FROM t ORDER BY f EVERY 10
+                                           ^^^^^
+    """
+    start = max(0, min(start, len(text)))
+    end = max(start + 1, min(end, max(len(text), start + 1)))
+    line_start = text.rfind("\n", 0, start) + 1
+    line_end = text.find("\n", start)
+    if line_end == -1:
+        line_end = len(text)
+    line = text[line_start:line_end]
+    column = start - line_start + 1
+    caret_width = max(1, min(end, line_end) - start)
+    caret_line = " " * (column - 1) + "^" * caret_width
+    prefix = ""
+    if "\n" in text:
+        line_number = text.count("\n", 0, start) + 1
+        prefix = f"line {line_number}, "
+    tail = f": {reason}" if reason else ""
+    return ConfigurationError(
+        f"{head} at {prefix}column {column}{tail}\n"
+        f"    {line}\n"
+        f"    {caret_line}"
+    )
+
+
+def token_error(text: str, token: Token, reason: str) -> ConfigurationError:
+    """Span error anchored at one token, phrased ``unexpected token ...``."""
+    return span_error(text, token.start, token.end,
+                      f"unexpected token {token.describe()}", reason)

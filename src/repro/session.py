@@ -1,197 +1,93 @@
-"""A minimal declarative query interface — the Section 7.4 sketch.
+"""A declarative query interface — the Section 7.4 sketch, grown up.
 
 "A minimal implementation is natural in a system that supports UDFs and an
 incrementally updating query interface."  :class:`OpaqueQuerySession` is
-that minimal implementation: register tables (datasets) and UDFs (scorers),
-then execute queries written in a small SQL-ish dialect.  (User-facing
-tour: ``docs/dialect.md``; this docstring is the normative grammar and
-its examples run as tier-1 doctests.)
+that implementation: register tables (datasets) and UDFs (scorers), then
+execute queries written in a small SQL-ish dialect.
 
-Grammar
--------
-One statement form, clauses in this order, keywords case-insensitive, an
-optional trailing ``;``::
+Queries run through a three-stage pipeline (see :mod:`repro.query`):
 
-    SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC]
-        [BUDGET <n> | BUDGET <p>%]
-        [BATCH <b>]
-        [SEED <s>]
-        [WORKERS <w> [BACKEND serial|thread|process]]
-        [STREAM [EVERY <n>] [CONFIDENCE <p>]]
+1. **Parse** — :func:`repro.query.parse`, a hand-written recursive-descent
+   parser (order-insensitive clauses, ``WHERE`` feature predicates,
+   ``EXPLAIN``, caret-span errors), produces a logical
+   :class:`~repro.query.plan.QueryPlan`.  The parser module docstring is
+   the normative grammar; ``docs/dialect.md`` is the user-facing tour.
+2. **Resolve** — :meth:`OpaqueQuerySession.plan` checks registrations,
+   merges caller-side defaults (validated exactly like the equivalent
+   clauses), evaluates the ``WHERE`` mask over the table's features, and
+   resolves the budget into an :class:`~repro.query.plan.ExecutionPlan`.
+3. **Dispatch** — :meth:`OpaqueQuerySession.execute` hands the plan to
+   the matching executor from the registry in
+   :mod:`repro.query.executors` (``single`` / ``sharded`` /
+   ``streaming``), or returns the plan itself for ``EXPLAIN`` queries.
 
-Clause semantics, each with a runnable example:
+Every executor returns a :class:`~repro.core.result.ResultBase`: the
+single-engine :class:`~repro.core.result.QueryResult`, the sharded
+:class:`~repro.parallel.engine.DistributedResult`, or the streaming
+:class:`~repro.streaming.engine.StreamingResult` — one shared surface
+(``items`` / ``summary()`` / ``budget_spent`` / ``displacement_bound`` /
+``to_json()``).
 
-``SELECT TOP <k>`` — answer cardinality; the engine maintains a
-cardinality-constrained priority queue of the ``k`` best scores seen.
+:func:`parse_query` and :class:`ParsedQuery` remain as thin deprecation
+shims over the new parser:
 
     >>> parse_query("SELECT TOP 10 FROM t ORDER BY f").k
     10
-
-``FROM <table>`` / ``ORDER BY <udf>`` — names previously registered with
-:meth:`OpaqueQuerySession.register_table` /
-:meth:`~OpaqueQuerySession.register_udf`.  The UDF is the opaque scoring
-function; the session never inspects it.
-
-    >>> parsed = parse_query("SELECT TOP 5 FROM listings ORDER BY valuation")
-    >>> (parsed.table, parsed.udf)
-    ('listings', 'valuation')
-
-``DESC`` — optional and purely documentary: top-k always means the *k
-highest* scores, so descending order is the only supported direction and
-``DESC`` makes it explicit.  (``ASC`` is not in the dialect.)
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f DESC").descending
-    True
-
-``BUDGET <n>`` or ``BUDGET <p>%`` — the scoring budget: either an absolute
-number of UDF calls or a percentage of the table, resolved at execution
-time as ``max(k, p/100 * len(table))``.  Omitted: the whole table (exact
-answer).
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BUDGET 500").budget
-    500
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BUDGET 10%").budget_fraction
-    0.1
-
-``BATCH <b>`` — score elements in batches of ``b`` (Section 3.2.5); default
-1.  Larger batches amortize per-call overhead and suit GPU-style scorers.
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f BATCH 32").batch_size
-    32
-
-``SEED <s>`` — root seed for the engine's random streams; omitted means
-fresh entropy (non-reproducible).
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f SEED 7").seed
-    7
-
-``WORKERS <w>`` — shard the query across ``w`` workers, each with its own
-partition index and bandit engine, merged by a coordinator every
-synchronization round (see :mod:`repro.parallel`).  ``WORKERS 1`` (or
-omitting the clause) runs the ordinary single-engine path.
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f WORKERS 4").workers
-    4
-
-``BACKEND serial|thread|process`` — how the shards execute (only valid
-after ``WORKERS``): ``serial`` is the deterministic simulation, ``thread``
-and ``process`` run on real concurrency.  Default: ``serial``.
-
-    >>> parse_query(
-    ...     "SELECT TOP 5 FROM t ORDER BY f WORKERS 4 BACKEND process"
-    ... ).backend
-    'process'
-
-``STREAM [EVERY <n>]`` — execute barrier-free (see :mod:`repro.streaming`):
-shard workers run continuously in small budget slices, the coordinator
-merges outcomes on arrival, and progressive snapshots are available from
-the first slice onward.  ``EVERY <n>`` throttles snapshots to one per
-``n`` scored elements (default: one per slice).
-:meth:`OpaqueQuerySession.execute` returns the final
-:class:`~repro.streaming.engine.StreamingResult`;
-:meth:`OpaqueQuerySession.stream` yields the
-:class:`~repro.streaming.engine.ProgressiveResult` snapshots live.
-
-    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f STREAM").stream
-    True
-    >>> parse_query(
-    ...     "SELECT TOP 5 FROM t ORDER BY f WORKERS 4 STREAM EVERY 200"
-    ... ).every
-    200
-
-``CONFIDENCE <p>`` — principled early stop for streaming queries (only
-valid after ``STREAM``): stop once the coordinator's displacement bound
-(see :mod:`repro.core.convergence`) certifies that the probability of the
-rest of the budget still changing the top-k is at most ``1 - p``.  Accepts
-a decimal in (0, 1) or a percentage.
-
-    >>> parse_query(
-    ...     "SELECT TOP 5 FROM t ORDER BY f STREAM CONFIDENCE 0.95"
-    ... ).confidence
-    0.95
-    >>> parse_query(
-    ...     "SELECT TOP 5 FROM t ORDER BY f STREAM EVERY 100 CONFIDENCE 95%"
-    ... ).confidence
-    0.95
-
-Malformed queries raise :class:`~repro.errors.ConfigurationError` with the
-expected shape:
-
-    >>> parse_query("SELECT * FROM t")
-    Traceback (most recent call last):
-        ...
-    repro.errors.ConfigurationError: could not parse query; expected: \
-SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC] [BUDGET <n> | \
-BUDGET <p>%] [BATCH <b>] [SEED <s>] [WORKERS <w> [BACKEND <name>]] \
-[STREAM [EVERY <n>] [CONFIDENCE <p>]] — got 'SELECT * FROM t'
+    >>> parsed = parse_query("SELECT TOP 5 FROM listings ORDER BY "
+    ...                      "valuation BUDGET 10% SEED 7")
+    >>> (parsed.table, parsed.udf, parsed.budget_fraction, parsed.seed)
+    ('listings', 'valuation', 0.1, 7)
+    >>> parse_query("SELECT TOP 5 FROM t ORDER BY f "
+    ...             "WHERE feature[0] > 0.5 STREAM CONFIDENCE 95%").where
+    'feature[0] > 0.5'
 
 The session builds (and caches) one index per table — the index is
-task-independent, so every UDF registered against a table reuses it — and
-runs the anytime engine for the requested budget.  ``WORKERS`` queries
-instead build one index per partition inside
-:class:`~repro.parallel.engine.ShardedTopKEngine` and return its
-:class:`~repro.parallel.engine.DistributedResult` (same ``items`` /
-``summary()`` surface as :class:`~repro.core.result.QueryResult`);
-``STREAM`` queries run the barrier-free
-:class:`~repro.streaming.engine.StreamingTopKEngine` instead.  Per-shard
-partition indexes are cached across sharded *and* streaming runs on the
-same table (one :class:`~repro.parallel.cache.ShardIndexCache` per
-table), so repeat queries with the same seed, worker count, and index
+task-independent, so every UDF registered against a table reuses it.
+Per-shard partition indexes are cached across sharded *and* streaming
+runs on the same table (one :class:`~repro.parallel.cache.ShardIndexCache`
+per table, keys including the ``WHERE`` candidate-subset fingerprint), so
+repeat queries with the same seed, worker count, filter, and index
 configuration skip every per-partition k-means fit.
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Union
 
-from repro.core.engine import EngineConfig, TopKEngine
-from repro.core.result import QueryResult
+import numpy as np
+
+from repro.core.convergence import check_confidence
+from repro.core.result import QueryResult, ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
 from repro.parallel.backends import available_backends
 from repro.parallel.cache import ShardIndexCache
-from repro.parallel.engine import DistributedResult, ShardedTopKEngine
+from repro.parallel.engine import DistributedResult
+from repro.query.executors import StreamingExecutor, get_executor
+from repro.query.parser import parse
+from repro.query.plan import ExecutionPlan, QueryPlan
 from repro.scoring.base import Scorer
-from repro.streaming.engine import (
-    ProgressiveResult,
-    StreamingResult,
-    StreamingTopKEngine,
-)
-
-_QUERY_RE = re.compile(
-    r"""
-    ^\s*SELECT\s+TOP\s+(?P<k>\d+)
-    \s+FROM\s+(?P<table>[A-Za-z_][A-Za-z0-9_]*)
-    \s+ORDER\s+BY\s+(?P<udf>[A-Za-z_][A-Za-z0-9_]*)
-    (?:\s+(?P<desc>DESC))?
-    (?:\s+BUDGET\s+(?P<budget>\d+(?:\.\d+)?)(?P<pct>%)?)?
-    (?:\s+BATCH\s+(?P<batch>\d+))?
-    (?:\s+SEED\s+(?P<seed>\d+))?
-    (?:\s+WORKERS\s+(?P<workers>\d+)
-       (?:\s+BACKEND\s+(?P<backend>[A-Za-z_]+))?)?
-    (?:\s+(?P<stream>STREAM)
-       (?:\s+EVERY\s+(?P<every>\d+))?
-       (?:\s+CONFIDENCE\s+(?P<confidence>\d+(?:\.\d+)?|\.\d+)
-          (?P<confpct>%)?)?)?
-    \s*;?\s*$
-    """,
-    re.IGNORECASE | re.VERBOSE,
-)
+from repro.streaming.engine import ProgressiveResult, StreamingResult
 
 
 @dataclass(frozen=True)
 class ParsedQuery:
-    """The components of one opaque top-k query."""
+    """Deprecated flat view of one parsed query.
+
+    Thin shim over :class:`repro.query.plan.QueryPlan` kept for backward
+    compatibility; new code should call :func:`repro.query.parse` and use
+    the plan directly (the ``where`` predicate survives only as canonical
+    text here).
+    """
 
     k: int
     table: str
     udf: str
     budget: Optional[int]          # absolute scoring-call budget
-    budget_fraction: Optional[float]  # or a fraction of the table
+    budget_fraction: Optional[float]  # or a fraction of the candidates
     batch_size: int
     seed: Optional[int]
     descending: bool = True        # DESC is documentary; top-k maximizes
@@ -200,88 +96,39 @@ class ParsedQuery:
     stream: bool = False           # STREAM clause (barrier-free execution)
     every: Optional[int] = None    # EVERY clause (snapshot granularity)
     confidence: Optional[float] = None  # CONFIDENCE clause (early stop)
+    where: Optional[str] = None    # WHERE clause, canonical predicate text
+    explain: bool = False          # EXPLAIN-wrapped statement
 
 
 def parse_query(text: str) -> ParsedQuery:
-    """Parse the SQL-ish dialect; raise ConfigurationError with guidance.
+    """Deprecated: parse the dialect into a flat :class:`ParsedQuery`.
 
-    See the module docstring for the full grammar with examples.
+    Thin shim over :func:`repro.query.parse`; see the parser module
+    (:mod:`repro.query.parser`) for the normative grammar and
+    ``docs/dialect.md`` for the tour.
     """
-    match = _QUERY_RE.match(text)
-    if match is None:
-        raise ConfigurationError(
-            "could not parse query; expected: SELECT TOP <k> FROM <table> "
-            "ORDER BY <udf> [DESC] [BUDGET <n> | BUDGET <p>%] [BATCH <b>] "
-            "[SEED <s>] [WORKERS <w> [BACKEND <name>]] "
-            f"[STREAM [EVERY <n>] [CONFIDENCE <p>]] — got {text!r}"
-        )
-    groups = match.groupdict()
-    budget: Optional[int] = None
-    fraction: Optional[float] = None
-    if groups["budget"] is not None:
-        value = float(groups["budget"])
-        if groups["pct"]:
-            if not 0.0 < value <= 100.0:
-                raise ConfigurationError(
-                    f"BUDGET percentage must be in (0, 100], got {value}"
-                )
-            fraction = value / 100.0
-        else:
-            budget = int(value)
-            if budget <= 0:
-                raise ConfigurationError("BUDGET must be positive")
-    workers: Optional[int] = None
-    if groups["workers"] is not None:
-        workers = int(groups["workers"])
-        if workers <= 0:
-            raise ConfigurationError("WORKERS must be positive")
-    backend: Optional[str] = None
-    if groups["backend"] is not None:
-        backend = groups["backend"].lower()
-        if backend not in available_backends():
-            raise ConfigurationError(
-                f"unknown BACKEND {backend!r}; available: "
-                f"{', '.join(available_backends())}"
-            )
-    every: Optional[int] = None
-    if groups["every"] is not None:
-        every = int(groups["every"])
-        if every <= 0:
-            raise ConfigurationError("EVERY must be positive")
-    confidence: Optional[float] = None
-    if groups["confidence"] is not None:
-        confidence = float(groups["confidence"])
-        if groups["confpct"]:
-            if not 0.0 < confidence < 100.0:
-                raise ConfigurationError(
-                    f"CONFIDENCE percentage must be in (0, 100), "
-                    f"got {confidence}"
-                )
-            confidence /= 100.0
-        elif not 0.0 < confidence < 1.0:
-            raise ConfigurationError(
-                f"CONFIDENCE must lie strictly inside (0, 1) "
-                f"(or be a percentage like 95%), got {confidence}"
-            )
+    plan = parse(text)
     return ParsedQuery(
-        k=int(groups["k"]),
-        table=groups["table"],
-        udf=groups["udf"],
-        budget=budget,
-        budget_fraction=fraction,
-        batch_size=int(groups["batch"]) if groups["batch"] else 1,
-        seed=int(groups["seed"]) if groups["seed"] else None,
-        descending=True,
-        workers=workers,
-        backend=backend,
-        stream=groups["stream"] is not None,
-        every=every,
-        confidence=confidence,
+        k=plan.k,
+        table=plan.table,
+        udf=plan.udf,
+        budget=plan.budget,
+        budget_fraction=plan.budget_fraction,
+        batch_size=plan.batch_size,
+        seed=plan.seed,
+        descending=plan.descending,
+        workers=plan.workers,
+        backend=plan.backend,
+        stream=plan.stream,
+        every=plan.every,
+        confidence=plan.confidence,
+        where=None if plan.where is None else plan.where.canonical(),
+        explain=plan.explain,
     )
 
 
 class OpaqueQuerySession:
-    """Registry of tables and UDFs plus a tiny declarative executor."""
+    """Registry of tables and UDFs plus the declarative executor."""
 
     def __init__(self, default_index_config: Optional[IndexConfig] = None,
                  index_seed: int = 0,
@@ -296,15 +143,28 @@ class OpaqueQuerySession:
         # Per-table cache of per-shard partition indexes, shared by the
         # sharded (round) and streaming engines: datasets are immutable
         # once registered, so a repeat query with the same seed / worker
-        # count / index config reuses every partition index.
+        # count / filter / index config reuses every partition index.
         self._shard_caches: Dict[str, ShardIndexCache] = {}
 
     # -- registration --------------------------------------------------------
+
+    @staticmethod
+    def _check_name(name: str, what: str) -> None:
+        """Reject registry names the dialect could never reference."""
+        from repro.query.parser import KEYWORDS
+
+        if name.upper() in KEYWORDS:
+            raise ConfigurationError(
+                f"{what} name {name!r} is a reserved dialect keyword and "
+                f"could never be queried; pick another name "
+                f"(reserved: {', '.join(sorted(KEYWORDS))})"
+            )
 
     def register_table(self, name: str, dataset: Dataset,
                        index_config: Optional[IndexConfig] = None,
                        index: Optional[ClusterTree] = None) -> None:
         """Register a dataset; optionally with a prebuilt index."""
+        self._check_name(name, "table")
         if name in self._tables:
             raise ConfigurationError(f"table {name!r} already registered")
         self._tables[name] = dataset
@@ -319,11 +179,12 @@ class OpaqueQuerySession:
 
     def register_udf(self, name: str, scorer: Scorer) -> None:
         """Register an opaque scoring function under a name."""
+        self._check_name(name, "udf")
         if name in self._udfs:
             raise ConfigurationError(f"udf {name!r} already registered")
         self._udfs[name] = scorer
 
-    # -- execution ---------------------------------------------------------------
+    # -- executor plumbing (shared with repro.query.executors) ---------------
 
     def _index_for(self, table: str) -> ClusterTree:
         """Build (once) or fetch the table's task-independent index."""
@@ -346,126 +207,154 @@ class OpaqueQuerySession:
             self._shard_caches[table] = ShardIndexCache()
         return self._shard_caches[table]
 
-    def _resolve(self, parsed: ParsedQuery,
-                 workers: Optional[int], backend: Optional[str],
-                 ) -> Tuple[Dataset, Scorer, Optional[int], int, str]:
-        """Check registrations and resolve execution parameters.
+    # -- planning ------------------------------------------------------------
 
-        Returns ``(dataset, scorer, budget, n_workers, backend_name)``;
-        explicit clauses in the query text beat the caller-side defaults.
+    def plan(self, query: Union[str, QueryPlan], *,
+             workers: Optional[int] = None,
+             backend: Optional[str] = None,
+             stream: Optional[bool] = None,
+             every: Optional[int] = None,
+             confidence: Optional[float] = None) -> ExecutionPlan:
+        """Parse and resolve one query into an :class:`ExecutionPlan`.
+
+        The keyword arguments are caller-side defaults (e.g. CLI flags)
+        for the equivalent clauses; explicit clauses in the query text
+        win.  Defaults are validated exactly like the clauses they stand
+        in for, so ``execute(sql, backend="bogus")`` fails as loudly as
+        ``... BACKEND bogus`` — never reaching an engine unvalidated.
         """
-        if parsed.table not in self._tables:
+        logical = parse(query) if isinstance(query, str) else query
+        if logical.table not in self._tables:
             raise ConfigurationError(
-                f"unknown table {parsed.table!r}; registered: "
+                f"unknown table {logical.table!r}; registered: "
                 f"{sorted(self._tables)}"
             )
-        if parsed.udf not in self._udfs:
+        if logical.udf not in self._udfs:
             raise ConfigurationError(
-                f"unknown udf {parsed.udf!r}; registered: "
+                f"unknown udf {logical.udf!r}; registered: "
                 f"{sorted(self._udfs)}"
             )
-        dataset = self._tables[parsed.table]
-        scorer = self._udfs[parsed.udf]
-        budget = parsed.budget
-        if parsed.budget_fraction is not None:
-            budget = max(parsed.k,
-                         int(parsed.budget_fraction * len(dataset)))
-        if workers is not None and workers <= 0:
+        dataset = self._tables[logical.table]
+        # Merge caller-side defaults under clause-wins precedence; every
+        # merged value passes the same validation as its clause.
+        n_workers = self._check_workers(
+            logical.workers if logical.workers is not None else workers
+        )
+        backend_name = self._check_backend(logical.backend or backend)
+        every = self._check_every(
+            logical.every if logical.every is not None else every
+        )
+        confidence = check_confidence(
+            logical.confidence if logical.confidence is not None
+            else confidence
+        )
+        # Like the CLI's --every, an every= default implies streaming
+        # (the EVERY clause itself already requires STREAM at parse time).
+        streaming = bool(logical.stream or stream
+                         or confidence is not None or every is not None)
+        # WHERE pushdown: evaluate the predicate mask once over the cheap
+        # feature matrix; the candidate list flows to every executor.
+        allowed_ids = None
+        n_candidates = len(dataset)
+        if logical.where is not None:
+            mask = np.asarray(logical.where.mask(dataset.features()),
+                              dtype=bool)
+            all_ids = dataset.ids()
+            # flatnonzero + fancy indexing keeps the compaction out of
+            # the interpreter loop (a 1M-row zip walk costs ~100 ms).
+            allowed_ids = [all_ids[i] for i in np.flatnonzero(mask)]
+            n_candidates = len(allowed_ids)
+            # A filter may leave fewer candidates than requested shards;
+            # clamp so the query still runs (one worker minimum) instead
+            # of failing with a worker-count error that never mentions
+            # the WHERE clause.
+            n_workers = min(n_workers, max(1, n_candidates))
+        budget = logical.budget
+        if logical.budget_fraction is not None:
+            budget = max(logical.k,
+                         int(logical.budget_fraction * n_candidates))
+        # Zero surviving candidates degenerate to the single executor,
+        # which short-circuits to an (exact) empty answer — there is
+        # nothing to shard or stream.
+        mode = ("single" if n_candidates == 0
+                else "streaming" if streaming
+                else "sharded" if n_workers > 1 else "single")
+        return ExecutionPlan(
+            query=logical,
+            mode=mode,
+            n_elements=len(dataset),
+            n_candidates=n_candidates,
+            budget=budget,
+            batch_size=logical.batch_size,
+            seed=logical.seed,
+            workers=n_workers,
+            backend=backend_name,
+            every=every,
+            confidence=confidence,
+            allowed_ids=allowed_ids,
+        )
+
+    @staticmethod
+    def _check_workers(workers: Optional[int]) -> int:
+        if workers is None:
+            return 1
+        if int(workers) != workers or workers <= 0:
             raise ConfigurationError(
                 f"workers must be positive, got {workers!r}"
             )
-        n_workers = parsed.workers if parsed.workers is not None else (
-            workers if workers is not None else 1
-        )
-        backend_name = parsed.backend or backend or "serial"
-        return dataset, scorer, budget, n_workers, backend_name
+        return int(workers)
 
-    def _streaming_engine(self, parsed: ParsedQuery, dataset: Dataset,
-                          scorer: Scorer, n_workers: int,
-                          backend_name: str,
-                          confidence: Optional[float] = None,
-                          ) -> StreamingTopKEngine:
-        return StreamingTopKEngine(
-            dataset, scorer, k=parsed.k,
-            n_workers=n_workers,
-            backend=backend_name,
-            index_config=self._index_configs.get(
-                parsed.table, self._default_index_config
-            ),
-            engine_config=EngineConfig(
-                k=parsed.k, batch_size=parsed.batch_size,
-            ),
-            slice_budget=self._sync_interval,
-            confidence=(parsed.confidence if parsed.confidence is not None
-                        else confidence),
-            seed=parsed.seed,
-            index_cache=self._shard_cache_for(parsed.table),
-        )
+    @staticmethod
+    def _check_backend(backend: Optional[str]) -> str:
+        if backend is None:
+            return "serial"
+        if backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
+        return backend
 
-    def execute(self, query: str, *,
+    @staticmethod
+    def _check_every(every: Optional[int]) -> Optional[int]:
+        if every is None:
+            return None
+        if int(every) != every or every <= 0:
+            raise ConfigurationError(
+                f"every must be positive, got {every!r}"
+            )
+        return int(every)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, query: Union[str, QueryPlan], *,
                 workers: Optional[int] = None,
                 backend: Optional[str] = None,
                 stream: Optional[bool] = None,
                 every: Optional[int] = None,
                 confidence: Optional[float] = None,
-                ) -> Union[QueryResult, DistributedResult, StreamingResult]:
-        """Parse and run one query.
+                ) -> Union[ResultBase, ExecutionPlan]:
+        """Parse, resolve, and dispatch one query.
 
-        ``workers`` / ``backend`` / ``stream`` / ``every`` /
-        ``confidence`` are caller-side defaults (e.g. CLI flags); explicit
-        ``WORKERS`` / ``BACKEND`` / ``STREAM EVERY CONFIDENCE`` clauses in
-        the query text win.  Single-engine queries return a
+        Single-engine queries return a
         :class:`~repro.core.result.QueryResult`; ``WORKERS > 1`` queries
-        run sharded and return a
-        :class:`~repro.parallel.engine.DistributedResult`; ``STREAM``
-        queries run barrier-free and return the final
+        a :class:`~repro.parallel.engine.DistributedResult`; ``STREAM``
+        queries the final
         :class:`~repro.streaming.engine.StreamingResult` (use
-        :meth:`stream` to consume the progressive snapshots live).
+        :meth:`stream` for live snapshots) — all implementing
+        :class:`~repro.core.result.ResultBase`.  ``EXPLAIN`` queries
+        return the resolved :class:`~repro.query.plan.ExecutionPlan`
+        instead of executing.  Keyword arguments are caller-side defaults
+        for the equivalent clauses (see :meth:`plan`).
         """
-        parsed = parse_query(query)
-        dataset, scorer, budget, n_workers, backend_name = self._resolve(
-            parsed, workers, backend
-        )
-        if parsed.stream or stream or confidence is not None:
-            streaming = self._streaming_engine(
-                parsed, dataset, scorer, n_workers, backend_name,
-                confidence=confidence,
-            )
-            try:
-                return streaming.run(
-                    budget, every=parsed.every or every
-                )
-            finally:
-                streaming.close()
-        if n_workers > 1:
-            sharded = ShardedTopKEngine(
-                dataset, scorer, k=parsed.k,
-                n_workers=n_workers,
-                backend=backend_name,
-                index_config=self._index_configs.get(
-                    parsed.table, self._default_index_config
-                ),
-                engine_config=EngineConfig(
-                    k=parsed.k, batch_size=parsed.batch_size,
-                ),
-                sync_interval=self._sync_interval,
-                seed=parsed.seed,
-                index_cache=self._shard_cache_for(parsed.table),
-            )
-            try:
-                return sharded.run(budget)
-            finally:
-                sharded.close()
-        engine = TopKEngine(
-            self._index_for(parsed.table),
-            EngineConfig(k=parsed.k, batch_size=parsed.batch_size,
-                         seed=parsed.seed),
-            scoring_latency_hint=scorer.batch_cost(parsed.batch_size)
-            / max(1, parsed.batch_size),
-        )
-        return engine.run(dataset, scorer, budget=budget)
+        resolved = self.plan(query, workers=workers, backend=backend,
+                             stream=stream, every=every,
+                             confidence=confidence)
+        if resolved.query.explain:
+            return resolved
+        return get_executor(resolved.mode).execute(self, resolved)
 
-    def stream(self, query: str, *,
+    def stream(self, query: Union[str, QueryPlan], *,
                workers: Optional[int] = None,
                backend: Optional[str] = None,
                every: Optional[int] = None,
@@ -475,20 +364,32 @@ class OpaqueQuerySession:
 
         Any query is accepted (a ``STREAM`` clause is implied); snapshots
         arrive from the first slice onward and the last one carries
-        ``converged=True``.  ``workers`` / ``backend`` / ``every`` /
-        ``confidence`` default the missing clauses, as in :meth:`execute`.
+        ``converged=True``.  Keyword arguments default the missing
+        clauses, as in :meth:`execute`.
         """
-        parsed = parse_query(query)
-        dataset, scorer, budget, n_workers, backend_name = self._resolve(
-            parsed, workers, backend
-        )
-        streaming = self._streaming_engine(
-            parsed, dataset, scorer, n_workers, backend_name,
-            confidence=confidence,
-        )
-        try:
-            yield from streaming.results_iter(
-                budget, every=parsed.every or every
+        resolved = self.plan(query, workers=workers, backend=backend,
+                             stream=True, every=every,
+                             confidence=confidence)
+        if resolved.query.explain:
+            raise ConfigurationError(
+                "EXPLAIN queries return a plan and cannot be streamed; "
+                "use execute() to inspect the plan"
             )
+        if resolved.n_candidates == 0:
+            # WHERE filtered everything out (plan() degrades the mode to
+            # "single"): the empty answer is exact and final — mirror
+            # execute() instead of asking a streaming engine to shard
+            # zero elements.
+            yield ProgressiveResult(
+                top_k=[], budget_spent=0, threshold=None, converged=True,
+                stk=0.0, wall_time=0.0, n_merges=0,
+                backend=resolved.backend,
+                displacement_bound=0.0, exhaustive_bound=0.0,
+            )
+            return
+        streaming = StreamingExecutor().engine(self, resolved)
+        try:
+            yield from streaming.results_iter(resolved.budget,
+                                              every=resolved.every)
         finally:
             streaming.close()

@@ -59,15 +59,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import (ClassVar, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
 
 from repro.core.convergence import ConvergenceBound, check_confidence
 from repro.core.engine import EngineConfig
 from repro.core.minmax_heap import TopKBuffer
+from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError, SerializationError
 from repro.index.builder import IndexConfig
-from repro.parallel.cache import ShardIndexCache
+from repro.parallel.cache import ShardIndexCache, subset_fingerprint
 from repro.parallel.engine import WorkerReport, merge_worker_topk
 from repro.parallel.worker import (
     RoundOutcome,
@@ -131,8 +133,10 @@ class ProgressiveResult:
 
 
 @dataclass
-class StreamingResult:
+class StreamingResult(ResultBase):
     """Final answer of a streaming drive plus its anytime trace."""
+
+    kind: ClassVar[str] = "streaming"
 
     k: int
     items: List[Tuple[str, float]]
@@ -152,9 +156,24 @@ class StreamingResult:
     exhaustive_bound: float = 1.0
 
     @property
-    def ids(self) -> List[str]:
-        """Element IDs of the merged answer, best first."""
-        return [element_id for element_id, _score in self.items]
+    def budget_spent(self) -> int:
+        """Total scoring calls across all shards (protocol alias)."""
+        return self.total_scored
+
+    def _extra_json(self) -> dict:
+        return {
+            "wall_time": float(self.wall_time),
+            "n_merges": int(self.n_merges),
+            "time_to_first_result": (
+                None if self.time_to_first_result is None
+                else float(self.time_to_first_result)
+            ),
+            "converged": bool(self.converged),
+            "backend": str(self.backend),
+            "exhaustive_bound": float(self.exhaustive_bound),
+            "progressive": [[float(t), int(n), float(s)]
+                            for t, n, s in self.progressive],
+        }
 
     def summary(self) -> str:
         """One-line report (mirrors ``DistributedResult.summary``)."""
@@ -226,7 +245,8 @@ class StreamingTopKEngine:
                  confidence: Optional[float] = None,
                  record: bool = False,
                  seed=None,
-                 index_cache: Optional[ShardIndexCache] = None) -> None:
+                 index_cache: Optional[ShardIndexCache] = None,
+                 ids: Optional[Sequence[str]] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -241,9 +261,16 @@ class StreamingTopKEngine:
             raise ConfigurationError(
                 f"stable_slices must be positive, got {stable_slices!r}"
             )
-        if len(dataset) < n_workers:
+        # ids restricts execution to a candidate subset (WHERE pushdown):
+        # only those elements are partitioned, indexed, and drawn.
+        self._ids: Optional[List[str]] = (
+            list(ids) if ids is not None else None
+        )
+        self._population = (len(self._ids) if self._ids is not None
+                            else len(dataset))
+        if self._population < n_workers:
             raise ConfigurationError(
-                f"{n_workers} workers for only {len(dataset)} elements"
+                f"{n_workers} workers for only {self._population} elements"
             )
         self.dataset = dataset
         self.scorer = scorer
@@ -323,6 +350,7 @@ class StreamingTopKEngine:
             restore_payloads=self._restore_payloads,
             resume_count=self._resume_count,
             index_cache=self._index_cache,
+            ids=self._ids,
         )
         self.backend.start(specs, self.dataset, self.scorer,
                            worker_times=list(self._worker_times))
@@ -332,9 +360,10 @@ class StreamingTopKEngine:
                 self._index_cache,
                 root_entropy=self._root_entropy,
                 index_config=self._index_config,
-                n_elements=len(self.dataset),
+                n_elements=self._population,
                 partitions=self._partitions,
                 workers=self.backend.inline_workers(),
+                subset=subset_fingerprint(self._ids),
             )
 
     # -- execution -----------------------------------------------------------
@@ -473,8 +502,8 @@ class StreamingTopKEngine:
         the next drive or :meth:`snapshot` call.
         """
         self._ensure_started()
-        total = (len(self.dataset) if budget is None
-                 else min(budget, len(self.dataset)))
+        total = (self._population if budget is None
+                 else min(budget, self._population))
         self._last_total = total
         step = self.slice_budget if every is None else max(1, int(every))
         self._bound.begin_drive()
@@ -622,6 +651,8 @@ class StreamingTopKEngine:
                 ],
             },
             "workers": self.backend.snapshots(),
+            # WHERE candidate subset; None when the whole table ran.
+            "ids": self._ids,
         }
 
     @classmethod
@@ -646,6 +677,7 @@ class StreamingTopKEngine:
             )
         stable = snapshot.get("stable_slices")
         confidence = snapshot.get("confidence")
+        subset = snapshot.get("ids")
         engine = cls(
             dataset, scorer, k=int(snapshot["k"]),
             n_workers=int(snapshot["n_workers"]),
@@ -658,6 +690,7 @@ class StreamingTopKEngine:
             confidence=None if confidence is None else float(confidence),
             seed=None,
             index_cache=index_cache,
+            ids=None if subset is None else [str(i) for i in subset],
         )
         # Re-anchor the RNG streams to the original run's root entropy so
         # partitions and shard indexes rebuild identically.

@@ -55,6 +55,20 @@ def test_streaming_ttfr_and_wall_within_50pct_of_baseline():
     assert not failures, "\n".join(failures)
 
 
+def test_where_pushdown_exact_and_strictly_cheaper():
+    """Acceptance gate: in the committed BENCH_filtered.json cells and in
+    a live re-measurement of the 20k cells, WHERE pushdown returns
+    exactly the post-filtered answer while scoring strictly fewer
+    elements and spending less pipeline time."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_filtered
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_filtered(verbose=False)
+    assert not failures, "\n".join(failures)
+
+
 def test_confidence_stop_beats_stable_slices_and_matches_full():
     """Acceptance gate: in the committed BENCH_confidence.json cells and
     in a live re-measurement of the 20k cells, CONFIDENCE 0.95 stops

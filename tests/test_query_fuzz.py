@@ -1,0 +1,180 @@
+"""Property/fuzz tests for the dialect parser.
+
+Three properties, each over a few hundred seeded-random cases (fast
+enough for tier-1; CI also runs this file in a dedicated job):
+
+* **Round-trip** — for any random :class:`~repro.query.plan.QueryPlan`,
+  ``parse(plan.canonical_text()) == plan``.
+* **Order-insensitivity** — the optional clauses of a statement parse to
+  the same plan under every random permutation.
+* **Total error discipline** — arbitrary malformed inputs (mutations of
+  valid statements and raw garbage) either parse or raise
+  :class:`~repro.errors.ConfigurationError`; never ``IndexError`` /
+  ``AttributeError`` / anything else.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.query import And, Comparison, Not, Or, QueryPlan, parse
+from repro.query.parser import _CLAUSE_KEYWORDS
+
+N_CASES = 300
+
+
+def random_predicate(rng: random.Random, depth: int = 0):
+    """A random WHERE AST, biased toward leaves as depth grows."""
+    roll = rng.random() * (0.5 ** depth)
+    value = rng.choice([0, 1, 7, 0.5, 2.25, 100, -3, -0.75, 1e-7])
+    leaf = Comparison(
+        feature=rng.randrange(4),
+        op=rng.choice(["<", "<=", ">", ">=", "=", "!="]),
+        value=float(value),
+    )
+    if roll < 0.15:
+        return leaf
+    if roll < 0.25:
+        return Not(random_predicate(rng, depth + 1))
+    connective = And if rng.random() < 0.5 else Or
+    return connective(tuple(
+        random_predicate(rng, depth + 1)
+        for _ in range(rng.randint(2, 3))
+    ))
+
+
+def random_plan(rng: random.Random) -> QueryPlan:
+    """A random, internally consistent logical plan."""
+    budget = None
+    fraction = None
+    if rng.random() < 0.4:
+        budget = rng.randint(1, 100_000)
+    elif rng.random() < 0.5:
+        fraction = rng.choice([0.01, 0.1, 0.25, 0.5, 1.0])
+    workers = rng.choice([None, 1, 2, 8])
+    backend = (rng.choice([None, "serial", "thread", "process"])
+               if workers is not None else None)
+    stream = rng.random() < 0.5
+    return QueryPlan(
+        k=rng.randint(1, 500),
+        table=rng.choice(["t", "listings", "demo_2"]),
+        udf=rng.choice(["f", "valuation", "relu_score"]),
+        budget=budget,
+        budget_fraction=fraction,
+        batch_size=rng.choice([1, 4, 64]),
+        seed=rng.choice([None, 0, 7, 12345]),
+        workers=workers,
+        backend=backend,
+        stream=stream,
+        every=rng.choice([None, 1, 250]) if stream else None,
+        confidence=rng.choice([None, 0.5, 0.95]) if stream else None,
+        where=random_predicate(rng) if rng.random() < 0.5 else None,
+        explain=rng.random() < 0.2,
+    )
+
+
+class TestRoundTrip:
+    def test_plan_to_text_to_plan(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(N_CASES):
+            plan = random_plan(rng)
+            text = plan.canonical_text()
+            assert parse(text) == plan, text
+
+    def test_canonical_text_is_fixed_point(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(100):
+            plan = random_plan(rng)
+            text = plan.canonical_text()
+            assert parse(text).canonical_text() == text
+
+
+class TestOrderInsensitivity:
+    def test_random_clause_permutations(self):
+        rng = random.Random(42)
+        for _ in range(N_CASES):
+            plan = random_plan(rng)
+            text = plan.canonical_text()
+            head, _, tail = text.partition(f" ORDER BY {plan.udf}")
+            clauses = tail.split()
+            # Group each clause keyword with its operand tokens ("BUDGET
+            # 10%" travels as one unit, a WHERE predicate — including its
+            # AND/OR/NOT connectives — stays whole).
+            groups = []
+            for token in clauses:
+                if token.upper() in _CLAUSE_KEYWORDS:
+                    groups.append([token])
+                else:
+                    groups[-1].append(token)
+            rng.shuffle(groups)
+            shuffled = " ".join(
+                [head + f" ORDER BY {plan.udf}"]
+                + [" ".join(group) for group in groups]
+            )
+            assert parse(shuffled) == plan, shuffled
+
+
+def mutate(text: str, rng: random.Random) -> str:
+    """One random mutation: drop/duplicate/swap tokens or inject noise."""
+    tokens = text.split()
+    roll = rng.randrange(6)
+    if roll == 0 and len(tokens) > 1:
+        del tokens[rng.randrange(len(tokens))]
+    elif roll == 1:
+        position = rng.randrange(len(tokens))
+        tokens.insert(position, tokens[position])
+    elif roll == 2 and len(tokens) > 2:
+        i, j = rng.sample(range(len(tokens)), 2)
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+    elif roll == 3:
+        tokens.insert(rng.randrange(len(tokens) + 1), rng.choice(
+            ["%", "(", ")", "[", "]", ";", "<=", "0.0.0", "__x", "WHERE"]
+        ))
+    elif roll == 4:
+        return text[:rng.randrange(len(text) + 1)]
+    else:
+        position = rng.randrange(len(text) + 1)
+        noise = "".join(rng.choices(string.printable, k=rng.randint(1, 5)))
+        return text[:position] + noise + text[position:]
+    return " ".join(tokens)
+
+
+class TestMalformedInputsRaiseCleanly:
+    def test_mutated_statements(self):
+        rng = random.Random(1337)
+        for _ in range(N_CASES):
+            text = random_plan(rng).canonical_text()
+            for _ in range(rng.randint(1, 3)):
+                text = mutate(text, rng)
+            try:
+                parse(text)
+            except ConfigurationError:
+                pass  # the only acceptable failure mode
+
+    def test_raw_garbage(self):
+        rng = random.Random(2024)
+        for _ in range(N_CASES):
+            text = "".join(
+                rng.choices(string.printable, k=rng.randint(0, 60))
+            )
+            try:
+                parse(text)
+            except ConfigurationError:
+                pass
+
+    @pytest.mark.parametrize("text", [
+        "", ";", "SELECT", "SELECT TOP", "SELECT TOP 5",
+        "SELECT TOP 5 FROM", "SELECT TOP 5 FROM t ORDER",
+        "SELECT TOP 5 FROM t ORDER BY", "\n", "(((((", "]]]]]",
+    ])
+    def test_truncations_raise_configuration_error(self, text):
+        with pytest.raises(ConfigurationError):
+            parse(text)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse(None)

@@ -1,0 +1,123 @@
+"""The unified result protocol, asserted across all three result types.
+
+One parametrized suite: whatever execution mode a query takes — single
+engine, sharded rounds, or barrier-free streaming — the returned object
+implements :class:`repro.core.result.ResultBase` with consistent
+``items`` / ``ids`` / ``scores`` / ``summary()`` / ``budget_spent`` /
+``displacement_bound`` / ``to_json()`` behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.result import QueryResult, ResultBase
+from repro.data.synthetic import SyntheticClustersDataset
+from repro.index.builder import IndexConfig
+from repro.parallel.engine import DistributedResult
+from repro.scoring.base import FixedPerCallLatency
+from repro.scoring.relu import ReluScorer
+from repro.session import OpaqueQuerySession
+from repro.streaming.engine import StreamingResult
+
+QUERIES = {
+    "single": "SELECT TOP 5 FROM t ORDER BY relu BUDGET 150 SEED 0",
+    "sharded": "SELECT TOP 5 FROM t ORDER BY relu BUDGET 150 SEED 0 "
+               "WORKERS 2",
+    "streaming": "SELECT TOP 5 FROM t ORDER BY relu BUDGET 150 SEED 0 "
+                 "WORKERS 2 STREAM",
+}
+EXPECTED_TYPE = {
+    "single": QueryResult,
+    "sharded": DistributedResult,
+    "streaming": StreamingResult,
+}
+
+
+@pytest.fixture(scope="module")
+def session():
+    dataset = SyntheticClustersDataset.generate(n_clusters=4,
+                                                per_cluster=100, rng=0)
+    sess = OpaqueQuerySession()
+    sess.register_table("t", dataset, index_config=IndexConfig(n_clusters=4))
+    sess.register_udf("relu", ReluScorer(FixedPerCallLatency(1e-3)))
+    return sess
+
+
+@pytest.fixture(scope="module")
+def results(session):
+    return {mode: session.execute(sql) for mode, sql in QUERIES.items()}
+
+
+@pytest.mark.parametrize("mode", list(QUERIES))
+class TestResultProtocol:
+    def test_is_result_base_of_expected_type(self, results, mode):
+        result = results[mode]
+        assert isinstance(result, ResultBase)
+        assert isinstance(result, EXPECTED_TYPE[mode])
+        assert result.kind == mode
+
+    def test_items_ids_scores_consistent(self, results, mode):
+        result = results[mode]
+        assert len(result.items) == 5
+        assert result.ids == [element_id for element_id, _ in result.items]
+        assert result.scores == [score for _, score in result.items]
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_budget_spent(self, results, mode):
+        result = results[mode]
+        assert isinstance(result.budget_spent, int)
+        assert result.budget_spent == 150
+
+    def test_displacement_bound_in_unit_interval(self, results, mode):
+        assert 0.0 <= results[mode].displacement_bound <= 1.0
+
+    def test_summary_mentions_k_and_stk(self, results, mode):
+        summary = results[mode].summary()
+        assert isinstance(summary, str) and summary.startswith("top-5")
+        assert "STK=" in summary
+
+    def test_to_json_shared_surface(self, results, mode):
+        payload = results[mode].to_json()
+        for key in ("kind", "k", "items", "stk", "budget_spent",
+                    "displacement_bound", "summary"):
+            assert key in payload, key
+        assert payload["kind"] == mode
+        assert payload["k"] == 5
+        assert payload["budget_spent"] == 150
+        assert payload["items"] == [[element_id, score]
+                                    for element_id, score
+                                    in results[mode].items]
+        # The whole payload (extras included) must serialize losslessly.
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestTypeSpecificExtras:
+    def test_single_extras(self, results):
+        payload = results["single"].to_json()
+        assert {"n_batches", "n_explore", "n_exploit",
+                "exhausted"} <= payload.keys()
+
+    def test_sharded_extras(self, results):
+        payload = results["sharded"].to_json()
+        assert payload["backend"] == "serial"
+        assert len(payload["workers"]) == 2
+
+    def test_streaming_extras(self, results):
+        payload = results["streaming"].to_json()
+        assert payload["converged"] is True
+        assert payload["n_merges"] >= 1
+        assert payload["progressive"]
+
+
+class TestExhaustedCertificate:
+    def test_exhaustive_single_run_is_exact(self, session):
+        result = session.execute("SELECT TOP 5 FROM t ORDER BY relu SEED 0")
+        assert result.budget_spent == 400  # the whole table
+        assert result.displacement_bound == 0.0
+        assert result.to_json()["exhausted"] is True
+
+    def test_budgeted_single_run_has_no_certificate(self, results):
+        assert results["single"].displacement_bound == 1.0

@@ -19,6 +19,11 @@ job so the documentation cannot rot:
 * ``--links`` — every relative markdown link target in ``README.md`` and
   ``docs/*.md`` must exist on disk (anchors are stripped; external URLs
   are ignored).
+* ``--grammar`` — the dialect docs and the parser cannot drift: every
+  uppercase keyword in the plain (non-python) grammar fences of
+  ``docs/dialect.md`` must appear in the parser's keyword table
+  (``repro.query.parser.KEYWORDS``), and every keyword in that table
+  must be mentioned somewhere in ``docs/dialect.md``.
 
 Exit status is non-zero on the first category with failures; every
 failure is printed with its file and location.
@@ -137,6 +142,51 @@ def run_api_check(api_path: Path) -> List[str]:
     return failures
 
 
+_ANY_FENCE_RE = re.compile(
+    r"^```([^\n]*)\n(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+_UPPER_WORD_RE = re.compile(r"\b[A-Z][A-Z]+\b")
+
+
+def run_grammar_check(dialect_path: Path) -> List[str]:
+    """Dialect docs vs. parser keyword table — both directions.
+
+    Keywords are harvested from the *plain* fenced blocks of
+    ``docs/dialect.md`` (the grammar sketches; python example blocks are
+    exercised by ``--doctests`` instead) as every all-uppercase word.
+    """
+    if not dialect_path.exists():
+        return [f"{dialect_path} is missing"]
+    from repro.query.parser import KEYWORDS
+
+    text = dialect_path.read_text()
+    rel = dialect_path.relative_to(REPO_ROOT)
+    documented: set = set()
+    n_plain_fences = 0
+    for match in _ANY_FENCE_RE.finditer(text):
+        if match.group(1).strip():
+            continue  # python (or otherwise tagged) fence
+        n_plain_fences += 1
+        documented |= set(_UPPER_WORD_RE.findall(match.group(2)))
+    failures: List[str] = []
+    if n_plain_fences == 0:
+        failures.append(f"{rel}: no plain grammar fence found")
+    for word in sorted(documented - set(KEYWORDS)):
+        failures.append(
+            f"{rel}: documents clause keyword {word!r} missing from "
+            f"repro.query.parser.KEYWORDS"
+        )
+    for keyword in sorted(set(KEYWORDS) - documented):
+        # Word-boundary match: "OR" inside "ORDER" must not count as
+        # documentation of the OR clause.
+        if not re.search(rf"\b{keyword}\b", text):
+            failures.append(
+                f"{rel}: parser keyword {keyword!r} is not documented"
+            )
+    return failures
+
+
 def run_link_check(files: List[Path]) -> List[str]:
     """Verify every relative link target exists."""
     failures: List[str] = []
@@ -159,8 +209,9 @@ def main(argv=None) -> int:
     parser.add_argument("--doctests", action="store_true")
     parser.add_argument("--api", action="store_true")
     parser.add_argument("--links", action="store_true")
+    parser.add_argument("--grammar", action="store_true")
     args = parser.parse_args(argv)
-    run_all = not (args.doctests or args.api or args.links)
+    run_all = not (args.doctests or args.api or args.links or args.grammar)
     sys.path.insert(0, str(REPO_ROOT / "src"))
     status = 0
     if run_all or args.doctests:
@@ -179,6 +230,12 @@ def main(argv=None) -> int:
     if run_all or args.links:
         failures = run_link_check(DOC_FILES)
         print(f"relative links: {'ok' if not failures else 'FAIL'}")
+        for failure in failures:
+            print(" ", failure)
+        status = status or (1 if failures else 0)
+    if run_all or args.grammar:
+        failures = run_grammar_check(REPO_ROOT / "docs" / "dialect.md")
+        print(f"grammar drift: {'ok' if not failures else 'FAIL'}")
         for failure in failures:
             print(" ", failure)
         status = status or (1 if failures else 0)
