@@ -25,6 +25,12 @@ a headline table) and hence the same gate machinery:
   structurally (WHERE pushdown must return exactly the post-filtered
   answer while scoring strictly fewer elements and spending less
   pipeline time) and re-measures the small 20k cells live.
+* ``shm`` — checks the committed ``BENCH_shm.json`` rows structurally
+  (shm-path specs stay under the fixed wire-size ceiling at every table
+  size, both modes give bit-identical answers, and on the 1M table the
+  zero-copy bootstrap is strictly faster with strictly less per-child
+  private RSS than inline copies) and re-measures the small 20k cells
+  live for the size-independent invariants.
 
 The gate is opt-in — wire-compatible with ``pytest -m perf`` via
 ``tests/test_perf_regression.py`` — so tier-1 stays fast and hardware-noise
@@ -35,6 +41,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_sharded.py
     PYTHONPATH=src python benchmarks/bench_streaming.py
     PYTHONPATH=src python benchmarks/bench_confidence.py
+    PYTHONPATH=src python benchmarks/bench_shm.py
 
 Standalone usage::
 
@@ -326,11 +333,86 @@ def check_filtered(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_shm(baseline_path: Optional[Path] = None,
+              verbose: bool = True) -> List[str]:
+    """Zero-copy bootstrap gate: O(1) specs, identical answers, 1M wins.
+
+    Two parts, mirroring the confidence/filtered gates:
+
+    1. *Structural*: every committed ``BENCH_shm.json`` cell must show
+       the shm-path spec under :data:`bench_shm.SPEC_BYTES_CEILING`
+       (with the copy-path spec above it — the O(1)-vs-O(n) contract)
+       and bit-identical answers between modes; the 1M rows must
+       additionally show the shm bootstrap strictly faster and the
+       per-child private RSS delta strictly smaller than inline copies.
+    2. *Re-measure*: re-run the small 20k cells and assert the
+       size-independent invariants live (wire-size ceiling, identical
+       answers, smaller per-child RSS).  Bootstrap wall-clock is *not*
+       compared at 20k: segment setup is a fixed cost that only pays for
+       itself at scale, which is exactly what the committed 1M rows pin.
+    """
+    bench_shm = _bench("bench_shm")
+
+    baseline_path = baseline_path or bench_shm.DEFAULT_OUTPUT
+    failures: List[str] = []
+
+    def assert_invariant(rows: List[dict], source: str,
+                         timing: bool) -> None:
+        cells = sorted({row["n"] for row in rows})
+        for n in cells:
+            cell = {row["mode"]: row for row in rows if row["n"] == n}
+            shm, copy = cell.get("shm"), cell.get("copy")
+            if shm is None or copy is None:
+                failures.append(f"{source} n={n}: missing shm/copy row")
+                continue
+            ceiling = bench_shm.SPEC_BYTES_CEILING
+            if shm["spec_bytes_max"] > ceiling:
+                failures.append(
+                    f"{source} n={n}: shm spec pickles to "
+                    f"{shm['spec_bytes_max']} B, over the O(1) ceiling "
+                    f"of {ceiling} B"
+                )
+            if copy["spec_bytes_max"] <= shm["spec_bytes_max"]:
+                failures.append(
+                    f"{source} n={n}: copy spec ({copy['spec_bytes_max']} B) "
+                    f"not larger than shm spec ({shm['spec_bytes_max']} B); "
+                    f"the comparison is not exercising the copy path"
+                )
+            if (shm["stk"] != copy["stk"]
+                    or shm["n_scored"] != copy["n_scored"]):
+                failures.append(
+                    f"{source} n={n}: shm answer diverges from copy path "
+                    f"(stk {shm['stk']} vs {copy['stk']}, scored "
+                    f"{shm['n_scored']} vs {copy['n_scored']})"
+                )
+            if shm["child_rss_delta_kb"] >= copy["child_rss_delta_kb"]:
+                failures.append(
+                    f"{source} n={n}: shm child RSS delta "
+                    f"+{shm['child_rss_delta_kb']} kB not below copy path "
+                    f"+{copy['child_rss_delta_kb']} kB"
+                )
+            if timing and n >= bench_shm.FULL_N:
+                if shm["bootstrap_seconds"] >= copy["bootstrap_seconds"]:
+                    failures.append(
+                        f"{source} n={n}: shm bootstrap "
+                        f"{shm['bootstrap_seconds']:.1f}s is not below the "
+                        f"copy path at {copy['bootstrap_seconds']:.1f}s"
+                    )
+
+    assert_invariant(load_rows(baseline_path), "committed", timing=True)
+    assert_invariant(
+        bench_shm.run_grid((bench_shm.SMALL_N,), budget=4_000,
+                           verbose=verbose),
+        "re-measured", timing=False,
+    )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
-                                 "confidence", "filtered"),
+                                 "confidence", "filtered", "shm"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -338,7 +420,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "filtered":
+    if args.benchmark == "shm":
+        failures = check_shm(baseline_path=args.baseline)
+    elif args.benchmark == "filtered":
         failures = check_filtered(baseline_path=args.baseline)
     elif args.benchmark == "confidence":
         failures = check_confidence(baseline_path=args.baseline)

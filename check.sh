@@ -24,4 +24,7 @@ fi
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== shm leak check (no surviving repro-shm-* segments) =="
+python tools/check_shm_leaks.py
+
 echo "check.sh: all green"

@@ -316,15 +316,27 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
+    from repro.parallel import backend_availability, shm_probe
+
     backends = ", ".join(available_backends())
     print(f"\nparallel backends: {backends} "
           f"({os.cpu_count() or 1} CPU core(s) available); "
           "'process' uses real cores, 'thread' suits GIL-releasing UDFs, "
           "'serial' is the deterministic simulation")
+    for name, reason in backend_availability().items():
+        if reason is not None:
+            print(f"  {name}: unavailable — {reason}")
     print(f"streaming backends: {', '.join(stream_backends())} "
           "(same names, barrier-free merge-on-arrival execution), "
           "plus the trace-driven 'replay' backend "
           "(repro demo --replay-trace)")
+    shm_reason = shm_probe()
+    if shm_reason is None:
+        print("zero-copy shard bootstrap: on for 'process' (POSIX shared "
+              "memory; opt out with REPRO_DISABLE_SHM=1)")
+    else:
+        print(f"zero-copy shard bootstrap: unavailable — {shm_reason}; "
+              "'process' falls back to inline spec copies")
     print("\nexperiments: benchmarks/bench_fig{2,4,5,6,7,8,9}_*.py "
           "+ bench_theory_regret.py + bench_ablation_design.py")
     print("run: pytest benchmarks/ --benchmark-only")

@@ -22,9 +22,16 @@ from repro.parallel.backends import (
     ShardBackend,
     ThreadBackend,
     available_backends,
+    backend_availability,
     make_backend,
 )
 from repro.parallel.cache import ShardIndexCache, shard_cache_key
+from repro.parallel.shm import (
+    SharedFeatureTable,
+    SharedSliceRef,
+    shm_available,
+    shm_probe,
+)
 from repro.parallel.engine import (
     DistributedResult,
     ShardedTopKEngine,
@@ -52,12 +59,17 @@ __all__ = [
     "ShardSpec",
     "ShardWorker",
     "ShardedTopKEngine",
+    "SharedFeatureTable",
+    "SharedSliceRef",
     "ThreadBackend",
     "WorkerReport",
     "available_backends",
+    "backend_availability",
     "build_shard_specs",
     "make_backend",
     "merge_worker_topk",
     "partition_ids",
     "shard_cache_key",
+    "shm_available",
+    "shm_probe",
 ]

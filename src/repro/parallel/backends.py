@@ -29,8 +29,10 @@ only in end-game rounds where a shard exhausts mid-round, which is why only
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Type
 
 from repro.errors import ConfigurationError
@@ -42,6 +44,67 @@ from repro.parallel.worker import (
     process_run_round,
     process_snapshot,
 )
+
+
+def _pool_ready() -> bool:
+    """No-op child task: resolving it proves the pool's worker bootstrapped."""
+    return True
+
+
+def _mp_context():
+    """Start-method context for shard children.
+
+    The platform default (fork on Linux) unless
+    ``REPRO_PROCESS_START_METHOD`` names another method —
+    ``benchmarks/bench_shm.py`` uses it to measure bootstrap under
+    ``spawn``, where the initializer args really cross a pipe.
+    """
+    method = os.environ.get("REPRO_PROCESS_START_METHOD", "").strip()
+    return multiprocessing.get_context(method or None)
+
+
+def validate_process_specs(specs: List[ShardSpec]) -> None:
+    """Reject specs a child process could not bootstrap from."""
+    for spec in specs:
+        if spec.features_ref is None and (
+                spec.objects is None or spec.features is None):
+            raise ConfigurationError(
+                "process backend needs materialized shard specs "
+                "(inline objects/features or a shared-memory features_ref)"
+            )
+        if spec.scorer is None:
+            raise ConfigurationError(
+                "process backend needs a picklable scorer on the spec"
+            )
+
+
+def start_process_pools(specs: List[ShardSpec]) -> List[ProcessPoolExecutor]:
+    """One pinned single-process pool per shard, bootstrapped concurrently.
+
+    ``ProcessPoolExecutor`` spawns its worker lazily on first submit, so a
+    no-op warmup task is submitted to every pool before waiting on any of
+    them: the children spawn and run their initializers (spec transfer or
+    shm attach, index build) in parallel instead of serializing at
+    first-round time.  On any failure every pool created so far is shut
+    down before the error propagates, so a failed start never leaks child
+    processes.  Shared by the round-based and streaming process backends.
+    """
+    validate_process_specs(specs)
+    context = _mp_context()
+    pools: List[ProcessPoolExecutor] = []
+    try:
+        for spec in specs:
+            pools.append(ProcessPoolExecutor(
+                max_workers=1, mp_context=context,
+                initializer=process_init, initargs=(spec,),
+            ))
+        for future in [pool.submit(_pool_ready) for pool in pools]:
+            future.result()
+    except BaseException:
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    return pools
 
 
 def _preassign_caps(per_worker: int, budget_remaining: int,
@@ -179,29 +242,43 @@ class ProcessBackend(ShardBackend):
 
     def __init__(self) -> None:
         self._pools: List[ProcessPoolExecutor] = []
+        self._last: Dict[int, RoundOutcome] = {}
 
     def start(self, specs: List[ShardSpec], dataset, scorer) -> None:
-        for spec in specs:
-            if spec.objects is None or spec.features is None:
-                raise ConfigurationError(
-                    "process backend needs materialized shard specs"
-                )
-            if spec.scorer is None:
-                raise ConfigurationError(
-                    "process backend needs a picklable scorer on the spec"
-                )
-            self._pools.append(ProcessPoolExecutor(
-                max_workers=1, initializer=process_init, initargs=(spec,),
-            ))
+        self._pools = start_process_pools(specs)
 
     def run_round(self, per_worker, budget_remaining, active,
                   threshold_floor) -> List[RoundOutcome]:
         caps = _preassign_caps(per_worker, budget_remaining, active)
-        futures = [
-            pool.submit(process_run_round, cap, threshold_floor)
-            for pool, cap in zip(self._pools, caps)
-        ]
-        return [future.result() for future in futures]
+        # Only shards with budget cross the pipe; an inactive or 0-cap
+        # shard gets a synthesized idle outcome below (identical to what
+        # its child would report for a zero-cap round: no scoring, same
+        # running top-k and totals) without the IPC round-trip.
+        futures = {
+            worker: pool.submit(process_run_round, cap, threshold_floor)
+            for worker, (pool, cap) in enumerate(zip(self._pools, caps))
+            if cap > 0
+        }
+        outcomes: List[RoundOutcome] = []
+        for worker, cap in enumerate(caps):
+            if worker in futures:
+                outcome = futures[worker].result()
+                self._last[worker] = outcome
+            else:
+                outcome = self._idle_outcome(worker)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _idle_outcome(self, worker: int) -> RoundOutcome:
+        last = self._last.get(worker)
+        if last is not None:
+            return replace(last, scored=0, cost=0.0, elapsed=0.0)
+        # No round ran yet on this shard: an empty report (the merge and
+        # the convergence bound both treat it as "nothing new").
+        return RoundOutcome(
+            worker_id=worker, scored=0, cost=0.0, elapsed=0.0,
+            topk=[], exhausted=False, n_scored_total=0, local_stk=0.0,
+        )
 
     def snapshots(self) -> List[dict]:
         return [pool.submit(process_snapshot).result()
@@ -211,6 +288,7 @@ class ProcessBackend(ShardBackend):
         for pool in self._pools:
             pool.shutdown(wait=True)
         self._pools = []
+        self._last = {}
 
 
 BACKENDS: Dict[str, Type[ShardBackend]] = {
@@ -220,18 +298,66 @@ BACKENDS: Dict[str, Type[ShardBackend]] = {
 }
 
 
+_AVAILABILITY: Optional[Dict[str, Optional[str]]] = None
+
+
+def _probe_process() -> Optional[str]:
+    """``None`` when child processes work here, else the reason they don't.
+
+    A real probe — spawn one child through the configured start method and
+    round-trip a task — because sandboxes that forbid fork/spawn (or ship
+    a broken ``multiprocessing``) are exactly where "process" must not be
+    advertised.
+    """
+    try:
+        from multiprocessing import shared_memory  # noqa: F401 (importable?)
+    except ImportError as exc:
+        return f"multiprocessing.shared_memory does not import: {exc}"
+    try:
+        with ProcessPoolExecutor(max_workers=1,
+                                 mp_context=_mp_context()) as pool:
+            if pool.submit(_pool_ready).result(timeout=60) is not True:
+                return "child probe returned an unexpected result"
+    except Exception as exc:
+        return f"child process spawn failed: {type(exc).__name__}: {exc}"
+    return None
+
+
+def backend_availability(refresh: bool = False) -> Dict[str, Optional[str]]:
+    """Per-backend usability: name -> ``None`` (usable) or a reason string.
+
+    ``serial`` and ``thread`` run in the coordinator process and are
+    always usable; ``process`` is probed once per process (see
+    :func:`_probe_process`) and cached.  The CLI's ``info`` command prints
+    the reasons; :func:`make_backend` refuses unavailable names.
+    """
+    global _AVAILABILITY
+    if _AVAILABILITY is None or refresh:
+        availability = {name: None for name in BACKENDS}
+        availability[ProcessBackend.name] = _probe_process()
+        _AVAILABILITY = availability
+    return dict(_AVAILABILITY)
+
+
 def available_backends() -> List[str]:
     """Names of the usable backends on this machine, serial first."""
-    return list(BACKENDS)
+    return [name for name, reason in backend_availability().items()
+            if reason is None]
 
 
 def make_backend(name: str) -> ShardBackend:
     """Instantiate a backend by name; raise with guidance on a typo."""
     try:
-        return BACKENDS[name]()
+        backend_cls = BACKENDS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown parallel backend {name!r}; available: "
             f"{', '.join(available_backends())} "
             f"(this machine reports {os.cpu_count() or 1} CPU core(s))"
         ) from None
+    reason = backend_availability().get(name)
+    if reason is not None:
+        raise ConfigurationError(
+            f"parallel backend {name!r} is unavailable here: {reason}"
+        )
+    return backend_cls()

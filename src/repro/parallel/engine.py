@@ -172,6 +172,13 @@ class ShardedTopKEngine:
         across runs on the same immutable dataset: a hit reuses the cached
         partitions and per-shard indexes bit-identically; a miss harvests
         them after the build (in-process backends only).
+    shared_memory:
+        Zero-copy shard bootstrap for the process backend
+        (:mod:`repro.parallel.shm`): ``None`` (default) auto-enables when
+        POSIX shared memory works here, ``True`` requires it, ``False``
+        forces the inline copy path.  Ignored by ``serial``/``thread``
+        (their shards live in this process).  Answers are bit-identical
+        either way.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -183,7 +190,8 @@ class ShardedTopKEngine:
                  share_threshold: bool = True,
                  seed=None,
                  index_cache: Optional[ShardIndexCache] = None,
-                 ids: Optional[Sequence[str]] = None) -> None:
+                 ids: Optional[Sequence[str]] = None,
+                 shared_memory: Optional[bool] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -216,6 +224,8 @@ class ShardedTopKEngine:
         self._index_config = index_config
         self._engine_config = engine_config or EngineConfig(k=k)
         self._index_cache = index_cache
+        self._shared_memory = shared_memory
+        self._shm_table = None
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -246,11 +256,19 @@ class ShardedTopKEngine:
     def close(self) -> None:
         """Release backend resources (child processes, thread pools)."""
         self.backend.close()
+        self._release_shm()
+
+    def _release_shm(self) -> None:
+        """Unlink the coordinator's shared-memory table, if any (idempotent)."""
+        if self._shm_table is not None:
+            self._shm_table.close()
+            self._shm_table = None
 
     # -- setup ---------------------------------------------------------------
 
     def _build_specs(self) -> List[ShardSpec]:
-        self._partitions, specs, self._cache_hit = build_shard_specs(
+        (self._partitions, specs, self._cache_hit,
+         self._shm_table) = build_shard_specs(
             self.dataset, self.scorer,
             n_workers=self.n_workers, k=self.k,
             engine_config=self._engine_config,
@@ -261,13 +279,31 @@ class ShardedTopKEngine:
             resume_count=self._resume_count,
             index_cache=self._index_cache,
             ids=self._ids,
+            shared_memory=self._shared_memory,
         )
         return specs
+
+    def start(self) -> None:
+        """Bootstrap every shard eagerly (``run()`` otherwise does it lazily).
+
+        Exposed so callers (and ``benchmarks/bench_shm.py``) can time the
+        bootstrap — spec assembly plus backend start — separately from
+        query execution.
+        """
+        self._ensure_started()
 
     def _ensure_started(self) -> None:
         if self._started:
             return
-        self.backend.start(self._build_specs(), self.dataset, self.scorer)
+        specs = self._build_specs()
+        try:
+            self.backend.start(specs, self.dataset, self.scorer)
+        except BaseException:
+            # A failed start must leak neither pools (the backend cleans
+            # its own partial state) nor the shared-memory segment.
+            self.backend.close()
+            self._release_shm()
+            raise
         self._started = True
         if not self._cache_hit:
             harvest_shard_indexes(

@@ -37,8 +37,14 @@ from repro.core.convergence import TailSummary, tail_summary_from_engine
 from repro.core.engine import EngineConfig, TopKEngine
 from repro.core.snapshot import restore_engine, snapshot_engine
 from repro.data.dataset import InMemoryDataset
+from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
+from repro.parallel.shm import (
+    SharedFeatureTable,
+    SharedSliceRef,
+    shm_default_enabled,
+)
 from repro.scoring.base import Scorer
 from repro.utils.rng import RngFactory
 
@@ -116,6 +122,13 @@ class ShardSpec:
     engine_snapshot: Optional[dict] = None   # resume payload
     resume_seed: Optional[int] = None
     prebuilt_index: Optional[ClusterTree] = None  # cache hit: skip the build
+    #: Zero-copy alternative to the inline ``objects`` / ``features`` copy:
+    #: a constant-size handle into a coordinator-owned shared-memory
+    #: segment (:mod:`repro.parallel.shm`).  When set, ``member_ids`` is
+    #: left empty and the child resolves ids, objects, features, and any
+    #: cached index from the mapped segment, keeping the pickled spec O(1)
+    #: in the partition size.
+    features_ref: Optional[SharedSliceRef] = None
 
 
 @dataclass
@@ -145,7 +158,9 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                       resume_count: int = 0,
                       index_cache=None,
                       ids: Optional[Sequence[str]] = None,
-                      ) -> Tuple[List[List[str]], List[ShardSpec], bool]:
+                      shared_memory: Optional[bool] = None,
+                      ) -> Tuple[List[List[str]], List[ShardSpec], bool,
+                                 Optional[SharedFeatureTable]]:
     """Partition the dataset and assemble one :class:`ShardSpec` per worker.
 
     Shared by the round-based (:mod:`repro.parallel.engine`) and streaming
@@ -157,8 +172,25 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
     holds an entry for this build's key — which includes the subset
     fingerprint — the cached partitions are reused and each spec carries
     its ``prebuilt_index``, skipping the per-shard k-means fits
-    bit-identically (named RNG streams are independent per name).  Returns
-    ``(partitions, specs, cache_hit)``.
+    bit-identically (named RNG streams are independent per name).
+
+    ``shared_memory`` selects the zero-copy bootstrap for materialized
+    (process-bound) specs: ``None`` auto-enables when POSIX shared memory
+    works here (:func:`repro.parallel.shm.shm_default_enabled`; opt out
+    globally with ``REPRO_DISABLE_SHM=1``), ``True`` requires it,
+    ``False`` forces the inline copy path.  On the shm path each spec
+    ships a constant-size ``features_ref`` instead of inline ids /
+    objects / features (and the cached index, on a cache hit, ships its
+    float payload through the same segment); the packed per-shard feature
+    blocks are exactly the arrays :func:`shard_features` produces, so
+    child-side index builds — and therefore answers — are bit-identical
+    to the copy path.  Packing failures fall back to the copy path unless
+    ``shared_memory=True`` demanded it.
+
+    Returns ``(partitions, specs, cache_hit, shm_table)``; ``shm_table``
+    is the coordinator-owned :class:`~repro.parallel.shm.SharedFeatureTable`
+    (``None`` on the copy path) whose ``close()`` the caller owes once the
+    run is over.
     """
     from repro.parallel.cache import shard_cache_key, subset_fingerprint
 
@@ -176,6 +208,29 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
         partitions = partition_ids(population, n_workers,
                                    factory.named("partition"))
         indexes = [None] * n_workers
+    use_shm = materialize and (shm_default_enabled()
+                               if shared_memory is None
+                               else bool(shared_memory))
+    table: Optional[SharedFeatureTable] = None
+    refs: List[Optional[SharedSliceRef]] = [None] * n_workers
+    if use_shm:
+        try:
+            table = SharedFeatureTable.create([
+                {"member_ids": list(members),
+                 "objects": dataset.fetch_batch(members),
+                 "features": shard_features(dataset, members),
+                 "tree": indexes[worker]}
+                for worker, members in enumerate(partitions)
+            ])
+        except Exception as exc:
+            if shared_memory:
+                raise ConfigurationError(
+                    f"shared_memory=True but the zero-copy bootstrap "
+                    f"failed: {exc}"
+                ) from exc
+            table = None  # clean fallback to the inline copy path
+        else:
+            refs = [table.ref(worker) for worker in range(n_workers)]
     specs: List[ShardSpec] = []
     for worker, members in enumerate(partitions):
         snapshot = None
@@ -186,22 +241,24 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                 factory.named(f"resume:{worker}:{resume_count}")
                 .integers(2**31)
             )
+        ref = refs[worker]
+        inline = materialize and ref is None
         specs.append(ShardSpec(
             worker_id=worker,
-            member_ids=list(members),
+            member_ids=[] if ref is not None else list(members),
             k=k,
             engine_config=engine_config,
             index_config=index_config,
             root_entropy=root_entropy,
             scorer=scorer if materialize else None,
-            objects=(dataset.fetch_batch(members) if materialize else None),
-            features=(shard_features(dataset, members)
-                      if materialize else None),
+            objects=(dataset.fetch_batch(members) if inline else None),
+            features=(shard_features(dataset, members) if inline else None),
             engine_snapshot=snapshot,
             resume_seed=resume_seed,
-            prebuilt_index=indexes[worker],
+            prebuilt_index=None if ref is not None else indexes[worker],
+            features_ref=ref,
         ))
-    return partitions, specs, cached is not None
+    return partitions, specs, cached is not None, table
 
 
 def harvest_shard_indexes(index_cache, *, root_entropy: int,
@@ -233,25 +290,41 @@ class ShardWorker:
                  scorer: Optional[Scorer] = None) -> None:
         self.spec = spec
         self.worker_id = spec.worker_id
-        self.member_ids = list(spec.member_ids)
-        self.dataset = dataset if dataset is not None else ShardDataset(
-            spec.member_ids, spec.objects, spec.features
-        )
+        resolved = None
+        if dataset is None and spec.features_ref is not None:
+            # Zero-copy bootstrap: attach the coordinator's segment and
+            # materialize this shard's ids / objects / cached index from
+            # it; the feature block stays a read-only view into the
+            # mapping (never copied into this process).
+            resolved = spec.features_ref.resolve()
+            self.member_ids = list(resolved.member_ids)
+            self.dataset = ShardDataset(resolved.member_ids,
+                                        resolved.objects, resolved.features)
+        else:
+            self.member_ids = list(spec.member_ids)
+            self.dataset = dataset if dataset is not None else ShardDataset(
+                spec.member_ids, spec.objects, spec.features
+            )
         scorer = scorer if scorer is not None else spec.scorer
         if scorer is None:
             raise ValueError("shard needs a scorer (inline or via spec)")
         self.scorer = scorer
         factory = RngFactory(spec.root_entropy)
-        if spec.prebuilt_index is not None:
+        prebuilt = spec.prebuilt_index
+        if prebuilt is None and resolved is not None:
+            prebuilt = resolved.index
+        if prebuilt is not None:
             # Cache hit: the tree is a pure function of (root entropy,
             # worker id, partition, index config), and it is read-only at
             # query time (the bandit mirrors it into its own nodes), so
             # reuse is bit-identical to a rebuild.  Named RNG streams are
             # independent, so skipping the index:{w} draws never perturbs
             # the engine:{w} stream derived below.
-            self.index: ClusterTree = spec.prebuilt_index
+            self.index: ClusterTree = prebuilt
         else:
-            if spec.features is not None:
+            if resolved is not None:
+                features = resolved.features
+            elif spec.features is not None:
                 features = np.asarray(spec.features, dtype=float)
             else:
                 features = shard_features(self.dataset, self.member_ids)

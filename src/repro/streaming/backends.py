@@ -51,12 +51,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Type
 
 from repro.errors import ConfigurationError
-from repro.parallel.backends import BACKENDS as _ROUND_BACKENDS
+from repro.parallel.backends import (
+    BACKENDS as _ROUND_BACKENDS,
+    backend_availability,
+    start_process_pools,
+)
 from repro.parallel.worker import (
     RoundOutcome,
     ShardSpec,
     ShardWorker,
-    process_init,
     process_run_round,
     process_snapshot,
 )
@@ -235,18 +238,10 @@ class ProcessStreamBackend(StreamBackend):
 
     def start(self, specs: List[ShardSpec], dataset, scorer,
               worker_times: Optional[List[float]] = None) -> None:
-        for spec in specs:
-            if spec.objects is None or spec.features is None:
-                raise ConfigurationError(
-                    "process backend needs materialized shard specs"
-                )
-            if spec.scorer is None:
-                raise ConfigurationError(
-                    "process backend needs a picklable scorer on the spec"
-                )
-            self._pools.append(ProcessPoolExecutor(
-                max_workers=1, initializer=process_init, initargs=(spec,),
-            ))
+        # Shares the round backend's concurrent pool bootstrap (warmed-up
+        # children, shm-or-inline spec validation, no leaked pools on a
+        # failed start).
+        self._pools = start_process_pools(specs)
 
     def submit(self, worker_id: int, cap: int,
                threshold_floor: Optional[float]) -> None:
@@ -283,17 +278,29 @@ assert set(STREAM_BACKENDS) == set(_ROUND_BACKENDS), (
 
 
 def available_backends() -> List[str]:
-    """Names of the usable streaming backends, serial first."""
-    return list(STREAM_BACKENDS)
+    """Names of the usable streaming backends, serial first.
+
+    Availability mirrors the round registry's probe (same placements, same
+    child-process requirements — see
+    :func:`repro.parallel.backends.backend_availability`).
+    """
+    return [name for name, reason in backend_availability().items()
+            if reason is None and name in STREAM_BACKENDS]
 
 
 def make_stream_backend(name: str) -> StreamBackend:
     """Instantiate a streaming backend by name; raise with guidance."""
     try:
-        return STREAM_BACKENDS[name]()
+        backend_cls = STREAM_BACKENDS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown streaming backend {name!r}; available: "
             f"{', '.join(available_backends())} "
             f"(this machine reports {os.cpu_count() or 1} CPU core(s))"
         ) from None
+    reason = backend_availability().get(name)
+    if reason is not None:
+        raise ConfigurationError(
+            f"streaming backend {name!r} is unavailable here: {reason}"
+        )
+    return backend_cls()

@@ -229,9 +229,12 @@ class StreamingTopKEngine:
         JSON-safe :class:`~repro.replay.trace.ArrivalTrace` (read it with
         :meth:`trace`), making real thread/process runs replayable
         bit for bit via :mod:`repro.replay`.
-    seed / index_config / engine_config / index_cache:
+    seed / index_config / engine_config / index_cache / shared_memory:
         As for the round engine (shard streams derive from the root
-        entropy; the cache shares partition indexes across runs).
+        entropy; the cache shares partition indexes across runs;
+        ``shared_memory`` selects the zero-copy process bootstrap of
+        :mod:`repro.parallel.shm` — ``None`` auto-enables where POSIX
+        shm works, answers bit-identical either way).
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -246,7 +249,8 @@ class StreamingTopKEngine:
                  record: bool = False,
                  seed=None,
                  index_cache: Optional[ShardIndexCache] = None,
-                 ids: Optional[Sequence[str]] = None) -> None:
+                 ids: Optional[Sequence[str]] = None,
+                 shared_memory: Optional[bool] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -285,6 +289,8 @@ class StreamingTopKEngine:
         self._index_config = index_config
         self._engine_config = engine_config or EngineConfig(k=k)
         self._index_cache = index_cache
+        self._shared_memory = shared_memory
+        self._shm_table = None
         self.backend: StreamBackend = (
             backend if isinstance(backend, StreamBackend)
             else make_stream_backend(backend)
@@ -334,13 +340,25 @@ class StreamingTopKEngine:
     def close(self) -> None:
         """Release backend resources (child processes, thread pools)."""
         self.backend.close()
+        self._release_shm()
+
+    def _release_shm(self) -> None:
+        """Unlink the coordinator's shared-memory table, if any (idempotent)."""
+        if self._shm_table is not None:
+            self._shm_table.close()
+            self._shm_table = None
 
     # -- setup ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bootstrap every shard eagerly (drives otherwise do it lazily)."""
+        self._ensure_started()
 
     def _ensure_started(self) -> None:
         if self._started:
             return
-        self._partitions, specs, self._cache_hit = build_shard_specs(
+        (self._partitions, specs, self._cache_hit,
+         self._shm_table) = build_shard_specs(
             self.dataset, self.scorer,
             n_workers=self.n_workers, k=self.k,
             engine_config=self._engine_config,
@@ -351,9 +369,16 @@ class StreamingTopKEngine:
             resume_count=self._resume_count,
             index_cache=self._index_cache,
             ids=self._ids,
+            shared_memory=self._shared_memory,
         )
-        self.backend.start(specs, self.dataset, self.scorer,
-                           worker_times=list(self._worker_times))
+        try:
+            self.backend.start(specs, self.dataset, self.scorer,
+                               worker_times=list(self._worker_times))
+        except BaseException:
+            # A failed start must leak neither pools nor the segment.
+            self.backend.close()
+            self._release_shm()
+            raise
         self._started = True
         if not self._cache_hit:
             harvest_shard_indexes(

@@ -69,6 +69,21 @@ def test_where_pushdown_exact_and_strictly_cheaper():
     assert not failures, "\n".join(failures)
 
 
+def test_shm_specs_o1_identical_and_cheaper_at_scale():
+    """Acceptance gate: in the committed BENCH_shm.json cells the
+    shm-path specs stay under the fixed wire-size ceiling, both modes
+    return bit-identical answers, and on the 1M table the zero-copy
+    bootstrap is strictly faster with strictly less per-child private
+    RSS; the size-independent invariants are re-measured live at 20k."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_shm
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_shm(verbose=False)
+    assert not failures, "\n".join(failures)
+
+
 def test_confidence_stop_beats_stable_slices_and_matches_full():
     """Acceptance gate: in the committed BENCH_confidence.json cells and
     in a live re-measurement of the 20k cells, CONFIDENCE 0.95 stops

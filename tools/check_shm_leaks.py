@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Fail if any repro shared-memory segment is left behind.
+
+The zero-copy shard bootstrap (``repro.parallel.shm``) promises that no
+``/dev/shm/repro-shm-*`` segment survives its owning run — engine
+``close()``, failed-start unwinding, ``weakref.finalize`` and the
+module's ``atexit`` sweep all converge on unlink.  This check makes that
+promise enforceable after any workload (``check.sh`` runs it right after
+tier-1): it lists surviving segments and exits non-zero if any exist.
+
+A segment leaked by a *live* process is still a failure here — segments
+are owned per run, not per daemon; nothing in this repo holds one across
+process exit.
+
+Usage::
+
+    python tools/check_shm_leaks.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SHM_DIR = Path("/dev/shm")
+PREFIX = "repro-shm-"
+
+
+def leaked_segments() -> list:
+    """Surviving repro segments, if POSIX shm is backed by /dev/shm."""
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(SHM_DIR.glob(PREFIX + "*"))
+
+
+def main() -> int:
+    leaks = leaked_segments()
+    if leaks:
+        print("LEAKED SHARED-MEMORY SEGMENTS:")
+        for path in leaks:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = -1
+            print(f"  {path} ({size} bytes)")
+        print(f"{len(leaks)} segment(s) survived; the owning run must "
+              f"unlink on close (see repro/parallel/shm.py).")
+        return 1
+    print("shm leak check ok (no /dev/shm/repro-shm-* segments)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
