@@ -25,6 +25,11 @@ a headline table) and hence the same gate machinery:
   structurally (WHERE pushdown must return exactly the post-filtered
   answer while scoring strictly fewer elements and spending less
   pipeline time) and re-measures the small 20k cells live.
+* ``cache`` — checks the committed ``BENCH_cache.json`` rows
+  structurally (a warm exact-repeat query saves >= 90% of the cold
+  run's UDF calls, answers stay bit-identical across cache-off / cold /
+  warm, and the warm ``EXPLAIN`` reports a nonzero expected hit rate)
+  and re-measures the small 20k cells live.
 * ``shm`` — checks the committed ``BENCH_shm.json`` rows structurally
   (shm-path specs stay under the fixed wire-size ceiling at every table
   size, both modes give bit-identical answers, and on the 1M table the
@@ -42,6 +47,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_streaming.py
     PYTHONPATH=src python benchmarks/bench_confidence.py
     PYTHONPATH=src python benchmarks/bench_shm.py
+    PYTHONPATH=src python benchmarks/bench_cache.py
 
 Standalone usage::
 
@@ -408,11 +414,61 @@ def check_shm(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_cache(baseline_path: Optional[Path] = None,
+                verbose: bool = True) -> List[str]:
+    """Memo gate: warm repeats save >= 90% of UDF calls at zero drift.
+
+    Two parts, mirroring the confidence/filtered gates:
+
+    1. *Structural*: every committed ``BENCH_cache.json`` cell must show
+       a warm exact-repeat query saving at least
+       :data:`bench_cache.SAVINGS_FLOOR` of the cold run's UDF calls,
+       bit-identical answers across the cache-off / cold / warm runs,
+       and a nonzero expected hit rate in the warm ``EXPLAIN``.
+    2. *Re-measure*: re-run the small 20k cells (deterministic at the
+       committed seeds) and assert the same invariant live.
+    """
+    bench_cache = _bench("bench_cache")
+
+    baseline_path = baseline_path or bench_cache.DEFAULT_OUTPUT
+    failures: List[str] = []
+    floor = bench_cache.SAVINGS_FLOOR
+
+    def assert_invariant(rows: List[dict], source: str) -> None:
+        for row in rows:
+            cell = (f"{source} n={row['n']} seed={row['seed']} "
+                    f"{row['mode']}")
+            if row["udf_calls_saved_fraction"] < floor:
+                failures.append(
+                    f"{cell}: warm repeat saved only "
+                    f"{row['udf_calls_saved_fraction']:.1%} of UDF calls "
+                    f"(acceptance floor {floor:.0%})"
+                )
+            if not row.get("bit_identical"):
+                failures.append(
+                    f"{cell}: warm answer diverges from the cold / "
+                    f"cache-off runs — the memo is not transparent"
+                )
+            expected = row.get("expected_hit_rate_warm")
+            if not expected or expected <= 0.0:
+                failures.append(
+                    f"{cell}: warm EXPLAIN reports no expected hit rate "
+                    f"({expected!r})"
+                )
+
+    assert_invariant(load_rows(baseline_path), "committed")
+    assert_invariant(
+        bench_cache.run_grid(n=bench_cache.SMALL_N, verbose=verbose),
+        "re-measured",
+    )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
-                                 "confidence", "filtered", "shm"),
+                                 "confidence", "filtered", "shm", "cache"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -420,7 +476,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "shm":
+    if args.benchmark == "cache":
+        failures = check_cache(baseline_path=args.baseline)
+    elif args.benchmark == "shm":
         failures = check_shm(baseline_path=args.baseline)
     elif args.benchmark == "filtered":
         failures = check_filtered(baseline_path=args.baseline)

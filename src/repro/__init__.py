@@ -91,7 +91,18 @@ from repro.errors import (
     ReproError,
 )
 from repro.core.budgeted import budgeted_config, run_budgeted
-from repro.core.snapshot import restore_engine, snapshot_engine
+from repro.core.snapshot import (
+    restore_engine,
+    restore_memo,
+    snapshot_engine,
+    snapshot_memo,
+)
+from repro.memo import (
+    MemoStore,
+    MemoView,
+    PriorStore,
+    udf_fingerprint,
+)
 from repro.index.btree import BPlusTree
 from repro.applications import (
     AcquisitionReport,
@@ -228,6 +239,12 @@ __all__ = [
     "available_backends",
     "snapshot_engine",
     "restore_engine",
+    "snapshot_memo",
+    "restore_memo",
+    "MemoStore",
+    "MemoView",
+    "PriorStore",
+    "udf_fingerprint",
     "ScoreSketch",
     "ReservoirSketch",
     "EquiDepthSketch",

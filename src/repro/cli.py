@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default=None, choices=backends,
                        help="default backend when the query has no "
                             "BACKEND clause; registry-driven choices")
+    query.add_argument("--no-cache", action="store_true",
+                       help="disable the cross-query score memo for this "
+                            "query (warm answers are bit-identical to "
+                            "cold ones; this flag only forces re-paying "
+                            "the UDF calls)")
     _add_stream_flags(query)
 
     sub.add_parser("info",
@@ -252,6 +257,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if parsed is not None:
         explain_mode = explain_mode or parsed.explain
         streaming_mode = streaming_mode or parsed.stream
+    use_cache = False if args.no_cache else None
     if explain_mode:
         if parsed is not None and not parsed.explain:
             sql = f"EXPLAIN {sql}"
@@ -259,7 +265,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                                backend=args.backend,
                                stream=args.stream or None,
                                every=args.every,
-                               confidence=args.confidence)
+                               confidence=args.confidence,
+                               use_cache=use_cache)
         print(plan.explain())
         return 0
     if streaming_mode:
@@ -267,18 +274,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for snapshot in session.stream(args.sql, workers=args.workers,
                                        backend=args.backend,
                                        every=args.every,
-                                       confidence=args.confidence):
+                                       confidence=args.confidence,
+                                       use_cache=use_cache):
             _print_progressive(snapshot)
         items = snapshot.top_k if snapshot is not None else []
     else:
         result = session.execute(args.sql, workers=args.workers,
-                                 backend=args.backend)
+                                 backend=args.backend,
+                                 use_cache=use_cache)
         print(result.summary())
         items = result.items
     for element_id, score in items[:10]:
         print(f"  {element_id}\t{score:.4f}")
     if len(items) > 10:
         print(f"  ... {len(items) - 10} more rows")
+    if not args.no_cache:
+        stats = session.cache_stats("demo")
+        print(f"cache: {stats['hits']} hits / {stats['misses']} misses, "
+              f"{stats['entries']} scores memoized")
     return 0
 
 
@@ -313,6 +326,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
                             "confidence-bounded early stop"),
         ("repro.replay", "recorded-arrival traces + deterministic "
                          "replay of real streaming runs"),
+        ("repro.memo", "cross-query score memo (bit-identical warm "
+                       "answers) + warm-start bandit priors"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
@@ -330,6 +345,9 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "(same names, barrier-free merge-on-arrival execution), "
           "plus the trace-driven 'replay' backend "
           "(repro demo --replay-trace)")
+    print("score cache: on by default (per-table cross-query memo, keyed "
+          "by UDF fingerprint; warm answers bit-identical to cold; "
+          "opt out per query with --no-cache)")
     shm_reason = shm_probe()
     if shm_reason is None:
         print("zero-copy shard bootstrap: on for 'process' (POSIX shared "

@@ -65,6 +65,16 @@ from repro.errors import ConfigurationError, SerializationError
 #: Interpolation modes for :meth:`TailSummary.survival_at`.
 _KINDS = ("linear", "step")
 
+#: Honesty floor for the union bounds: finite observations can never
+#: certify displacement probability *exactly* zero while an unscored
+#: element could still be drawn — a sketch only summarizes what was
+#: seen, and a hidden tail (``tests/test_hidden_tail.py``) sits exactly
+#: in the mass it never saw.  The floor is far below any usable
+#: ``CONFIDENCE`` level, so it never changes a stopping decision; it
+#: only keeps a reported bound of "0.0" reserved for genuine certainty
+#: (everything scored, or no budget left in the drive).
+_MIN_RESIDUAL = 1e-9
+
 
 @dataclass(frozen=True)
 class TailSummary:
@@ -332,6 +342,7 @@ class ConvergenceBound:
         rates.sort(reverse=True)
         budget = (sum(n for _rate, n in rates)
                   if remaining_budget is None else max(0, remaining_budget))
+        drawable = bool(rates) and budget > 0
         total = 0.0
         for rate, n_remaining in rates:
             if budget <= 0 or total >= 1.0:
@@ -339,6 +350,10 @@ class ConvergenceBound:
             take = min(budget, n_remaining)
             total += take * rate
             budget -= take
+        if total <= 0.0 and drawable:
+            # Some unscored element can still be drawn: zero is more
+            # certainty than finite evidence supports (see _MIN_RESIDUAL).
+            return _MIN_RESIDUAL
         return min(1.0, total)
 
     def refresh(self, threshold: Optional[float], buffer_full: bool,

@@ -341,7 +341,8 @@ class TopKEngine:
 
     def run(self, dataset: SupportsFetch, scorer: SupportsScore,
             budget: Optional[int] = None,
-            checkpoint_every: Optional[int] = None) -> QueryResult:
+            checkpoint_every: Optional[int] = None,
+            memo=None) -> QueryResult:
         """Execute the query end to end and return the result with its trace.
 
         Parameters
@@ -357,6 +358,17 @@ class TopKEngine:
         checkpoint_every:
             Record a :class:`Checkpoint` after every this many scored
             elements (default: ~200 checkpoints across the budget).
+        memo:
+            Optional :class:`~repro.memo.store.MemoView`, the cross-query
+            score memo for this ``(table, udf)`` pair.  A hit skips only
+            the real UDF invocation — draws, RNG consumption, ``n_scored``
+            and the virtual-clock charge stay exactly those of a cold run
+            (the virtual clock models the UDF's latency *as if uncached*,
+            which is what keeps memoized runs bit-identical; real savings
+            show up in UDF call counts and measured wall clock).  Fresh
+            scores are written back batch by batch.  Requires element-wise
+            pure scorers (an element's score must not depend on its
+            batch-mates).
         """
         limit = self.n_total if budget is None else min(budget, self.n_total)
         if checkpoint_every is None:
@@ -371,8 +383,19 @@ class TopKEngine:
             ids = self.next_batch()
             if not ids:
                 break
-            objects = dataset.fetch_batch(ids)
-            scores = scorer.score_batch(objects)
+            if memo is None:
+                scores = scorer.score_batch(dataset.fetch_batch(ids))
+            else:
+                scores, misses = memo.lookup(ids)
+                if misses:
+                    miss_ids = [ids[position] for position in misses]
+                    fresh = np.asarray(
+                        scorer.score_batch(dataset.fetch_batch(miss_ids)),
+                        dtype=float,
+                    ).reshape(-1)
+                    for position, value in zip(misses, fresh.tolist()):
+                        scores[position] = value
+                    memo.record(miss_ids, fresh)
             clock.charge(scorer.batch_cost(len(ids)))
             self.observe(ids, scores)
             if self.n_scored >= next_checkpoint:

@@ -161,3 +161,44 @@ def restore_engine(index: ClusterTree, snapshot: dict,
     floor = snapshot.get("threshold_floor")
     engine.threshold_floor = None if floor is None else float(floor)
     return engine
+
+
+_MEMO_FORMAT = "repro-memo-snapshot/1"
+
+
+def snapshot_memo(memo, priors=None) -> dict:
+    """Capture a table's cross-query state (JSON-safe).
+
+    ``memo`` is a :class:`~repro.memo.store.MemoStore`; ``priors`` an
+    optional :class:`~repro.memo.store.PriorStore` companion.  Pairs with
+    :func:`restore_memo` so warm caches survive a session the same way
+    engine state does.  One caveat mirrors the engine snapshot's RNG
+    note: UDF *fingerprints* fold function bytecode, so a memo restored
+    under a different Python version keys stale fingerprints — entries
+    are then simply never hit (never wrong), and the first queries re-pay
+    their UDF calls.
+    """
+    return {
+        "format": _MEMO_FORMAT,
+        "memo": memo.to_dict(),
+        "priors": None if priors is None else priors.to_dict(),
+    }
+
+
+def restore_memo(payload: dict):
+    """Rebuild ``(MemoStore, PriorStore)`` from :func:`snapshot_memo`.
+
+    The prior store is always returned (empty when none was captured), so
+    callers can unpack unconditionally.
+    """
+    from repro.memo import MemoStore, PriorStore
+
+    if payload.get("format") != _MEMO_FORMAT:
+        raise SerializationError(
+            f"unrecognized memo snapshot format {payload.get('format')!r}"
+        )
+    memo = MemoStore.from_dict(payload["memo"])
+    priors_payload = payload.get("priors")
+    priors = (PriorStore() if priors_payload is None
+              else PriorStore.from_dict(priors_payload))
+    return memo, priors

@@ -1,0 +1,46 @@
+"""Cross-query learning: score memo, UDF fingerprints, warm-start priors.
+
+Production traffic against a registered table is repetitive — the same
+UDFs, overlapping ``WHERE`` subsets.  This package turns that repetition
+into savings on two independent axes:
+
+* **Score memo** (:class:`MemoStore` / :class:`MemoView`): scores keyed
+  by ``(udf fingerprint, element id)``, so no element is ever scored
+  twice across queries.  Hits are *transparent* — engine accounting is
+  identical to a cold run, so memoized answers are bit-identical by
+  construction (the differential matrix in ``tests/test_score_memo.py``
+  is the proof).
+* **Warm-start priors** (:class:`PriorStore`, :func:`harvest_priors`,
+  :func:`apply_priors`): per-node histogram posteriors carried across
+  runs on the same ``(table, udf)`` pair — opt-in, deterministic, and
+  deliberately *not* bit-identical (a smarter start changes the run).
+
+:func:`udf_fingerprint` is the key-maker: a structural digest of the
+scorer (class, parameters, bytecode, closures) that never collides for
+structurally distinct scorers and invalidates on parameter mutation.
+``None`` (unfingerprintable) disables caching for that UDF — a cache
+that cannot prove its key is off, never silently wrong.
+
+See ``docs/caching.md`` for the user guide and invalidation rules.
+"""
+
+from repro.memo.fingerprint import udf_fingerprint
+from repro.memo.priors import (
+    PriorStore,
+    apply_priors,
+    harvest_priors,
+    shard_scope,
+    single_scope,
+)
+from repro.memo.store import MemoStore, MemoView
+
+__all__ = [
+    "udf_fingerprint",
+    "MemoStore",
+    "MemoView",
+    "PriorStore",
+    "harvest_priors",
+    "apply_priors",
+    "single_scope",
+    "shard_scope",
+]

@@ -1,0 +1,189 @@
+"""Structural fingerprints for opaque UDFs — the memo's cache key.
+
+A cross-query score memo is only safe when its key captures *everything*
+that determines a scorer's output.  The library never inspects a UDF's
+semantics, but it can fingerprint the UDF's *structure*: the class, every
+instance attribute, and — for plain functions and lambdas — the compiled
+bytecode, constants, defaults, and captured closure cells.  Two scorers
+with the same fingerprint compute the same function element-for-element;
+a mutated parameter, a different constant, or a different code path
+changes the digest and therefore keys a fresh memo shard.
+
+:func:`udf_fingerprint` returns a 16-hex-character digest, or ``None``
+when the scorer is *unfingerprintable* — some reachable attribute has no
+stable structural identity (the telltale is a default ``repr`` carrying a
+memory address).  ``None`` disables caching for that UDF instead of
+risking a silently wrong hit; the session degrades gracefully
+(``ExecutionPlan.cache_enabled`` is ``False`` and ``EXPLAIN`` says so).
+
+Stability contract
+------------------
+* Deterministic within one interpreter: re-registering a structurally
+  identical scorer (same source, same parameters) always reproduces the
+  digest, so repeat traffic hits.
+* Sensitive to parameters: fingerprints are recomputed at *plan* time,
+  so mutating ``scorer.threshold = 2.0`` between queries invalidates the
+  memo rather than serving stale scores.
+* **Not** stable across Python versions (bytecode changes) — fingerprints
+  key in-process memo stores, never on-disk artefacts shared between
+  interpreters.  The version salt below also lets the fold itself evolve.
+
+The randomized suite in ``tests/test_memo_fingerprint.py`` pins the
+no-collision / always-hit / mutation-invalidates properties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import types
+from typing import Any, Optional
+
+import numpy as np
+
+#: Version salt: bump to invalidate every fingerprint when the fold changes.
+_VERSION = "repro-fp/1"
+
+#: Recursion ceiling for attribute/container traversal.
+_MAX_DEPTH = 10
+
+
+class _Unfingerprintable(Exception):
+    """Raised internally when a value has no stable structural identity."""
+
+
+def _looks_like_address_repr(value: Any) -> bool:
+    """True when ``repr(value)`` is the default ``<... at 0x...>`` form.
+
+    Such reprs embed the object's memory address: two structurally equal
+    instances would fingerprint differently run to run, which would turn
+    every repeat query into a miss *silently*.  Treating them as
+    unfingerprintable surfaces the problem as "caching disabled" instead.
+    """
+    text = repr(value)
+    return text.startswith("<") and " at 0x" in text
+
+
+def _fold(digest: "hashlib._Hash", value: Any, depth: int,
+          seen: set) -> None:
+    """Fold one value into the digest, tagged by type to avoid confusion."""
+    if depth > _MAX_DEPTH:
+        raise _Unfingerprintable("attribute graph too deep")
+    if value is None or isinstance(value, (bool, int, float, complex,
+                                           str, bytes)):
+        digest.update(f"{type(value).__name__}:{value!r};".encode())
+        return
+    if isinstance(value, np.ndarray):
+        digest.update(
+            f"ndarray:{value.shape}:{value.dtype.str};".encode()
+        )
+        digest.update(np.ascontiguousarray(value).tobytes())
+        return
+    if isinstance(value, np.generic):
+        digest.update(f"npscalar:{value.dtype.str}:{value!r};".encode())
+        return
+    marker = id(value)
+    if marker in seen:
+        digest.update(b"cycle;")
+        return
+    seen = seen | {marker}
+    if isinstance(value, (list, tuple)):
+        digest.update(f"{type(value).__name__}:{len(value)}[".encode())
+        for item in value:
+            _fold(digest, item, depth + 1, seen)
+        digest.update(b"];")
+        return
+    if isinstance(value, (set, frozenset)):
+        digest.update(f"set:{len(value)}[".encode())
+        for item in sorted(value, key=repr):
+            _fold(digest, item, depth + 1, seen)
+        digest.update(b"];")
+        return
+    if isinstance(value, dict):
+        digest.update(f"dict:{len(value)}{{".encode())
+        for key in sorted(value, key=repr):
+            _fold(digest, key, depth + 1, seen)
+            _fold(digest, value[key], depth + 1, seen)
+        digest.update(b"};")
+        return
+    if isinstance(value, types.CodeType):
+        digest.update(b"code:")
+        digest.update(value.co_code)
+        digest.update(f":{value.co_argcount}:{value.co_names};".encode())
+        for const in value.co_consts:
+            _fold(digest, const, depth + 1, seen)
+        return
+    if isinstance(value, (types.FunctionType, types.LambdaType)):
+        digest.update(
+            f"function:{value.__module__}:{value.__qualname__};".encode()
+        )
+        _fold(digest, value.__code__, depth + 1, seen)
+        _fold(digest, value.__defaults__, depth + 1, seen)
+        _fold(digest, value.__kwdefaults__, depth + 1, seen)
+        if value.__closure__ is not None:
+            for cell in value.__closure__:
+                try:
+                    contents = cell.cell_contents
+                except ValueError:  # empty cell
+                    contents = None
+                _fold(digest, contents, depth + 1, seen)
+        return
+    if isinstance(value, (types.BuiltinFunctionType, np.ufunc)):
+        module = getattr(value, "__module__", None) or "builtins"
+        name = getattr(value, "__name__", repr(value))
+        digest.update(f"builtin:{module}:{name};".encode())
+        return
+    if isinstance(value, types.MethodType):
+        digest.update(b"method:")
+        _fold(digest, value.__func__, depth + 1, seen)
+        _fold(digest, value.__self__, depth + 1, seen)
+        return
+    if isinstance(value, type):
+        digest.update(
+            f"class:{value.__module__}:{value.__qualname__};".encode()
+        )
+        return
+    # A scorer (or any attribute) may define __fingerprint_state__ to
+    # substitute its semantic identity for its raw attribute dict — e.g.
+    # CountingScorer delegates to the scorer it wraps, so its mutable
+    # call counters never invalidate the memo of the function it counts.
+    hook = getattr(value, "__fingerprint_state__", None)
+    if callable(hook):
+        _fold(digest, hook(), depth + 1, seen)
+        return
+    # Generic object: identify by class, then by every instance attribute
+    # (sorted, so dict insertion order never matters).
+    cls = type(value)
+    state = getattr(value, "__dict__", None)
+    if state is None and hasattr(value, "__slots__"):
+        state = {slot: getattr(value, slot)
+                 for slot in cls.__slots__ if hasattr(value, slot)}
+    if state is None:
+        # No structural state to walk — the repr is all we have; reject
+        # the address-bearing default repr (unstable across runs).
+        if _looks_like_address_repr(value):
+            raise _Unfingerprintable(
+                f"{cls.__name__} has no stable structural identity"
+            )
+        digest.update(f"opaque:{value!r};".encode())
+        return
+    digest.update(f"object:{cls.__module__}:{cls.__qualname__};".encode())
+    for name in sorted(state):
+        digest.update(f"attr:{name}=".encode())
+        _fold(digest, state[name], depth + 1, seen)
+
+
+def udf_fingerprint(scorer: Any) -> Optional[str]:
+    """Structural fingerprint of a scorer, or ``None`` if it has none.
+
+    The digest covers the scorer's class, its full (recursive) instance
+    state — parameters, latency model, wrapped callables with their
+    bytecode, defaults, and closure values — and numpy array contents.
+    ``None`` means some reachable attribute is unfingerprintable and the
+    memo must stay off for this UDF (never silently wrong).
+    """
+    digest = hashlib.sha256(_VERSION.encode())
+    try:
+        _fold(digest, scorer, 0, set())
+    except _Unfingerprintable:
+        return None
+    return digest.hexdigest()[:16]

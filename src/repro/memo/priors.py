@@ -1,0 +1,155 @@
+"""Warm-start priors: carry learned bandit state across queries.
+
+The score memo (:mod:`repro.memo.store`) removes *repeat UDF calls*; this
+module removes *repeat learning*.  After a run, every bandit node's
+adaptive histogram summarizes what the engine learned about its
+subtree's score distribution.  :func:`harvest_priors` captures those
+histograms (JSON-safe, via
+:meth:`~repro.core.histogram.AdaptiveHistogram.to_dict`);
+:func:`apply_priors` preloads them into a fresh engine before its first
+draw, so the epsilon-greedy descent starts from yesterday's posterior
+instead of uniform ignorance — the grown-up version of the
+incremental-mean warm start in SNIPPETS.md's EpsilonGreedy.
+
+:class:`PriorStore` is the per-table registry, keyed by
+``(udf fingerprint, scope)``.  The *scope* pins everything that shapes
+node identity and content: the single-engine scope embeds the WHERE
+subset fingerprint (a restricted tree keeps node ids but changes leaf
+membership), and shard scopes embed worker id, worker count, root
+entropy, and subset — priors never cross structurally different trees.
+
+**Warm-starting is opt-in and is NOT bit-identical** — that is its
+point: preloaded histograms steer the very first descents, so a
+warm-started run explores differently (usually better) than a cold one.
+The bit-identity guarantee of the differential matrix covers the score
+memo only; ``warm_start=True`` trades exact reproducibility for a
+smarter start, deterministically (same priors + same seed = same run).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import SerializationError
+
+_FORMAT = "repro-priors/1"
+
+
+def harvest_priors(engine) -> Dict[str, dict]:
+    """``{node id -> histogram payload}`` for every node of a run engine.
+
+    Only the default :class:`~repro.core.histogram.AdaptiveHistogram`
+    sketch serializes; custom sketch factories yield an empty harvest
+    (warm-start silently unavailable, never wrong).
+    """
+    from repro.core.histogram import AdaptiveHistogram
+
+    payload: Dict[str, dict] = {}
+
+    def walk(node) -> None:
+        if isinstance(node.histogram, AdaptiveHistogram):
+            payload[node.node_id] = node.histogram.to_dict()
+        for child in node.children:
+            walk(child)
+
+    walk(engine.policy.root)
+    return payload
+
+
+def apply_priors(engine, priors: Dict[str, dict]) -> int:
+    """Preload harvested histograms into a fresh engine; returns #applied.
+
+    Nodes are matched by id; ids missing from ``priors`` (or vice versa)
+    are skipped, so priors harvested before a fallback flatten still
+    apply to whatever structure both trees share.  Call before the first
+    ``next_batch()`` — preloading after draws would double-count mass.
+    """
+    from repro.core.histogram import AdaptiveHistogram
+    from repro.errors import ConfigurationError
+
+    if engine.n_scored or engine.t_batches:
+        raise ConfigurationError(
+            "warm-start priors must be applied before the first draw"
+        )
+    applied = 0
+
+    def walk(node) -> None:
+        nonlocal applied
+        payload = priors.get(node.node_id)
+        if payload is not None:
+            node.histogram = AdaptiveHistogram.from_dict(payload)
+            applied += 1
+        for child in node.children:
+            walk(child)
+
+    walk(engine.policy.root)
+    return applied
+
+
+def single_scope(subset: str = "") -> str:
+    """Prior scope of a single-engine run (WHERE subset included)."""
+    return f"single:{subset}"
+
+
+def shard_scope(worker_id: int, n_workers: int, root_entropy: int,
+                subset: str = "") -> str:
+    """Prior scope of one shard: everything that shapes its local tree."""
+    return f"shard:{worker_id}:{n_workers}:{root_entropy}:{subset}"
+
+
+class PriorStore:
+    """Thread-safe per-table registry of harvested histogram priors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        #: (fingerprint, scope) -> {node id -> histogram payload}
+        self._priors: Dict[tuple, Dict[str, dict]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._priors)
+
+    def get(self, fingerprint: str,
+            scope: str) -> Optional[Dict[str, dict]]:
+        """Priors for one ``(udf, scope)`` pair, or ``None``."""
+        with self._lock:
+            return self._priors.get((str(fingerprint), str(scope)))
+
+    def put(self, fingerprint: str, scope: str,
+            priors: Dict[str, dict]) -> None:
+        """Store (replace) the harvest of one finished run."""
+        if not priors:
+            return
+        with self._lock:
+            self._priors[(str(fingerprint), str(scope))] = dict(priors)
+
+    def clear(self) -> None:
+        """Drop every stored prior."""
+        with self._lock:
+            self._priors.clear()
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload of every stored prior."""
+        with self._lock:
+            return {
+                "format": _FORMAT,
+                "priors": [
+                    {"fingerprint": fingerprint, "scope": scope,
+                     "nodes": dict(nodes)}
+                    for (fingerprint, scope), nodes in self._priors.items()
+                ],
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PriorStore":
+        """Rebuild a store from :meth:`to_dict` output."""
+        if payload.get("format") != _FORMAT:
+            raise SerializationError(
+                f"unrecognized priors format {payload.get('format')!r}"
+            )
+        store = cls()
+        for entry in payload.get("priors", ()):
+            store.put(entry["fingerprint"], entry["scope"],
+                      entry["nodes"])
+        return store

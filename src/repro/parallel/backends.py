@@ -272,7 +272,11 @@ class ProcessBackend(ShardBackend):
     def _idle_outcome(self, worker: int) -> RoundOutcome:
         last = self._last.get(worker)
         if last is not None:
-            return replace(last, scored=0, cost=0.0, elapsed=0.0)
+            # Zero out per-round fields, including the memo write-back
+            # payload: re-reporting last round's fresh scores would
+            # double-count hits/misses in the coordinator's accounting.
+            return replace(last, scored=0, cost=0.0, elapsed=0.0,
+                           fresh_scores=[], memo_hits=0)
         # No round ran yet on this shard: an empty report (the merge and
         # the convergence bound both treat it as "nothing new").
         return RoundOutcome(

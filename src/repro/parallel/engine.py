@@ -179,6 +179,19 @@ class ShardedTopKEngine:
         forces the inline copy path.  Ignored by ``serial``/``thread``
         (their shards live in this process).  Answers are bit-identical
         either way.
+    memo:
+        Optional :class:`~repro.memo.store.MemoView` over the cross-query
+        score memo for this ``(table, udf)`` pair.  Each shard spec ships
+        a frozen per-partition restriction; fresh scores travel back in
+        :class:`~repro.parallel.worker.RoundOutcome` and are recorded here
+        at merge time (process children stay read-only).  Memo hits skip
+        the real UDF call but charge full batch cost, so warm answers are
+        bit-identical to cold ones.
+    priors:
+        Optional per-worker warm-start priors (one
+        ``{node id -> histogram payload}`` dict per shard, see
+        :mod:`repro.memo.priors`), applied to fresh shard engines before
+        their first draw.  Opt-in and deliberately not bit-identical.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -191,7 +204,9 @@ class ShardedTopKEngine:
                  seed=None,
                  index_cache: Optional[ShardIndexCache] = None,
                  ids: Optional[Sequence[str]] = None,
-                 shared_memory: Optional[bool] = None) -> None:
+                 shared_memory: Optional[bool] = None,
+                 memo=None,
+                 priors: Optional[List[Optional[dict]]] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -226,6 +241,8 @@ class ShardedTopKEngine:
         self._index_cache = index_cache
         self._shared_memory = shared_memory
         self._shm_table = None
+        self._memo = memo
+        self._priors = priors
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -280,6 +297,9 @@ class ShardedTopKEngine:
             index_cache=self._index_cache,
             ids=self._ids,
             shared_memory=self._shared_memory,
+            memo_snapshot=(self._memo.snapshot()
+                           if self._memo is not None else None),
+            priors=self._priors,
         )
         return specs
 
@@ -346,6 +366,14 @@ class ShardedTopKEngine:
                 self._worker_times[outcome.worker_id] += outcome.cost
                 self._active[outcome.worker_id] = not outcome.exhausted
                 self._last_outcomes[outcome.worker_id] = outcome
+                if self._memo is not None:
+                    # Coordinator-side write-back: shards only read their
+                    # frozen memo slice; new scores land here at the round
+                    # barrier, in worker order (deterministic).
+                    if outcome.fresh_scores:
+                        self._memo.record_pairs(outcome.fresh_scores)
+                    self._memo.count(outcome.memo_hits,
+                                     len(outcome.fresh_scores))
             if self.backend.virtual_clock:
                 self.wall_time += max(o.cost for o in outcomes)
             else:
@@ -445,6 +473,10 @@ class ShardedTopKEngine:
             "workers": self.backend.snapshots(),
             # WHERE candidate subset; None when the whole table ran.
             "ids": self._ids,
+            # Cross-query memo slice for this (table, udf) pair, so a
+            # resumed run keeps its warm scores; None when caching is off.
+            "memo": (self._memo.to_payload()
+                     if self._memo is not None else None),
         }
 
     @classmethod
@@ -453,6 +485,7 @@ class ShardedTopKEngine:
                 index_config: Optional[IndexConfig] = None,
                 engine_config: Optional[EngineConfig] = None,
                 index_cache: Optional[ShardIndexCache] = None,
+                memo=None,
                 ) -> "ShardedTopKEngine":
         """Rebuild a sharded run from :meth:`snapshot` output.
 
@@ -462,6 +495,11 @@ class ShardedTopKEngine:
         the stored root entropy, and node IDs are verified during engine
         restore).  ``backend`` may differ — a run snapshotted under
         ``process`` can resume under ``serial`` and vice versa.
+
+        ``memo`` optionally re-attaches a live
+        :class:`~repro.memo.store.MemoView`; the snapshot's stored memo
+        slice is merged into it (or, with no view supplied, revived into a
+        standalone store) so the resumed run stays warm.
         """
         if snapshot.get("format") != _SNAPSHOT_FORMAT:
             raise SerializationError(
@@ -487,6 +525,15 @@ class ShardedTopKEngine:
         engine._root_entropy = snapshot["root_entropy"]
         engine._resume_count = int(snapshot.get("resume_count", 0)) + 1
         engine._restore_payloads = list(snapshot["workers"])
+        memo_payload = snapshot.get("memo")
+        if memo is not None:
+            if memo_payload is not None:
+                memo.record_pairs(list(memo_payload["scores"].items()))
+            engine._memo = memo
+        elif memo_payload is not None:
+            from repro.memo.store import MemoView
+
+            engine._memo = MemoView.from_payload(memo_payload)
         state = snapshot["coordinator"]
         for score, element_id in state["buffer"]:
             engine._buffer.offer(float(score), element_id)

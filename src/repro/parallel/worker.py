@@ -129,6 +129,18 @@ class ShardSpec:
     #: cached index from the mapped segment, keeping the pickled spec O(1)
     #: in the partition size.
     features_ref: Optional[SharedSliceRef] = None
+    #: Frozen cross-query score memo restricted to this shard's members
+    #: (partitions are disjoint, so the restriction is complete).  The
+    #: worker only *reads* it — fresh scores travel back through
+    #: :attr:`RoundOutcome.fresh_scores` and the coordinator records them
+    #: into the live :class:`~repro.memo.store.MemoStore` at merge time,
+    #: keeping process children read-only.  ``None`` disables the memo.
+    memo: Optional[dict] = None
+    #: Warm-start histogram priors (``{node id -> histogram payload}``,
+    #: see :mod:`repro.memo.priors`), applied to a *fresh* engine before
+    #: its first draw; ignored on resume (the snapshot already carries
+    #: richer learned state).  Opt-in and not bit-identical by design.
+    priors: Optional[dict] = None
 
 
 @dataclass
@@ -147,6 +159,13 @@ class RoundOutcome:
     #: Unscored-mass summary for the coordinator's displacement bound
     #: (:mod:`repro.core.convergence`); ``None`` on restored stubs.
     tail: Optional[TailSummary] = None
+    #: ``(element id, score)`` pairs this round actually paid a UDF call
+    #: for (memo misses; everything when no memo rides the spec).  The
+    #: coordinator records them into the cross-query memo at merge time.
+    fresh_scores: List[Tuple[str, float]] = field(default_factory=list)
+    #: Memo hits this round (scores served without a UDF call), for the
+    #: coordinator's cache accounting.
+    memo_hits: int = 0
 
 
 def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
@@ -159,6 +178,8 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                       index_cache=None,
                       ids: Optional[Sequence[str]] = None,
                       shared_memory: Optional[bool] = None,
+                      memo_snapshot: Optional[dict] = None,
+                      priors: Optional[List[Optional[dict]]] = None,
                       ) -> Tuple[List[List[str]], List[ShardSpec], bool,
                                  Optional[SharedFeatureTable]]:
     """Partition the dataset and assemble one :class:`ShardSpec` per worker.
@@ -243,6 +264,17 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
             )
         ref = refs[worker]
         inline = materialize and ref is None
+        shard_memo = None
+        if memo_snapshot is not None:
+            # Restrict to this shard's members so process specs stay small;
+            # partitions are disjoint, so the restriction loses nothing.
+            # An *empty* dict is meaningful (caching on, nothing stored
+            # yet): the worker still collects fresh scores for write-back.
+            shard_memo = {
+                element_id: memo_snapshot[element_id]
+                for element_id in members
+                if element_id in memo_snapshot
+            }
         specs.append(ShardSpec(
             worker_id=worker,
             member_ids=[] if ref is not None else list(members),
@@ -257,6 +289,8 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
             resume_seed=resume_seed,
             prebuilt_index=None if ref is not None else indexes[worker],
             features_ref=ref,
+            memo=shard_memo,
+            priors=priors[worker] if priors is not None else None,
         ))
     return partitions, specs, cached is not None, table
 
@@ -351,6 +385,13 @@ class ShardWorker:
         else:
             self.engine = TopKEngine(self.index, config,
                                      scoring_latency_hint=hint)
+            if spec.priors:
+                # Warm start only fresh engines: a resume snapshot already
+                # carries richer learned state than any harvested prior.
+                from repro.memo.priors import apply_priors
+
+                apply_priors(self.engine, spec.priors)
+        self._memo = spec.memo
 
     # -- round protocol ------------------------------------------------------
 
@@ -367,11 +408,32 @@ class ShardWorker:
             engine.threshold_floor = threshold_floor
         scored = 0
         cost = 0.0
+        fresh_scores: List[Tuple[str, float]] = []
+        memo_hits = 0
         started = time.perf_counter()
         while scored < cap and not engine.exhausted:
             ids = engine.next_batch()
-            objects = self.dataset.fetch_batch(ids)
-            scores = self.scorer.score_batch(objects)
+            if self._memo is None:
+                scores = self.scorer.score_batch(self.dataset.fetch_batch(ids))
+            else:
+                # Memo hits skip only the real UDF call; draws, accounting,
+                # and the full batch cost below are unchanged, so a warm
+                # round is bit-identical to a cold one by construction.
+                scores = [self._memo.get(element_id) for element_id in ids]
+                misses = [position for position, value in enumerate(scores)
+                          if value is None]
+                if misses:
+                    miss_ids = [ids[position] for position in misses]
+                    fresh = np.asarray(
+                        self.scorer.score_batch(
+                            self.dataset.fetch_batch(miss_ids)
+                        ),
+                        dtype=float,
+                    ).reshape(-1).tolist()
+                    for position, value in zip(misses, fresh):
+                        scores[position] = value
+                    fresh_scores.extend(zip(miss_ids, fresh))
+                memo_hits += len(ids) - len(misses)
             cost += self.scorer.batch_cost(len(ids))
             engine.observe(ids, scores)
             scored += len(ids)
@@ -391,6 +453,8 @@ class ShardWorker:
             # costs orders of magnitude more, and always-on tails are what
             # make every ProgressiveResult carry its bound.
             tail=tail_summary_from_engine(engine),
+            fresh_scores=fresh_scores,
+            memo_hits=memo_hits,
         )
 
     def snapshot(self) -> dict:

@@ -45,6 +45,51 @@ class QueryExecutor(ABC):
 EXECUTORS: Dict[str, Type[QueryExecutor]] = {}
 
 
+def _shard_priors(session: "OpaqueQuerySession", plan: ExecutionPlan,
+                  root_entropy: int):
+    """Stored warm-start payloads, one per shard — or ``None`` (cold)."""
+    if not plan.warm_start or plan.fingerprint is None:
+        return None
+    from repro.memo.priors import shard_scope
+    from repro.parallel.cache import subset_fingerprint
+
+    store = session._prior_store_for(plan.table)
+    subset = subset_fingerprint(plan.allowed_ids)
+    priors = [
+        store.get(plan.fingerprint,
+                  shard_scope(worker, plan.workers, root_entropy, subset))
+        for worker in range(plan.workers)
+    ]
+    return priors if any(p is not None for p in priors) else None
+
+
+def _harvest_shard_priors(session: "OpaqueQuerySession",
+                          plan: ExecutionPlan, engine) -> None:
+    """Bank each in-process shard's learned histograms for warm starts.
+
+    Process children are out of reach (their engines live in the pool),
+    so the harvest covers serial/thread backends only — warm-start is
+    best-effort by design.
+    """
+    if not plan.cache_enabled or plan.fingerprint is None:
+        return
+    workers = engine.backend.inline_workers()
+    if not workers:
+        return
+    from repro.memo.priors import harvest_priors, shard_scope
+    from repro.parallel.cache import subset_fingerprint
+
+    store = session._prior_store_for(plan.table)
+    subset = subset_fingerprint(plan.allowed_ids)
+    for worker_id, worker in enumerate(workers):
+        store.put(
+            plan.fingerprint,
+            shard_scope(worker_id, plan.workers, engine._root_entropy,
+                        subset),
+            harvest_priors(worker.engine),
+        )
+
+
 def register_executor(cls: Type[QueryExecutor]) -> Type[QueryExecutor]:
     """Class decorator: add an executor to the registry under its name."""
     if not cls.name:
@@ -106,7 +151,29 @@ class SingleExecutor(QueryExecutor):
             scoring_latency_hint=scorer.batch_cost(plan.batch_size)
             / max(1, plan.batch_size),
         )
-        return engine.run(dataset, scorer, budget=plan.budget)
+        memo = session._memo_view_for(plan)
+        if plan.warm_start and plan.fingerprint is not None:
+            from repro.memo.priors import apply_priors, single_scope
+            from repro.parallel.cache import subset_fingerprint
+
+            priors = session._prior_store_for(plan.table).get(
+                plan.fingerprint,
+                single_scope(subset_fingerprint(plan.allowed_ids)),
+            )
+            if priors:
+                apply_priors(engine, priors)
+        result = engine.run(dataset, scorer, budget=plan.budget,
+                            memo=memo)
+        if plan.cache_enabled and plan.fingerprint is not None:
+            from repro.memo.priors import harvest_priors, single_scope
+            from repro.parallel.cache import subset_fingerprint
+
+            session._prior_store_for(plan.table).put(
+                plan.fingerprint,
+                single_scope(subset_fingerprint(plan.allowed_ids)),
+                harvest_priors(engine),
+            )
+        return result
 
 
 @register_executor
@@ -133,10 +200,17 @@ class ShardedExecutor(QueryExecutor):
             seed=plan.seed,
             index_cache=session._shard_cache_for(plan.table),
             ids=plan.allowed_ids,
+            memo=session._memo_view_for(plan),
         )
+        # Priors are scoped by root entropy, which the engine only settles
+        # at construction; shard specs are built lazily at first run, so
+        # attaching them here still reaches every fresh shard engine.
+        sharded._priors = _shard_priors(session, plan,
+                                        sharded._root_entropy)
         try:
             return sharded.run(plan.budget)
         finally:
+            _harvest_shard_priors(session, plan, sharded)
             sharded.close()
 
 
@@ -154,7 +228,7 @@ class StreamingExecutor(QueryExecutor):
                plan: ExecutionPlan) -> "StreamingTopKEngine":
         from repro.streaming.engine import StreamingTopKEngine
 
-        return StreamingTopKEngine(
+        streaming = StreamingTopKEngine(
             session._tables[plan.table], session._udfs[plan.udf],
             k=plan.k,
             n_workers=plan.workers,
@@ -169,7 +243,13 @@ class StreamingExecutor(QueryExecutor):
             seed=plan.seed,
             index_cache=session._shard_cache_for(plan.table),
             ids=plan.allowed_ids,
+            memo=session._memo_view_for(plan),
         )
+        # Same lazy-spec trick as the sharded executor: the prior scope
+        # needs the root entropy the constructor just settled.
+        streaming._priors = _shard_priors(session, plan,
+                                          streaming._root_entropy)
+        return streaming
 
     def execute(self, session: "OpaqueQuerySession",
                 plan: ExecutionPlan) -> "ResultBase":
@@ -177,4 +257,5 @@ class StreamingExecutor(QueryExecutor):
         try:
             return streaming.run(plan.budget, every=plan.every)
         finally:
+            _harvest_shard_priors(session, plan, streaming)
             streaming.close()

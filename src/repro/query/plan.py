@@ -311,6 +311,19 @@ class ExecutionPlan:
     confidence: Optional[float]
     #: Candidate ids in table order when a WHERE filter applies, else None.
     allowed_ids: Optional[List[str]] = None
+    #: UDF fingerprint (:func:`repro.memo.fingerprint.udf_fingerprint`);
+    #: ``None`` when the scorer is unfingerprintable.  Never rendered in
+    #: :meth:`explain` — bytecode digests vary across Python versions.
+    fingerprint: Optional[str] = None
+    #: Whether the cross-query score memo is active for this dispatch.
+    cache_enabled: bool = False
+    #: Whether warm-start priors will be applied (opt-in, not bit-identical).
+    warm_start: bool = False
+    #: Memoized scores already stored for this UDF at plan time.
+    memo_entries: int = 0
+    #: Fraction of this query's candidates already memoized; computed for
+    #: EXPLAIN queries only (``None`` otherwise — the probe is O(n)).
+    expected_hit_rate: Optional[float] = None
 
     @property
     def table(self) -> str:
@@ -368,6 +381,18 @@ class ExecutionPlan:
             confidence = ("off" if self.confidence is None
                           else _format_number(self.confidence))
             lines.append(f"confidence: {confidence}")
+        if not self.cache_enabled:
+            lines.append("cache:     off")
+        elif self.expected_hit_rate is None:
+            lines.append("cache:     on")
+        else:
+            memoized = int(round(self.expected_hit_rate
+                                 * self.n_candidates))
+            lines.append(
+                f"cache:     on (expected hit rate "
+                f"{self.expected_hit_rate:.1%}: {memoized} of "
+                f"{self.n_candidates} candidates memoized)"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -153,6 +153,15 @@ class CountingScorer(Scorer):
         self.n_batches = 0
         self.virtual_cost = 0.0
 
+    def __fingerprint_state__(self):
+        """Identify as the wrapped scorer for the cross-query memo.
+
+        The wrapper computes exactly the inner scorer's scores, and its
+        call counters are observability, not semantics — they must not
+        invalidate (or fork) the memo of the function being counted.
+        """
+        return self.inner
+
     def score(self, obj: Any) -> float:
         self.n_elements += 1
         self.n_batches += 1

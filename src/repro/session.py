@@ -63,6 +63,7 @@ from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
+from repro.memo import MemoStore, PriorStore, udf_fingerprint
 from repro.parallel.backends import available_backends
 from repro.parallel.cache import ShardIndexCache
 from repro.parallel.engine import DistributedResult
@@ -128,11 +129,24 @@ def parse_query(text: str) -> ParsedQuery:
 
 
 class OpaqueQuerySession:
-    """Registry of tables and UDFs plus the declarative executor."""
+    """Registry of tables and UDFs plus the declarative executor.
+
+    ``enable_cache`` (default on) activates the cross-query score memo
+    (:mod:`repro.memo`): scores are remembered per ``(udf fingerprint,
+    element id)`` across queries on the same table, so no element is ever
+    scored twice by the same UDF — and memo hits are *transparent* (full
+    budget and clock accounting), so warm answers are bit-identical to
+    cold ones.  Per-query overrides: ``execute(..., use_cache=False)``
+    disables the memo for one dispatch; ``warm_start=True`` additionally
+    preloads bandit histogram priors harvested from earlier runs on the
+    same ``(table, udf)`` pair (opt-in — a warm-started run explores
+    differently, deterministically, but not bit-identically).
+    """
 
     def __init__(self, default_index_config: Optional[IndexConfig] = None,
                  index_seed: int = 0,
-                 sync_interval: int = 100) -> None:
+                 sync_interval: int = 100,
+                 enable_cache: bool = True) -> None:
         self._tables: Dict[str, Dataset] = {}
         self._indexes: Dict[str, ClusterTree] = {}
         self._index_configs: Dict[str, IndexConfig] = {}
@@ -145,6 +159,15 @@ class OpaqueQuerySession:
         # once registered, so a repeat query with the same seed / worker
         # count / filter / index config reuses every partition index.
         self._shard_caches: Dict[str, ShardIndexCache] = {}
+        # Cross-query learning (repro.memo): one score memo and one
+        # warm-start prior store per table, keyed inside by UDF
+        # fingerprint, so distinct scorers never share entries.
+        self._enable_cache = bool(enable_cache)
+        self._memos: Dict[str, "MemoStore"] = {}
+        self._prior_stores: Dict[str, "PriorStore"] = {}
+        # Fingerprint taken at registration time (refreshed at plan time,
+        # so post-registration parameter mutation invalidates cleanly).
+        self._udf_fingerprints: Dict[str, Optional[str]] = {}
 
     # -- registration --------------------------------------------------------
 
@@ -178,11 +201,17 @@ class OpaqueQuerySession:
             self._index_configs[name] = index_config
 
     def register_udf(self, name: str, scorer: Scorer) -> None:
-        """Register an opaque scoring function under a name."""
+        """Register an opaque scoring function under a name.
+
+        The scorer is fingerprinted (:func:`repro.memo.udf_fingerprint`)
+        so the cross-query memo can key its scores; an unfingerprintable
+        scorer registers fine but runs with caching off.
+        """
         self._check_name(name, "udf")
         if name in self._udfs:
             raise ConfigurationError(f"udf {name!r} already registered")
         self._udfs[name] = scorer
+        self._udf_fingerprints[name] = udf_fingerprint(scorer)
 
     # -- executor plumbing (shared with repro.query.executors) ---------------
 
@@ -207,6 +236,33 @@ class OpaqueQuerySession:
             self._shard_caches[table] = ShardIndexCache()
         return self._shard_caches[table]
 
+    def _memo_for(self, table: str) -> MemoStore:
+        """The table's cross-query score memo (created on first touch)."""
+        if table not in self._memos:
+            self._memos[table] = MemoStore()
+        return self._memos[table]
+
+    def _prior_store_for(self, table: str) -> PriorStore:
+        """The table's warm-start prior store (created on first touch)."""
+        if table not in self._prior_stores:
+            self._prior_stores[table] = PriorStore()
+        return self._prior_stores[table]
+
+    def _memo_view_for(self, plan: ExecutionPlan):
+        """The memo view an executor should thread, or ``None`` (off)."""
+        if not plan.cache_enabled or plan.fingerprint is None:
+            return None
+        return self._memo_for(plan.table).view(plan.fingerprint)
+
+    def cache_stats(self, table: str) -> dict:
+        """Hit/miss/entry statistics of one table's score memo."""
+        if table not in self._tables:
+            raise ConfigurationError(
+                f"unknown table {table!r}; registered: "
+                f"{sorted(self._tables)}"
+            )
+        return self._memo_for(table).stats()
+
     # -- planning ------------------------------------------------------------
 
     def plan(self, query: Union[str, QueryPlan], *,
@@ -214,7 +270,9 @@ class OpaqueQuerySession:
              backend: Optional[str] = None,
              stream: Optional[bool] = None,
              every: Optional[int] = None,
-             confidence: Optional[float] = None) -> ExecutionPlan:
+             confidence: Optional[float] = None,
+             use_cache: Optional[bool] = None,
+             warm_start: bool = False) -> ExecutionPlan:
         """Parse and resolve one query into an :class:`ExecutionPlan`.
 
         The keyword arguments are caller-side defaults (e.g. CLI flags)
@@ -222,6 +280,12 @@ class OpaqueQuerySession:
         win.  Defaults are validated exactly like the clauses they stand
         in for, so ``execute(sql, backend="bogus")`` fails as loudly as
         ``... BACKEND bogus`` — never reaching an engine unvalidated.
+
+        ``use_cache`` overrides the session's ``enable_cache`` for this
+        query; ``warm_start`` opts into preloading harvested bandit
+        priors (requires the cache).  The UDF fingerprint is recomputed
+        here, so mutating a scorer's parameters after registration
+        changes the key and never serves stale scores.
         """
         logical = parse(query) if isinstance(query, str) else query
         if logical.table not in self._tables:
@@ -279,6 +343,26 @@ class OpaqueQuerySession:
         mode = ("single" if n_candidates == 0
                 else "streaming" if streaming
                 else "sharded" if n_workers > 1 else "single")
+        # Cross-query memo: refresh the fingerprint (mutation-safe) and
+        # decide whether this dispatch caches.  The expected hit rate is
+        # an O(candidates) probe, so it is computed for EXPLAIN only.
+        fingerprint = udf_fingerprint(self._udfs[logical.udf])
+        self._udf_fingerprints[logical.udf] = fingerprint
+        cache_on = (self._enable_cache if use_cache is None
+                    else bool(use_cache)) and fingerprint is not None
+        memo_entries = 0
+        expected_hit_rate = None
+        if cache_on:
+            memo_entries = self._memo_for(logical.table).n_entries(
+                fingerprint
+            )
+            if logical.explain:
+                expected_hit_rate = self._memo_for(
+                    logical.table
+                ).expected_hit_rate(
+                    fingerprint, ids=allowed_ids,
+                    n_candidates=n_candidates,
+                )
         return ExecutionPlan(
             query=logical,
             mode=mode,
@@ -292,6 +376,11 @@ class OpaqueQuerySession:
             every=every,
             confidence=confidence,
             allowed_ids=allowed_ids,
+            fingerprint=fingerprint,
+            cache_enabled=cache_on,
+            warm_start=bool(warm_start) and cache_on,
+            memo_entries=memo_entries,
+            expected_hit_rate=expected_hit_rate,
         )
 
     @staticmethod
@@ -333,6 +422,8 @@ class OpaqueQuerySession:
                 stream: Optional[bool] = None,
                 every: Optional[int] = None,
                 confidence: Optional[float] = None,
+                use_cache: Optional[bool] = None,
+                warm_start: bool = False,
                 ) -> Union[ResultBase, ExecutionPlan]:
         """Parse, resolve, and dispatch one query.
 
@@ -349,7 +440,8 @@ class OpaqueQuerySession:
         """
         resolved = self.plan(query, workers=workers, backend=backend,
                              stream=stream, every=every,
-                             confidence=confidence)
+                             confidence=confidence,
+                             use_cache=use_cache, warm_start=warm_start)
         if resolved.query.explain:
             return resolved
         return get_executor(resolved.mode).execute(self, resolved)
@@ -359,6 +451,8 @@ class OpaqueQuerySession:
                backend: Optional[str] = None,
                every: Optional[int] = None,
                confidence: Optional[float] = None,
+               use_cache: Optional[bool] = None,
+               warm_start: bool = False,
                ) -> Iterator[ProgressiveResult]:
         """Run one query barrier-free, yielding progressive snapshots.
 
@@ -369,7 +463,8 @@ class OpaqueQuerySession:
         """
         resolved = self.plan(query, workers=workers, backend=backend,
                              stream=True, every=every,
-                             confidence=confidence)
+                             confidence=confidence,
+                             use_cache=use_cache, warm_start=warm_start)
         if resolved.query.explain:
             raise ConfigurationError(
                 "EXPLAIN queries return a plan and cannot be streamed; "
@@ -392,4 +487,7 @@ class OpaqueQuerySession:
             yield from streaming.results_iter(resolved.budget,
                                               every=resolved.every)
         finally:
+            from repro.query.executors import _harvest_shard_priors
+
+            _harvest_shard_priors(self, resolved, streaming)
             streaming.close()

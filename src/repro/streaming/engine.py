@@ -235,6 +235,15 @@ class StreamingTopKEngine:
         ``shared_memory`` selects the zero-copy process bootstrap of
         :mod:`repro.parallel.shm` — ``None`` auto-enables where POSIX
         shm works, answers bit-identical either way).
+    memo / priors:
+        As for the round engine: ``memo`` is a
+        :class:`~repro.memo.store.MemoView` whose frozen per-shard slices
+        ride the specs (fresh scores are recorded back at slice-merge
+        time, process children stay read-only); ``priors`` is one
+        warm-start payload per shard (:mod:`repro.memo.priors`), applied
+        to fresh engines only.  Memo hits charge full batch cost, so the
+        serial backend's arrival order — keyed on virtual completion — is
+        unchanged and warm runs stay bit-identical.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -250,7 +259,9 @@ class StreamingTopKEngine:
                  seed=None,
                  index_cache: Optional[ShardIndexCache] = None,
                  ids: Optional[Sequence[str]] = None,
-                 shared_memory: Optional[bool] = None) -> None:
+                 shared_memory: Optional[bool] = None,
+                 memo=None,
+                 priors: Optional[List[Optional[dict]]] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -291,6 +302,8 @@ class StreamingTopKEngine:
         self._index_cache = index_cache
         self._shared_memory = shared_memory
         self._shm_table = None
+        self._memo = memo
+        self._priors = priors
         self.backend: StreamBackend = (
             backend if isinstance(backend, StreamBackend)
             else make_stream_backend(backend)
@@ -370,6 +383,9 @@ class StreamingTopKEngine:
             index_cache=self._index_cache,
             ids=self._ids,
             shared_memory=self._shared_memory,
+            memo_snapshot=(self._memo.snapshot()
+                           if self._memo is not None else None),
+            priors=self._priors,
         )
         try:
             self.backend.start(specs, self.dataset, self.scorer,
@@ -432,6 +448,13 @@ class StreamingTopKEngine:
         self._worker_times[worker] += outcome.cost
         self._active[worker] = not outcome.exhausted
         self._last_outcomes[worker] = outcome
+        if self._memo is not None:
+            # Coordinator-side write-back at the slice boundary: shards
+            # read their frozen memo slice, fresh scores land here in
+            # arrival order (process children stay read-only).
+            if outcome.fresh_scores:
+                self._memo.record_pairs(outcome.fresh_scores)
+            self._memo.count(outcome.memo_hits, len(outcome.fresh_scores))
         before = self._topk_signature()
         merge_worker_topk(self._buffer, self._merged_ids, outcome.topk)
         self.n_merges += 1
@@ -678,6 +701,10 @@ class StreamingTopKEngine:
             "workers": self.backend.snapshots(),
             # WHERE candidate subset; None when the whole table ran.
             "ids": self._ids,
+            # Cross-query memo slice for this (table, udf) pair, so a
+            # resumed run keeps its warm scores; None when caching is off.
+            "memo": (self._memo.to_payload()
+                     if self._memo is not None else None),
         }
 
     @classmethod
@@ -686,6 +713,7 @@ class StreamingTopKEngine:
                 index_config: Optional[IndexConfig] = None,
                 engine_config: Optional[EngineConfig] = None,
                 index_cache: Optional[ShardIndexCache] = None,
+                memo=None,
                 ) -> "StreamingTopKEngine":
         """Rebuild a streaming run from :meth:`snapshot` output.
 
@@ -693,7 +721,10 @@ class StreamingTopKEngine:
         the same immutable dataset, ``index_config`` / ``engine_config``
         must repeat the original run's, and ``backend`` may differ — a run
         paused under ``thread`` can resume under ``serial`` or ``process``
-        and vice versa.
+        and vice versa.  ``memo`` optionally re-attaches a live
+        :class:`~repro.memo.store.MemoView`; the snapshot's stored memo
+        slice is merged into it (or revived standalone) so the resumed
+        run stays warm.
         """
         if snapshot.get("format") != _SNAPSHOT_FORMAT:
             raise SerializationError(
@@ -723,6 +754,15 @@ class StreamingTopKEngine:
         engine._root_entropy = snapshot["root_entropy"]
         engine._resume_count = int(snapshot.get("resume_count", 0)) + 1
         engine._restore_payloads = list(snapshot["workers"])
+        memo_payload = snapshot.get("memo")
+        if memo is not None:
+            if memo_payload is not None:
+                memo.record_pairs(list(memo_payload["scores"].items()))
+            engine._memo = memo
+        elif memo_payload is not None:
+            from repro.memo.store import MemoView
+
+            engine._memo = MemoView.from_payload(memo_payload)
         state = snapshot["coordinator"]
         for score, element_id in state["buffer"]:
             engine._buffer.offer(float(score), element_id)

@@ -66,3 +66,66 @@ def tiny_tree():
 def bandit_config():
     """Paper-default bandit configuration."""
     return BanditConfig()
+
+
+# -- shared table / session builders (memo, fingerprint, query suites) -------
+
+#: Feature layout of :func:`make_table`: feature[0] is the score signal,
+#: feature[1] cycles 0.0, 0.1, ..., 0.9 so ``feature[1] < 0.3`` keeps an
+#: exact 30% of any row count divisible by 10.
+TABLE_PREDICATE = "feature[1] < 0.3"
+
+
+def make_table(n_rows: int = 100, seed: int = 0, n_features: int = 3):
+    """A deterministic :class:`InMemoryDataset` with a filterable column."""
+    from repro.data.dataset import InMemoryDataset
+
+    generator = np.random.default_rng(seed)
+    features = generator.normal(size=(n_rows, n_features))
+    features[:, 1] = (np.arange(n_rows) % 10) / 10.0
+    ids = [f"e{i:05d}" for i in range(n_rows)]
+    return InMemoryDataset(ids, features[:, 0].tolist(), features)
+
+
+def make_session(dataset=None, *, n_clusters: int = 5, enable_cache=True,
+                 scorer=None):
+    """A session with table ``t`` and UDF ``f`` (a counting relu) registered.
+
+    Returns ``(session, scorer)`` — the scorer is the registered
+    :class:`CountingScorer`, so tests can read exact UDF call counts.
+    """
+    from repro.index.builder import IndexConfig
+    from repro.scoring.base import CountingScorer, FunctionScorer
+    from repro.session import OpaqueQuerySession
+
+    if dataset is None:
+        dataset = make_table()
+    if scorer is None:
+        scorer = CountingScorer(
+            FunctionScorer(lambda v: max(0.0, float(v)))
+        )
+    session = OpaqueQuerySession(enable_cache=enable_cache)
+    session.register_table("t", dataset,
+                           index_config=IndexConfig(n_clusters=n_clusters))
+    session.register_udf("f", scorer)
+    return session, scorer
+
+
+@pytest.fixture
+def memo_table():
+    """The shared deterministic table of the memo / fingerprint suites."""
+    return make_table()
+
+
+@pytest.fixture
+def session_builder(memo_table):
+    """Factory of fresh sessions over one shared table.
+
+    Every call returns a brand-new ``(session, scorer)`` pair on the same
+    dataset, which is exactly what differential cold-vs-warm comparisons
+    need: identical data, independent caches.
+    """
+    def build(**kwargs):
+        return make_session(memo_table, **kwargs)
+
+    return build

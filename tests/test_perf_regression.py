@@ -96,3 +96,18 @@ def test_confidence_stop_beats_stable_slices_and_matches_full():
         sys.path.remove(str(BENCHMARKS_DIR))
     failures = check_confidence(verbose=False)
     assert not failures, "\n".join(failures)
+
+
+def test_cache_warm_repeat_saves_90pct_bit_identically():
+    """Acceptance gate: in the committed BENCH_cache.json cells and in a
+    live re-measurement of the 20k cells, a warm exact-repeat query
+    saves >= 90% of the cold run's UDF calls, the cache-off / cold /
+    warm answers are bit-identical, and the warm EXPLAIN reports a
+    nonzero expected hit rate."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_cache
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_cache(verbose=False)
+    assert not failures, "\n".join(failures)

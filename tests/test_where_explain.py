@@ -276,7 +276,9 @@ class TestExplain:
             "(30.0% selectivity)\n"
             "budget:    20 scoring calls\n"
             "batch:     1\n"
-            "seed:      0"
+            "seed:      0\n"
+            "cache:     on (expected hit rate 0.0%: 0 of 30 candidates "
+            "memoized)"
         )
 
     def test_explain_snapshot_streaming(self, setup):
@@ -298,8 +300,41 @@ class TestExplain:
             "workers:   2\n"
             "backend:   serial\n"
             "every:     50\n"
-            "confidence: 0.9"
+            "confidence: 0.9\n"
+            "cache:     on (expected hit rate 0.0%: 0 of 100 candidates "
+            "memoized)"
         )
+
+    def test_explain_snapshot_warm_table(self, setup):
+        """EXPLAIN on a warm table reports a nonzero expected hit rate."""
+        session, _dataset, _scorer = setup
+        query = (f"SELECT TOP 5 FROM t ORDER BY f WHERE {PREDICATE} "
+                 f"BUDGET 20 SEED 0")
+        session.execute(query)  # warms 20 of the 30 candidates
+        plan = session.execute("EXPLAIN " + query)
+        assert plan.explain() == (
+            "== execution plan ==\n"
+            "query:     EXPLAIN SELECT TOP 5 FROM t ORDER BY f "
+            "WHERE feature[1] < 0.3 BUDGET 20 SEED 0\n"
+            "executor:  single\n"
+            "table:     t (100 elements)\n"
+            "udf:       f\n"
+            "filter:    feature[1] < 0.3 -> 30 of 100 elements "
+            "(30.0% selectivity)\n"
+            "budget:    20 scoring calls\n"
+            "batch:     1\n"
+            "seed:      0\n"
+            "cache:     on (expected hit rate 66.7%: 20 of 30 candidates "
+            "memoized)"
+        )
+
+    def test_explain_snapshot_cache_off(self, setup):
+        session, _dataset, _scorer = setup
+        plan = session.execute(
+            "EXPLAIN SELECT TOP 5 FROM t ORDER BY f BUDGET 20 SEED 0",
+            use_cache=False,
+        )
+        assert plan.explain().splitlines()[-1] == "cache:     off"
 
     def test_explained_plan_is_executable(self, setup):
         from dataclasses import replace
