@@ -30,6 +30,12 @@ a headline table) and hence the same gate machinery:
   run's UDF calls, answers stay bit-identical across cache-off / cold /
   warm, and the warm ``EXPLAIN`` reports a nonzero expected hit rate)
   and re-measures the small 20k cells live.
+* ``obs`` — checks the committed ``BENCH_obs.json`` rows structurally
+  (with tracing disabled each engine mode stays within the 1% overhead
+  ceiling of the pre-observability baseline, measured as the median of
+  alternating paired rounds so machine drift cancels, and every traced
+  run is bit-identical with a non-empty span tree) and re-measures the
+  cells live for the noise-immune invariants.
 * ``shm`` — checks the committed ``BENCH_shm.json`` rows structurally
   (shm-path specs stay under the fixed wire-size ceiling at every table
   size, both modes give bit-identical answers, and on the 1M table the
@@ -48,6 +54,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_confidence.py
     PYTHONPATH=src python benchmarks/bench_shm.py
     PYTHONPATH=src python benchmarks/bench_cache.py
+    PYTHONPATH=src python benchmarks/bench_obs.py
 
 Standalone usage::
 
@@ -464,11 +471,96 @@ def check_cache(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_obs(baseline_path: Optional[Path] = None,
+              tolerance: float = SHARDED_TOLERANCE,
+              repeats: int = 5, verbose: bool = True) -> List[str]:
+    """Observability gate: tracing is free when off, honest when on.
+
+    Two parts, mirroring the other gates:
+
+    1. *Structural*: the committed ``BENCH_obs.json`` overhead table must
+       show every mode's disabled run within
+       :data:`bench_obs.DISABLED_OVERHEAD_CEILING` (1%) of the
+       pre-observability ``before`` baseline — the median of alternating
+       paired rounds recorded on one machine, so drift cancels — and
+       every committed traced row must be bit-identical to its untraced
+       twin with a non-empty span tree and an honestly reported
+       enabled-overhead fraction.
+    2. *Re-measure*: re-run the cells live and re-assert the invariants
+       that survive hardware noise (bit-identity, span presence); the
+       live disabled wall is compared against the committed ``after``
+       rows only at the generous ``SHARDED_TOLERANCE``, since
+       cross-session wall-clock comparisons drift.
+    """
+    bench_obs = _bench("bench_obs")
+
+    baseline_path = baseline_path or bench_obs.DEFAULT_OUTPUT
+    failures: List[str] = []
+    ceiling = bench_obs.DISABLED_OVERHEAD_CEILING
+    payload = json.loads(Path(baseline_path).read_text())
+    overhead = payload.get("overhead", [])
+    if not overhead:
+        failures.append(f"{baseline_path}: no overhead table; "
+                        "run bench_obs.py with both labels first")
+    for cell in overhead:
+        fraction = cell.get("disabled_overhead_fraction")
+        if fraction is None:
+            failures.append(
+                f"committed {cell['mode']}: no 'before' baseline to "
+                f"compare the disabled path against"
+            )
+        elif fraction > ceiling:
+            failures.append(
+                f"committed {cell['mode']}: disabled tracing costs "
+                f"{fraction:+.2%} vs the pre-observability baseline "
+                f"(ceiling {ceiling:.0%})"
+            )
+    committed = {row["mode"]: row for row in load_rows(baseline_path)}
+    for mode, row in sorted(committed.items()):
+        if row.get("bit_identical") is not True:
+            failures.append(
+                f"committed {mode}: traced answer is not bit-identical "
+                f"to the untraced run"
+            )
+        if not row.get("span_count"):
+            failures.append(
+                f"committed {mode}: traced run produced no spans"
+            )
+        if row.get("enabled_overhead_fraction") is None:
+            failures.append(
+                f"committed {mode}: enabled overhead not reported — the "
+                f"'after' label was recorded on pre-trace code"
+            )
+    for row in bench_obs.run_grid(repeats=repeats, verbose=verbose):
+        mode = row["mode"]
+        if row.get("bit_identical") is not True:
+            failures.append(
+                f"re-measured {mode}: traced answer diverges from the "
+                f"untraced run"
+            )
+        if not row.get("span_count"):
+            failures.append(
+                f"re-measured {mode}: traced run produced no spans"
+            )
+        base = committed.get(mode)
+        if base is not None:
+            allowed = float(base["seconds_off"]) * (1.0 + tolerance)
+            if float(row["seconds_off"]) > allowed:
+                failures.append(
+                    f"re-measured {mode}: disabled wall "
+                    f"{row['seconds_off']:.3f}s exceeds committed "
+                    f"{base['seconds_off']:.3f}s (+{tolerance:.0%} "
+                    f"allowed = {allowed:.3f}s)"
+                )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
-                                 "confidence", "filtered", "shm", "cache"),
+                                 "confidence", "filtered", "shm", "cache",
+                                 "obs"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -476,7 +568,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "cache":
+    if args.benchmark == "obs":
+        failures = check_obs(
+            baseline_path=args.baseline,
+            tolerance=(SHARDED_TOLERANCE if args.tolerance is None
+                       else args.tolerance),
+        )
+    elif args.benchmark == "cache":
         failures = check_cache(baseline_path=args.baseline)
     elif args.benchmark == "shm":
         failures = check_shm(baseline_path=args.baseline)

@@ -142,6 +142,12 @@ from repro.core.sketches import (
     ReservoirSketch,
     ScoreSketch,
 )
+from repro.obs import (
+    ExplainAnalyzeReport,
+    MetricsRegistry,
+    REGISTRY,
+    TraceContext,
+)
 from repro.experiments.plotting import ascii_chart
 
 __version__ = "1.0.0"
@@ -249,5 +255,9 @@ __all__ = [
     "ReservoirSketch",
     "EquiDepthSketch",
     "ExactEmpiricalSketch",
+    "TraceContext",
+    "ExplainAnalyzeReport",
+    "MetricsRegistry",
+    "REGISTRY",
     "ascii_chart",
 ]

@@ -21,10 +21,13 @@ Three commands, mirroring how the library is used (full walkthrough in
   clause in the SQL wins over the flags.  ``WHERE feature[i] ...``
   pushes a feature filter down into the index; ``EXPLAIN <query>`` (or
   ``--explain``) prints the resolved execution plan instead of running
-  it.  Malformed queries fail with the offending column and a caret
-  span under the query text.
-* ``info``    — print version, module inventory, the experiment index, and
-  the available execution backends.
+  it, and ``EXPLAIN ANALYZE <query>`` runs it and prints the measured
+  span tree next to the plan (see :mod:`repro.obs`); ``--trace-out
+  FILE`` saves any run's span tree as Chrome trace-event JSON.
+  Malformed queries fail with the offending column and a caret span
+  under the query text.
+* ``info``    — print version, module inventory, the experiment index,
+  the available execution backends, and the registered metrics.
 
 Backend names are introspected from the :mod:`repro.parallel` /
 :mod:`repro.streaming` registries (one shared vocabulary), never
@@ -116,7 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the resolved execution plan instead of "
                             "running the query (same as prefixing the SQL "
-                            "with EXPLAIN)")
+                            "with EXPLAIN; prefix EXPLAIN ANALYZE to also "
+                            "run it and print the measured span tree)")
+    query.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="run with tracing on and write the span tree "
+                            "as Chrome trace-event JSON (loadable in "
+                            "chrome://tracing or Perfetto)")
     query.add_argument("--rows", type=int, default=5_000)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--workers", type=int, default=None,
@@ -258,6 +266,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         explain_mode = explain_mode or parsed.explain
         streaming_mode = streaming_mode or parsed.stream
     use_cache = False if args.no_cache else None
+    if parsed is not None and parsed.analyze:
+        # EXPLAIN ANALYZE: run under a forced tracer and print the
+        # plan's estimates above the measured span tree.
+        report = session.execute(sql, workers=args.workers,
+                                 backend=args.backend,
+                                 stream=args.stream or None,
+                                 every=args.every,
+                                 confidence=args.confidence,
+                                 use_cache=use_cache)
+        print(report.render())
+        _write_trace_out(args.trace_out, session)
+        return 0
     if explain_mode:
         if parsed is not None and not parsed.explain:
             sql = f"EXPLAIN {sql}"
@@ -269,19 +289,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
                                use_cache=use_cache)
         print(plan.explain())
         return 0
+    trace = args.trace_out is not None
     if streaming_mode:
         snapshot = None
         for snapshot in session.stream(args.sql, workers=args.workers,
                                        backend=args.backend,
                                        every=args.every,
                                        confidence=args.confidence,
-                                       use_cache=use_cache):
+                                       use_cache=use_cache,
+                                       trace=trace):
             _print_progressive(snapshot)
         items = snapshot.top_k if snapshot is not None else []
     else:
         result = session.execute(args.sql, workers=args.workers,
                                  backend=args.backend,
-                                 use_cache=use_cache)
+                                 use_cache=use_cache,
+                                 trace=trace)
         print(result.summary())
         items = result.items
     for element_id, score in items[:10]:
@@ -292,7 +315,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         stats = session.cache_stats("demo")
         print(f"cache: {stats['hits']} hits / {stats['misses']} misses, "
               f"{stats['entries']} scores memoized")
+    _write_trace_out(args.trace_out, session)
     return 0
+
+
+def _write_trace_out(path: Optional[str], session) -> None:
+    """Save the session's last span tree as Chrome trace-event JSON."""
+    if path is None or session.last_trace is None:
+        return
+    import json
+
+    trace = session.last_trace
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace.to_chrome_trace(), handle)
+    print(f"trace: {trace.span_count()} spans -> {path} "
+          "(load in chrome://tracing or Perfetto)")
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -328,6 +365,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
                          "replay of real streaming runs"),
         ("repro.memo", "cross-query score memo (bit-identical warm "
                        "answers) + warm-start bandit priors"),
+        ("repro.obs", "query-lifecycle span tracing, EXPLAIN ANALYZE "
+                      "reports, process-wide metrics registry"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
@@ -348,6 +387,12 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print("score cache: on by default (per-table cross-query memo, keyed "
           "by UDF fingerprint; warm answers bit-identical to cold; "
           "opt out per query with --no-cache)")
+    from repro.obs.metrics import REGISTRY
+
+    print("\nmetrics (repro.obs.metrics.REGISTRY.snapshot()):")
+    for metric in REGISTRY.describe():
+        print(f"  {metric['name']:22s} {metric['type']:10s} "
+              f"{metric['help']}")
     shm_reason = shm_probe()
     if shm_reason is None:
         print("zero-copy shard bootstrap: on for 'process' (POSIX shared "
@@ -359,7 +404,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
           "+ bench_theory_regret.py + bench_ablation_design.py")
     print("run: pytest benchmarks/ --benchmark-only")
     print("docs: docs/quickstart.md, docs/dialect.md, docs/streaming.md, "
-          "docs/api.md, docs/architecture.md")
+          "docs/observability.md, docs/api.md, docs/architecture.md")
     return 0
 
 

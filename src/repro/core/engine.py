@@ -65,6 +65,8 @@ from repro.core.policies import ExplorationSchedule, PolynomialDecay
 from repro.core.result import Checkpoint, QueryResult
 from repro.errors import ConfigurationError, ExhaustedError
 from repro.index.tree import ClusterTree
+from repro.obs.metrics import MEMO_HITS_TOTAL, UDF_CALLS_TOTAL
+from repro.obs.spans import TraceContext
 from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.timer import Stopwatch, VirtualClock
 from repro.utils.validation import check_positive_int
@@ -342,7 +344,7 @@ class TopKEngine:
     def run(self, dataset: SupportsFetch, scorer: SupportsScore,
             budget: Optional[int] = None,
             checkpoint_every: Optional[int] = None,
-            memo=None) -> QueryResult:
+            memo=None, trace: Optional[TraceContext] = None) -> QueryResult:
         """Execute the query end to end and return the result with its trace.
 
         Parameters
@@ -369,6 +371,12 @@ class TopKEngine:
             scores are written back batch by batch.  Requires element-wise
             pure scorers (an element's score must not depend on its
             batch-mates).
+        trace:
+            Optional :class:`~repro.obs.spans.TraceContext`.  When given,
+            the run records a ``run[single]`` span with one ``window[i]``
+            child per checkpoint interval, charging virtual-clock,
+            UDF-call, and memo-hit counters as it goes.  ``None`` (the
+            default) keeps the loop's fast path untouched.
         """
         limit = self.n_total if budget is None else min(budget, self.n_total)
         if checkpoint_every is None:
@@ -379,6 +387,13 @@ class TopKEngine:
         self.scoring_latency_hint = scorer.batch_cost(self.config.batch_size) / max(
             1, self.config.batch_size
         )
+        run_hits = 0
+        scored_before = self.n_scored
+        if trace is not None:
+            window = 0
+            trace.push("run[single]", budget=limit,
+                       batch_size=self.config.batch_size)
+            trace.push("window[0]")
         while self.n_scored < limit and not self.exhausted:
             ids = self.next_batch()
             if not ids:
@@ -396,8 +411,14 @@ class TopKEngine:
                     for position, value in zip(misses, fresh.tolist()):
                         scores[position] = value
                     memo.record(miss_ids, fresh)
-            clock.charge(scorer.batch_cost(len(ids)))
+                run_hits += len(ids) - len(misses)
+            cost = scorer.batch_cost(len(ids))
+            clock.charge(cost)
             self.observe(ids, scores)
+            if trace is not None:
+                hits = (len(ids) - len(misses)) if memo is not None else 0
+                trace.add(vclock=cost, scored=len(ids),
+                          udf_calls=len(ids) - hits, memo_hits=hits)
             if self.n_scored >= next_checkpoint:
                 checkpoints.append(
                     Checkpoint(
@@ -409,6 +430,21 @@ class TopKEngine:
                     )
                 )
                 next_checkpoint += checkpoint_every
+                if trace is not None:
+                    trace.annotate(stk=self.stk, threshold=self.threshold)
+                    trace.pop()
+                    window += 1
+                    trace.push(f"window[{window}]")
+        if trace is not None:
+            trace.annotate(stk=self.stk, threshold=self.threshold)
+            trace.pop()          # the open window
+            trace.annotate(mode=self.mode, n_batches=self.t_batches)
+            trace.pop()          # run[single]
+        fresh_calls = self.n_scored - scored_before - run_hits
+        if fresh_calls:
+            UDF_CALLS_TOTAL.inc(fresh_calls, engine="single")
+        if run_hits:
+            MEMO_HITS_TOTAL.inc(run_hits, engine="single")
         items = self.topk_items()
         return QueryResult(
             k=self.config.k,

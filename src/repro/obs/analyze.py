@@ -1,0 +1,54 @@
+"""``EXPLAIN ANALYZE``: the planner's estimates next to measured costs.
+
+Plain ``EXPLAIN`` stops at the :class:`~repro.query.plan.ExecutionPlan`
+— estimates only.  ``EXPLAIN ANALYZE`` *runs* the query under a forced
+:class:`~repro.obs.spans.TraceContext` and returns an
+:class:`ExplainAnalyzeReport` pairing the plan with the stitched span
+tree and the answer, so the rendering shows planner numbers (budget,
+selectivity, expected hit rate) directly above what actually happened
+(per-round / per-slice / per-shard wall, virtual clock, UDF calls, memo
+hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict
+
+from .spans import TraceContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.result import ResultBase
+    from ..query.plan import ExecutionPlan
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """What ``session.execute("EXPLAIN ANALYZE ...")`` returns."""
+
+    plan: "ExecutionPlan"
+    result: "ResultBase"
+    trace: TraceContext
+
+    def render(self) -> str:
+        """The plan's estimate block followed by the measured span tree."""
+        lines = [
+            self.plan.explain(),
+            "",
+            "== analyze ==",
+            self.trace.render(),
+            "",
+            f"answer: top-{len(self.result.ids)} "
+            f"[{', '.join(self.result.ids[:5])}"
+            f"{', ...' if len(self.result.ids) > 5 else ''}]",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe pairing of the plan text, trace, and answer ids."""
+        return {
+            "plan": self.plan.explain(),
+            "trace": self.trace.to_dict(),
+            "ids": list(self.result.ids),
+            "scores": [float(s) for s in self.result.scores],
+        }

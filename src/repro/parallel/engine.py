@@ -47,6 +47,12 @@ from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError, SerializationError
 from repro.index.builder import IndexConfig
+from repro.obs.metrics import (
+    MEMO_HITS_TOTAL,
+    ROUNDS_TOTAL,
+    UDF_CALLS_TOTAL,
+)
+from repro.obs.spans import TraceContext
 from repro.parallel.backends import ShardBackend, make_backend
 from repro.parallel.cache import ShardIndexCache, subset_fingerprint
 from repro.parallel.worker import (
@@ -192,6 +198,13 @@ class ShardedTopKEngine:
         ``{node id -> histogram payload}`` dict per shard, see
         :mod:`repro.memo.priors`), applied to fresh shard engines before
         their first draw.  Opt-in and deliberately not bit-identical.
+    trace:
+        Optional :class:`~repro.obs.spans.TraceContext`.  When given, the
+        coordinator opens one ``round[i]`` span per synchronization round
+        and stitches each shard's ``shard[j]`` fragment (shipped on
+        :attr:`~repro.parallel.worker.RoundOutcome.span`) under it, with
+        the post-merge threshold and displacement bound as attributes.
+        ``None`` (the default) keeps the round loop untouched.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -206,7 +219,8 @@ class ShardedTopKEngine:
                  ids: Optional[Sequence[str]] = None,
                  shared_memory: Optional[bool] = None,
                  memo=None,
-                 priors: Optional[List[Optional[dict]]] = None) -> None:
+                 priors: Optional[List[Optional[dict]]] = None,
+                 trace: Optional[TraceContext] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -243,6 +257,7 @@ class ShardedTopKEngine:
         self._shm_table = None
         self._memo = memo
         self._priors = priors
+        self._trace = trace
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -300,6 +315,7 @@ class ShardedTopKEngine:
             memo_snapshot=(self._memo.snapshot()
                            if self._memo is not None else None),
             priors=self._priors,
+            trace=self._trace is not None,
         )
         return specs
 
@@ -349,19 +365,28 @@ class ShardedTopKEngine:
         total_budget = self._population if budget is None else min(
             budget, self._population
         )
+        run_rounds = 0
+        run_hits = 0
+        run_fresh = 0
         while self.total_scored < total_budget and any(self._active):
             self.n_rounds += 1
+            run_rounds += 1
             remaining = total_budget - self.total_scored
             per_worker = max(1, min(
                 self.sync_interval,
                 remaining // max(1, sum(self._active)),
             ))
+            if self._trace is not None:
+                self._trace.push(f"round[{self.n_rounds - 1}]",
+                                 per_worker_cap=per_worker)
             round_started = time.perf_counter()
             outcomes = self.backend.run_round(
                 per_worker, remaining, self._active, self._pending_floor,
             )
             round_elapsed = time.perf_counter() - round_started
             for outcome in outcomes:
+                run_hits += outcome.memo_hits
+                run_fresh += outcome.scored - outcome.memo_hits
                 self.total_scored += outcome.scored
                 self._worker_times[outcome.worker_id] += outcome.cost
                 self._active[outcome.worker_id] = not outcome.exhausted
@@ -391,6 +416,25 @@ class ShardedTopKEngine:
             self.checkpoints.append((self.wall_time, self._buffer.stk))
             if self.share_threshold and self._buffer.threshold is not None:
                 self._pending_floor = self._buffer.threshold
+            if self._trace is not None:
+                for outcome in outcomes:
+                    if outcome.span is not None:
+                        self._trace.attach(
+                            outcome.span,
+                            rename=f"shard[{outcome.worker_id}]")
+                self._trace.annotate(
+                    threshold=self._buffer.threshold,
+                    bound=self._bound.exhaustive_bound,
+                    total_scored=self.total_scored)
+                self._trace.pop()        # round[i]
+        if run_rounds:
+            ROUNDS_TOTAL.inc(run_rounds, backend=self.backend.name)
+        if run_fresh:
+            UDF_CALLS_TOTAL.inc(run_fresh, engine="sharded",
+                                backend=self.backend.name)
+        if run_hits:
+            MEMO_HITS_TOTAL.inc(run_hits, engine="sharded",
+                                backend=self.backend.name)
         return self.result()
 
     @property

@@ -40,6 +40,7 @@ from repro.data.dataset import InMemoryDataset
 from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
+from repro.obs.spans import Span
 from repro.parallel.shm import (
     SharedFeatureTable,
     SharedSliceRef,
@@ -141,6 +142,11 @@ class ShardSpec:
     #: its first draw; ignored on resume (the snapshot already carries
     #: richer learned state).  Opt-in and not bit-identical by design.
     priors: Optional[dict] = None
+    #: When True the worker records one span fragment per round/slice and
+    #: ships it back on :attr:`RoundOutcome.span` for the coordinator's
+    #: :class:`~repro.obs.spans.TraceContext` to stitch.  Off by default:
+    #: the round loop then never touches the tracing layer.
+    trace: bool = False
 
 
 @dataclass
@@ -166,6 +172,11 @@ class RoundOutcome:
     #: Memo hits this round (scores served without a UDF call), for the
     #: coordinator's cache accounting.
     memo_hits: int = 0
+    #: JSON-safe span fragment for this round/slice
+    #: (:meth:`repro.obs.spans.Span.to_dict`), present only when the spec
+    #: asked for tracing.  Rides the existing wire format, so process
+    #: backends ship it through the same pickle as the answer rows.
+    span: Optional[dict] = None
 
 
 def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
@@ -180,6 +191,7 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                       shared_memory: Optional[bool] = None,
                       memo_snapshot: Optional[dict] = None,
                       priors: Optional[List[Optional[dict]]] = None,
+                      trace: bool = False,
                       ) -> Tuple[List[List[str]], List[ShardSpec], bool,
                                  Optional[SharedFeatureTable]]:
     """Partition the dataset and assemble one :class:`ShardSpec` per worker.
@@ -291,6 +303,7 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
             features_ref=ref,
             memo=shard_memo,
             priors=priors[worker] if priors is not None else None,
+            trace=trace,
         ))
     return partitions, specs, cached is not None, table
 
@@ -392,6 +405,8 @@ class ShardWorker:
 
                 apply_priors(self.engine, spec.priors)
         self._memo = spec.memo
+        self._trace = bool(spec.trace)
+        self._slice_count = 0
 
     # -- round protocol ------------------------------------------------------
 
@@ -437,11 +452,27 @@ class ShardWorker:
             cost += self.scorer.batch_cost(len(ids))
             engine.observe(ids, scores)
             scored += len(ids)
+        elapsed = time.perf_counter() - started
+        span = None
+        if self._trace:
+            # One fragment per slice, built from the totals the loop
+            # already accumulates — tracing adds nothing per batch.
+            span = Span(
+                f"shard[{self.worker_id}].slice[{self._slice_count}]",
+                wall=elapsed,
+                counters={"vclock": cost, "scored": scored,
+                          "udf_calls": scored - memo_hits,
+                          "memo_hits": memo_hits},
+                attrs={"worker": self.worker_id,
+                       "n_scored_total": engine.n_scored,
+                       "threshold": engine.threshold},
+            ).to_dict()
+            self._slice_count += 1
         return RoundOutcome(
             worker_id=self.worker_id,
             scored=scored,
             cost=cost,
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             topk=engine.topk_items(),
             exhausted=engine.exhausted,
             n_scored_total=engine.n_scored,
@@ -455,6 +486,7 @@ class ShardWorker:
             tail=tail_summary_from_engine(engine),
             fresh_scores=fresh_scores,
             memo_hits=memo_hits,
+            span=span,
         )
 
     def snapshot(self) -> dict:

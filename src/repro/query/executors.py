@@ -162,8 +162,15 @@ class SingleExecutor(QueryExecutor):
             )
             if priors:
                 apply_priors(engine, priors)
-        result = engine.run(dataset, scorer, budget=plan.budget,
-                            memo=memo)
+        tracer = plan.trace
+        if tracer is not None:
+            tracer.push(f"execute[{self.name}]")
+        try:
+            result = engine.run(dataset, scorer, budget=plan.budget,
+                                memo=memo, trace=tracer)
+        finally:
+            if tracer is not None:
+                tracer.pop()
         if plan.cache_enabled and plan.fingerprint is not None:
             from repro.memo.priors import harvest_priors, single_scope
             from repro.parallel.cache import subset_fingerprint
@@ -201,15 +208,22 @@ class ShardedExecutor(QueryExecutor):
             index_cache=session._shard_cache_for(plan.table),
             ids=plan.allowed_ids,
             memo=session._memo_view_for(plan),
+            trace=plan.trace,
         )
         # Priors are scoped by root entropy, which the engine only settles
         # at construction; shard specs are built lazily at first run, so
         # attaching them here still reaches every fresh shard engine.
         sharded._priors = _shard_priors(session, plan,
                                         sharded._root_entropy)
+        tracer = plan.trace
+        if tracer is not None:
+            tracer.push(f"execute[{self.name}]", workers=plan.workers,
+                        backend=plan.backend)
         try:
             return sharded.run(plan.budget)
         finally:
+            if tracer is not None:
+                tracer.pop()
             _harvest_shard_priors(session, plan, sharded)
             sharded.close()
 
@@ -244,6 +258,7 @@ class StreamingExecutor(QueryExecutor):
             index_cache=session._shard_cache_for(plan.table),
             ids=plan.allowed_ids,
             memo=session._memo_view_for(plan),
+            trace=plan.trace,
         )
         # Same lazy-spec trick as the sharded executor: the prior scope
         # needs the root entropy the constructor just settled.
@@ -254,8 +269,14 @@ class StreamingExecutor(QueryExecutor):
     def execute(self, session: "OpaqueQuerySession",
                 plan: ExecutionPlan) -> "ResultBase":
         streaming = self.engine(session, plan)
+        tracer = plan.trace
+        if tracer is not None:
+            tracer.push(f"execute[{self.name}]", workers=plan.workers,
+                        backend=plan.backend)
         try:
             return streaming.run(plan.budget, every=plan.every)
         finally:
+            if tracer is not None:
+                tracer.pop()
             _harvest_shard_priors(session, plan, streaming)
             streaming.close()

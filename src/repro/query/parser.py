@@ -12,7 +12,7 @@ Grammar
 One statement form; *optional clauses may appear in any order*, each at
 most once; keywords are case-insensitive; an optional trailing ``;``::
 
-    [EXPLAIN] SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC]
+    [EXPLAIN [ANALYZE]] SELECT TOP <k> FROM <table> ORDER BY <udf> [DESC]
         [WHERE <predicate>]
         [BUDGET <n> | BUDGET <p>%]
         [BATCH <b>]
@@ -135,6 +135,15 @@ instead (:class:`~repro.query.plan.ExecutionPlan`).
     >>> parse("EXPLAIN SELECT TOP 5 FROM t ORDER BY f").explain
     True
 
+``EXPLAIN ANALYZE <query>`` — *execute* the query under a span tracer
+and return an :class:`~repro.obs.analyze.ExplainAnalyzeReport` pairing
+the resolved plan with the measured span tree (wall clock, virtual
+clock, UDF calls, memo hits per parse/plan/round/slice/shard span).
+
+    >>> plan = parse("EXPLAIN ANALYZE SELECT TOP 5 FROM t ORDER BY f")
+    >>> (plan.explain, plan.analyze)
+    (True, True)
+
 Optional clauses are order-insensitive — these parse identically:
 
     >>> parse("SELECT TOP 5 FROM t ORDER BY f SEED 3 BUDGET 100") == \\
@@ -181,6 +190,7 @@ from repro.query.tokens import (
 #: clauses documented in ``docs/dialect.md`` and this table never diverge.
 KEYWORDS: Dict[str, str] = {
     "EXPLAIN": "return the resolved execution plan instead of executing",
+    "ANALYZE": "with EXPLAIN: execute and report the measured span tree",
     "SELECT": "statement head",
     "TOP": "answer cardinality k",
     "FROM": "registered table name",
@@ -301,6 +311,7 @@ class _Parser:
 
     def parse_statement(self) -> QueryPlan:
         explain = self.accept_keyword("EXPLAIN") is not None
+        analyze = explain and self.accept_keyword("ANALYZE") is not None
         self.expect_keyword("SELECT", "SELECT")
         self.expect_keyword("TOP", "TOP <k>")
         k = self.expect_int("TOP")
@@ -321,7 +332,8 @@ class _Parser:
                 f"({', '.join(_CLAUSE_KEYWORDS)}) or end of query"
             )
         return QueryPlan(
-            k=k, table=table, udf=udf, explain=explain, **clauses
+            k=k, table=table, udf=udf, explain=explain, analyze=analyze,
+            **clauses
         )
 
     # -- optional clauses (order-insensitive) --------------------------------

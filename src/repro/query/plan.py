@@ -219,7 +219,8 @@ class QueryPlan:
     ``workers`` / ``backend`` / ``every`` / ``confidence`` are ``None``
     when the clause was absent (caller-side defaults may fill them at
     resolution time); ``where`` is the predicate AST or ``None``;
-    ``explain`` marks an ``EXPLAIN``-wrapped statement.
+    ``explain`` marks an ``EXPLAIN``-wrapped statement and ``analyze``
+    an ``EXPLAIN ANALYZE`` one (``analyze`` implies ``explain``).
     """
 
     k: int
@@ -237,6 +238,7 @@ class QueryPlan:
     confidence: Optional[float] = None
     where: Optional[Predicate] = None
     explain: bool = False
+    analyze: bool = False
 
     def canonical_text(self) -> str:
         """Deterministic dialect text; ``parse`` of it yields an equal plan.
@@ -284,7 +286,9 @@ class QueryPlan:
         if self.confidence is not None:
             parts.append(f"CONFIDENCE {_format_number(self.confidence)}")
         text = " ".join(parts)
-        if self.explain:
+        if self.analyze:
+            text = f"EXPLAIN ANALYZE {text}"
+        elif self.explain:
             text = f"EXPLAIN {text}"
         return text
 
@@ -324,6 +328,10 @@ class ExecutionPlan:
     #: Fraction of this query's candidates already memoized; computed for
     #: EXPLAIN queries only (``None`` otherwise — the probe is O(n)).
     expected_hit_rate: Optional[float] = None
+    #: Span collector (:class:`repro.obs.spans.TraceContext`) threaded to
+    #: the executor when tracing is on; ``None`` otherwise.  Never
+    #: rendered in :meth:`explain` — it is per-dispatch runtime state.
+    trace: Optional[object] = None
 
     @property
     def table(self) -> str:

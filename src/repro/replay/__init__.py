@@ -43,7 +43,8 @@ __all__ = [
 
 
 def replay_engine(dataset, scorer, trace: ArrivalTrace, *,
-                  index_config=None, engine_config=None, index_cache=None):
+                  index_config=None, engine_config=None, index_cache=None,
+                  span_trace=None):
     """Build a streaming engine that will re-execute ``trace``.
 
     ``dataset`` / ``scorer`` must be the ones the trace was recorded
@@ -52,6 +53,13 @@ def replay_engine(dataset, scorer, trace: ArrivalTrace, *,
     snapshot restore.  The returned engine exposes the normal anytime
     surface (``results_iter`` / ``run`` / ``result``) — drive it with the
     recorded budgets (see :func:`replay_run`).
+
+    ``span_trace`` optionally threads a
+    :class:`~repro.obs.spans.TraceContext` through the replay; its
+    :meth:`~repro.obs.spans.TraceContext.timeline` (span order, names,
+    and deterministic counters — everything but the real stopwatch,
+    which PR 4's replay contract carves out) reproduces the recorded
+    run's exactly.
     """
     from repro.streaming.engine import StreamingTopKEngine
     from repro.utils.rng import RngFactory
@@ -68,6 +76,7 @@ def replay_engine(dataset, scorer, trace: ArrivalTrace, *,
         confidence=trace.confidence,
         seed=None,
         index_cache=index_cache,
+        trace=span_trace,
     )
     # Re-anchor the RNG streams to the recorded run's root entropy so the
     # partitions and shard engines rebuild identically (same trick as
@@ -78,12 +87,13 @@ def replay_engine(dataset, scorer, trace: ArrivalTrace, *,
 
 
 def replay_run(dataset, scorer, trace: ArrivalTrace, *,
-               index_config=None, engine_config=None, index_cache=None):
+               index_config=None, engine_config=None, index_cache=None,
+               span_trace=None):
     """Re-execute every recorded drive; return the final streaming result."""
     engine = replay_engine(
         dataset, scorer, trace,
         index_config=index_config, engine_config=engine_config,
-        index_cache=index_cache,
+        index_cache=index_cache, span_trace=span_trace,
     )
     try:
         for drive in trace.drives:

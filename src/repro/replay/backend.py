@@ -107,6 +107,17 @@ class ReplayStreamBackend(StreamBackend):
                 f"{outcome.scored} elements on replay but the trace "
                 f"recorded {event['scored']} — shard execution diverged"
             )
+        recorded_cost = event.get("cost")
+        if recorded_cost is not None and outcome.cost != recorded_cost:
+            # The virtual charge is a deterministic function of the slice,
+            # so exact equality is the contract (older traces carry no
+            # cost field and skip this check).
+            raise ReplayDivergenceError(
+                f"event {self._cursor - 1}: worker {worker_id} charged "
+                f"{outcome.cost!r} virtual seconds on replay but the "
+                f"trace recorded {recorded_cost!r} — the scorer's cost "
+                f"model differs from the recorded run"
+            )
         return SliceEvent(outcome, virtual_completion=float(event["wall"]))
 
     def snapshots(self) -> List[dict]:

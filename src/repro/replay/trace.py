@@ -144,11 +144,22 @@ class TraceRecorder:
             "floor": floor if floor is None else float(floor),
         })
 
-    def arrival(self, worker_id: int, scored: int, wall: float) -> None:
-        """Record one merge: which shard arrived, when, how much it did."""
-        self.events.append({
+    def arrival(self, worker_id: int, scored: int, wall: float,
+                cost: Optional[float] = None) -> None:
+        """Record one merge: which shard arrived, when, how much it did.
+
+        ``cost`` is the slice's deterministic virtual-clock charge;
+        recorded for replay cross-validation (a diverging shard shows a
+        different charge even when the element *count* happens to
+        match).  Optional so traces recorded by older code still load
+        and replay — the check is skipped when absent.
+        """
+        event: Dict[str, object] = {
             "type": "arrival",
             "worker": int(worker_id),
             "scored": int(scored),
             "wall": float(wall),
-        })
+        }
+        if cost is not None:
+            event["cost"] = float(cost)
+        self.events.append(event)

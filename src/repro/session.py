@@ -52,6 +52,7 @@ configuration skip every per-partition k-means fit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Union
 
@@ -64,6 +65,9 @@ from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
 from repro.index.tree import ClusterTree
 from repro.memo import MemoStore, PriorStore, udf_fingerprint
+from repro.obs.analyze import ExplainAnalyzeReport
+from repro.obs.metrics import BOUND_WIDTH, MEMO_HIT_RATE, QUERIES_TOTAL
+from repro.obs.spans import Span, TraceContext
 from repro.parallel.backends import available_backends
 from repro.parallel.cache import ShardIndexCache
 from repro.parallel.engine import DistributedResult
@@ -99,6 +103,7 @@ class ParsedQuery:
     confidence: Optional[float] = None  # CONFIDENCE clause (early stop)
     where: Optional[str] = None    # WHERE clause, canonical predicate text
     explain: bool = False          # EXPLAIN-wrapped statement
+    analyze: bool = False          # EXPLAIN ANALYZE-wrapped statement
 
 
 def parse_query(text: str) -> ParsedQuery:
@@ -125,6 +130,7 @@ def parse_query(text: str) -> ParsedQuery:
         confidence=plan.confidence,
         where=None if plan.where is None else plan.where.canonical(),
         explain=plan.explain,
+        analyze=plan.analyze,
     )
 
 
@@ -168,6 +174,9 @@ class OpaqueQuerySession:
         # Fingerprint taken at registration time (refreshed at plan time,
         # so post-registration parameter mutation invalidates cleanly).
         self._udf_fingerprints: Dict[str, Optional[str]] = {}
+        #: Span tree of the most recent traced dispatch (``trace=True``
+        #: or ``EXPLAIN ANALYZE``); ``None`` until one runs.
+        self.last_trace: Optional[TraceContext] = None
 
     # -- registration --------------------------------------------------------
 
@@ -424,7 +433,9 @@ class OpaqueQuerySession:
                 confidence: Optional[float] = None,
                 use_cache: Optional[bool] = None,
                 warm_start: bool = False,
-                ) -> Union[ResultBase, ExecutionPlan]:
+                trace: bool = False,
+                ) -> Union[ResultBase, ExecutionPlan,
+                           ExplainAnalyzeReport]:
         """Parse, resolve, and dispatch one query.
 
         Single-engine queries return a
@@ -435,16 +446,72 @@ class OpaqueQuerySession:
         :meth:`stream` for live snapshots) — all implementing
         :class:`~repro.core.result.ResultBase`.  ``EXPLAIN`` queries
         return the resolved :class:`~repro.query.plan.ExecutionPlan`
-        instead of executing.  Keyword arguments are caller-side defaults
-        for the equivalent clauses (see :meth:`plan`).
+        instead of executing; ``EXPLAIN ANALYZE`` queries run under a
+        forced tracer and return an
+        :class:`~repro.obs.analyze.ExplainAnalyzeReport`.  Keyword
+        arguments are caller-side defaults for the equivalent clauses
+        (see :meth:`plan`).
+
+        ``trace=True`` records a query-lifecycle span tree
+        (:class:`~repro.obs.spans.TraceContext`) without changing the
+        answer — tracing observes totals the engines already account, so
+        traced runs stay bit-identical.  The tree is attached to the
+        result as ``result.trace`` and kept as :attr:`last_trace`.
         """
-        resolved = self.plan(query, workers=workers, backend=backend,
-                             stream=stream, every=every,
-                             confidence=confidence,
-                             use_cache=use_cache, warm_start=warm_start)
-        if resolved.query.explain:
+        t_parse = time.perf_counter()
+        logical = parse(query) if isinstance(query, str) else query
+        parse_wall = time.perf_counter() - t_parse
+        # ANALYZE forces a tracer: the report *is* the span tree.  The
+        # parse span is attached after the fact (the ANALYZE keyword is
+        # only known once parsing is done) — backdating the origin to
+        # t_parse keeps the timeline starting at the parse, not after it.
+        tracer = (TraceContext(origin=t_parse)
+                  if trace or logical.analyze else None)
+        if tracer is not None:
+            tracer.attach(Span("parse", wall=parse_wall).to_dict())
+            with tracer.span("plan"):
+                resolved = self.plan(logical, workers=workers,
+                                     backend=backend, stream=stream,
+                                     every=every, confidence=confidence,
+                                     use_cache=use_cache,
+                                     warm_start=warm_start)
+        else:
+            resolved = self.plan(logical, workers=workers, backend=backend,
+                                 stream=stream, every=every,
+                                 confidence=confidence,
+                                 use_cache=use_cache, warm_start=warm_start)
+        if resolved.query.explain and not resolved.query.analyze:
             return resolved
-        return get_executor(resolved.mode).execute(self, resolved)
+        resolved.trace = tracer
+        if tracer is not None:
+            self.last_trace = tracer
+        stats_before = (self._memo_for(resolved.table).stats()
+                        if resolved.cache_enabled else None)
+        result = get_executor(resolved.mode).execute(self, resolved)
+        self._observe_query(resolved, result, stats_before)
+        if tracer is not None:
+            result.trace = tracer
+        if resolved.query.analyze:
+            return ExplainAnalyzeReport(plan=resolved, result=result,
+                                        trace=tracer)
+        return result
+
+    def _observe_query(self, plan: ExecutionPlan, result: ResultBase,
+                       stats_before: Optional[dict]) -> None:
+        """Fold one finished dispatch into the process-wide metrics.
+
+        Always on (unlike span tracing): one counter bump and two gauge
+        stores per *query* — never per element — so the cost is
+        unmeasurable against even the cheapest dispatch.
+        """
+        QUERIES_TOTAL.inc(table=plan.table, mode=plan.mode)
+        BOUND_WIDTH.set(float(result.displacement_bound), mode=plan.mode)
+        if stats_before is not None:
+            after = self._memo_for(plan.table).stats()
+            hits = after["hits"] - stats_before["hits"]
+            looked = hits + (after["misses"] - stats_before["misses"])
+            if looked:
+                MEMO_HIT_RATE.set(hits / looked, table=plan.table)
 
     def stream(self, query: Union[str, QueryPlan], *,
                workers: Optional[int] = None,
@@ -453,23 +520,42 @@ class OpaqueQuerySession:
                confidence: Optional[float] = None,
                use_cache: Optional[bool] = None,
                warm_start: bool = False,
+               trace: bool = False,
                ) -> Iterator[ProgressiveResult]:
         """Run one query barrier-free, yielding progressive snapshots.
 
         Any query is accepted (a ``STREAM`` clause is implied); snapshots
         arrive from the first slice onward and the last one carries
         ``converged=True``.  Keyword arguments default the missing
-        clauses, as in :meth:`execute`.
+        clauses, as in :meth:`execute`; ``trace=True`` records the span
+        tree into :attr:`last_trace` (complete once the iterator is
+        exhausted).
         """
-        resolved = self.plan(query, workers=workers, backend=backend,
-                             stream=True, every=every,
-                             confidence=confidence,
-                             use_cache=use_cache, warm_start=warm_start)
+        t_parse = time.perf_counter()
+        logical = parse(query) if isinstance(query, str) else query
+        parse_wall = time.perf_counter() - t_parse
+        tracer = TraceContext(origin=t_parse) if trace else None
+        if tracer is not None:
+            tracer.attach(Span("parse", wall=parse_wall).to_dict())
+            with tracer.span("plan"):
+                resolved = self.plan(logical, workers=workers,
+                                     backend=backend, stream=True,
+                                     every=every, confidence=confidence,
+                                     use_cache=use_cache,
+                                     warm_start=warm_start)
+        else:
+            resolved = self.plan(logical, workers=workers, backend=backend,
+                                 stream=True, every=every,
+                                 confidence=confidence,
+                                 use_cache=use_cache, warm_start=warm_start)
         if resolved.query.explain:
             raise ConfigurationError(
                 "EXPLAIN queries return a plan and cannot be streamed; "
                 "use execute() to inspect the plan"
             )
+        resolved.trace = tracer
+        if tracer is not None:
+            self.last_trace = tracer
         if resolved.n_candidates == 0:
             # WHERE filtered everything out (plan() degrades the mode to
             # "single"): the empty answer is exact and final — mirror
@@ -482,6 +568,7 @@ class OpaqueQuerySession:
                 displacement_bound=0.0, exhaustive_bound=0.0,
             )
             return
+        QUERIES_TOTAL.inc(table=resolved.table, mode=resolved.mode)
         streaming = StreamingExecutor().engine(self, resolved)
         try:
             yield from streaming.results_iter(resolved.budget,

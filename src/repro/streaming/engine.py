@@ -69,6 +69,13 @@ from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError, SerializationError
 from repro.index.builder import IndexConfig
+from repro.obs.metrics import (
+    MEMO_HITS_TOTAL,
+    SLICES_TOTAL,
+    THRESHOLD_STALENESS,
+    UDF_CALLS_TOTAL,
+)
+from repro.obs.spans import TraceContext
 from repro.parallel.cache import ShardIndexCache, subset_fingerprint
 from repro.parallel.engine import WorkerReport, merge_worker_topk
 from repro.parallel.worker import (
@@ -244,6 +251,13 @@ class StreamingTopKEngine:
         to fresh engines only.  Memo hits charge full batch cost, so the
         serial backend's arrival order — keyed on virtual completion — is
         unchanged and warm runs stay bit-identical.
+    trace:
+        Optional :class:`~repro.obs.spans.TraceContext` (distinct from
+        ``record``'s replayable :class:`~repro.replay.trace.ArrivalTrace`).
+        When given, each drive opens a ``drive[d]`` span and every
+        arriving slice's ``shard[j].slice[s]`` fragment is stitched under
+        it at merge time, annotated with its observed threshold
+        staleness.  ``None`` (the default) keeps the event loop untouched.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -261,7 +275,8 @@ class StreamingTopKEngine:
                  ids: Optional[Sequence[str]] = None,
                  shared_memory: Optional[bool] = None,
                  memo=None,
-                 priors: Optional[List[Optional[dict]]] = None) -> None:
+                 priors: Optional[List[Optional[dict]]] = None,
+                 trace: Optional[TraceContext] = None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -304,6 +319,9 @@ class StreamingTopKEngine:
         self._shm_table = None
         self._memo = memo
         self._priors = priors
+        self._trace = trace
+        self._drive_count = 0
+        self._submit_merges: Dict[int, int] = {}
         self.backend: StreamBackend = (
             backend if isinstance(backend, StreamBackend)
             else make_stream_backend(backend)
@@ -386,6 +404,7 @@ class StreamingTopKEngine:
             memo_snapshot=(self._memo.snapshot()
                            if self._memo is not None else None),
             priors=self._priors,
+            trace=self._trace is not None,
         )
         try:
             self.backend.start(specs, self.dataset, self.scorer,
@@ -433,6 +452,7 @@ class StreamingTopKEngine:
                 self._recorder.submit(worker, cap, floor)
             self.backend.submit(worker, cap, floor)
             self._inflight[worker] = cap
+            self._submit_merges[worker] = self.n_merges
             self._reserved += cap
 
     def _topk_signature(self) -> Tuple[int, frozenset]:
@@ -443,6 +463,10 @@ class StreamingTopKEngine:
         outcome = event.outcome
         worker = outcome.worker_id
         cap = self._inflight.pop(worker)
+        # Merges that landed while this slice was in flight — exactly how
+        # stale the threshold floor it ran under had become by arrival.
+        staleness = self.n_merges - self._submit_merges.pop(
+            worker, self.n_merges)
         self._reserved -= cap
         self.total_scored += outcome.scored
         self._worker_times[worker] += outcome.cost
@@ -481,10 +505,27 @@ class StreamingTopKEngine:
             max(0, self._last_total - self.total_scored),
         )
         if self._recorder is not None:
-            self._recorder.arrival(worker, outcome.scored, self.wall_time)
+            self._recorder.arrival(worker, outcome.scored, self.wall_time,
+                                   cost=outcome.cost)
         self.progressive.append(
             (self.wall_time, self.total_scored, self._buffer.stk)
         )
+        backend = self.backend.name
+        SLICES_TOTAL.inc(backend=backend)
+        THRESHOLD_STALENESS.observe(staleness, backend=backend)
+        fresh = outcome.scored - outcome.memo_hits
+        if fresh:
+            UDF_CALLS_TOTAL.inc(fresh, engine="streaming", backend=backend)
+        if outcome.memo_hits:
+            MEMO_HITS_TOTAL.inc(outcome.memo_hits, engine="streaming",
+                                backend=backend)
+        if self._trace is not None and outcome.span is not None:
+            span = self._trace.attach(outcome.span)
+            span.attrs.update(
+                staleness=staleness,
+                threshold=self._buffer.threshold,
+                bound=self._bound.exhaustive_bound,
+            )
 
     def _is_stable(self) -> bool:
         """Early-stop rule: every active shard quiet for ``stable_slices``."""
@@ -557,6 +598,10 @@ class StreamingTopKEngine:
         self._bound.begin_drive()
         if self._recorder is not None:
             self._recorder.begin_drive(total, every)
+        if self._trace is not None:
+            drive_span = self._trace.push(f"drive[{self._drive_count}]",
+                                          budget=total)
+            self._drive_count += 1
         self._begin_drive()
         self._refill(total)
         last_yield = self.total_scored
@@ -573,6 +618,14 @@ class StreamingTopKEngine:
                 yield self._progressive(converged=False)
                 last_yield = self.total_scored
         self.converged = stopping or self._is_finished(total)
+        if self._trace is not None:
+            drive_span.attrs.update(
+                threshold=self._buffer.threshold,
+                bound=self._bound.exhaustive_bound,
+                total_scored=self.total_scored,
+                merges=self.n_merges,
+            )
+            self._trace.pop()        # drive[d]
         yield self._progressive(converged=self.converged)
 
     def run(self, budget: Optional[int] = None,

@@ -23,25 +23,42 @@ class Stopwatch:
     ...     pass
     >>> sw.elapsed >= 0.0
     True
+
+    Re-entrant: nested ``with`` blocks on the same stopwatch count the
+    outermost span once (inner spans are already inside it), so span
+    nesting cannot double-charge or corrupt the running total.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     with sw:
+    ...         pass
+    >>> sw._depth
+    0
     """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
         self._started_at: float | None = None
+        self._depth = 0
 
     def __enter__(self) -> "Stopwatch":
-        self._started_at = time.perf_counter()
+        if self._depth == 0:
+            self._started_at = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._started_at is not None
-        self.elapsed += time.perf_counter() - self._started_at
-        self._started_at = None
+        assert self._depth > 0 and self._started_at is not None
+        self._depth -= 1
+        if self._depth == 0:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
 
     def reset(self) -> None:
         """Zero the accumulated time."""
         self.elapsed = 0.0
         self._started_at = None
+        self._depth = 0
 
 
 class VirtualClock:

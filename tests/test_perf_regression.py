@@ -98,6 +98,21 @@ def test_confidence_stop_beats_stable_slices_and_matches_full():
     assert not failures, "\n".join(failures)
 
 
+def test_obs_disabled_tracing_free_enabled_bit_identical():
+    """Acceptance gate: the committed BENCH_obs.json overhead table shows
+    every engine mode's disabled-tracing run within 1% of the
+    pre-observability baseline (recorded back-to-back), every traced run
+    bit-identical with a non-empty span tree, and a live re-measurement
+    re-asserts the noise-immune invariants."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_obs
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_obs(verbose=False)
+    assert not failures, "\n".join(failures)
+
+
 def test_cache_warm_repeat_saves_90pct_bit_identically():
     """Acceptance gate: in the committed BENCH_cache.json cells and in a
     live re-measurement of the 20k cells, a warm exact-repeat query
