@@ -1,0 +1,221 @@
+"""Multi-tenant service benchmark: one scorer pool, provably fair shares.
+
+PR 9 adds the :mod:`repro.service` front-end: concurrent tenants admitted
+against one global :class:`~repro.service.budget.BudgetScheduler` pool,
+each query running on a forked session with its grant threaded into the
+engine as a budget gate.  This benchmark pins the service's three load
+claims on a 20k synthetic table:
+
+* **real concurrency** — the pool (3x one query's demand) is saturated:
+  the scheduler's ``peak_committed`` high-water mark must reach at least
+  :data:`MIN_CONCURRENT` (3) simultaneous queries' demand, so the cells
+  genuinely share the pool rather than serializing;
+* **fair shares** — :data:`TENANTS` tenants each submit
+  :data:`QUERIES_PER_TENANT` equal-demand queries; under fair-share
+  admission every tenant's gross granted units must land within
+  :data:`FAIRNESS_SPREAD_CEILING` (10%) of each other, measured as
+  ``(max - min) / mean`` of the per-tenant totals;
+* **bit-identity under load** — every tenant's answer (items and
+  ``n_scored``) must equal the same query run solo on a fresh session,
+  the service's core differential contract.
+
+Wall-clock is reported for context but never gated: the invariants above
+are what survive hardware noise.  Results go to ``BENCH_service.json``
+(shared ``results[label]`` row schema, one row per tenant);
+``benchmarks/check_regression.py --benchmark service`` (and the
+``pytest -m perf`` gate) asserts the committed rows structurally and
+re-measures the cells live.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import InMemoryDataset
+from repro.index.builder import IndexConfig
+from repro.scoring.relu import ReluScorer
+from repro.service import QueryService
+from repro.session import OpaqueQuerySession
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+N = 20_000
+K = 50
+BATCH_SIZE = 64
+SEED = 0
+TENANTS = 4
+QUERIES_PER_TENANT = 3
+#: Scorer budget of every query (``BUDGET`` in its text).
+DEMAND = 4_000
+#: Admission headroom the service adds for the single engine's final
+#: batch overshoot (see ``QueryService._resolve_demand``).
+HEADROOM = BATCH_SIZE - 1
+#: The pool admits exactly this many equal-demand queries at once.
+MIN_CONCURRENT = 3
+POOL = (DEMAND + HEADROOM) * MIN_CONCURRENT
+#: Acceptance bar: per-tenant granted-unit spread, (max - min) / mean.
+FAIRNESS_SPREAD_CEILING = 0.10
+
+
+def build_dataset(n: int = N, seed: int = SEED,
+                  leaf_size: int = 256) -> InMemoryDataset:
+    """The gamma-mean clustered table shared with the other benches."""
+    rng = np.random.default_rng(seed)
+    n_leaves = (n + leaf_size - 1) // leaf_size
+    means = rng.gamma(shape=2.0, scale=0.5, size=n_leaves)
+    values = rng.normal(loc=np.repeat(means, leaf_size)[:n], scale=0.25)
+    values = np.maximum(values, 0.0)
+    ids = [f"e{i}" for i in range(n)]
+    return InMemoryDataset(ids, values.tolist(),
+                           np.column_stack([values, rng.random(n)]))
+
+
+def _session(dataset: InMemoryDataset) -> OpaqueQuerySession:
+    session = OpaqueQuerySession()
+    session.register_table(
+        "t", dataset,
+        index_config=IndexConfig(n_clusters=16, subsample=2_000, flat=True),
+    )
+    session.register_udf("score", ReluScorer())
+    return session
+
+
+def _query(tenant: int, n: int = N) -> str:
+    # A distinct seed per tenant: distinct answers, so any cross-tenant
+    # contamination in the shared service shows up as a field mismatch.
+    return (f"SELECT TOP {K} FROM t ORDER BY score BUDGET {DEMAND} "
+            f"BATCH {BATCH_SIZE} SEED {100 + tenant}")
+
+
+def _solo_reference(dataset: InMemoryDataset, tenant: int,
+                    n: int) -> Dict[str, object]:
+    """The tenant's query run alone on a fresh session (the oracle)."""
+    result = _session(dataset).execute(_query(tenant, n), use_cache=False)
+    return {"items": list(result.items), "n_scored": int(result.n_scored)}
+
+
+def run_matrix(n: int = N, verbose: bool = True) -> List[Dict[str, object]]:
+    """Drive the contended service once; one result row per tenant."""
+    dataset = build_dataset(n)
+    references = {tenant: _solo_reference(dataset, tenant, n)
+                  for tenant in range(TENANTS)}
+
+    async def drive():
+        service = QueryService(budget=POOL, policy="fair-share",
+                               session=_session(dataset))
+        started = time.perf_counter()
+        handles = []
+        # Interleave submissions round-robin so every tenant has work
+        # queued while the pool is saturated.
+        for _ in range(QUERIES_PER_TENANT):
+            for tenant in range(TENANTS):
+                handles.append(await service.submit(
+                    _query(tenant, n), tenant=f"tenant{tenant}",
+                    use_cache=False,
+                ))
+        results = [await handle.result() for handle in handles]
+        wall = time.perf_counter() - started
+        grants = {}
+        for handle in handles:
+            entry = grants.setdefault(handle.tenant,
+                                      {"granted": 0, "consumed": 0})
+            entry["granted"] += handle._grant.granted_units
+            entry["consumed"] += handle._grant.consumed
+        return handles, results, grants, wall, service.scheduler.stats()
+
+    handles, results, grants, wall, stats = asyncio.run(drive())
+    totals = [entry["granted"] for entry in grants.values()]
+    mean = sum(totals) / len(totals)
+    spread = (max(totals) - min(totals)) / mean if mean else 0.0
+    rows: List[Dict[str, object]] = []
+    for tenant in range(TENANTS):
+        name = f"tenant{tenant}"
+        reference = references[tenant]
+        identical = all(
+            list(result.items) == reference["items"]
+            and int(result.n_scored) == reference["n_scored"]
+            for handle, result in zip(handles, results)
+            if handle.tenant == name
+        )
+        rows.append({
+            "tenant": name,
+            "n": n,
+            "seed": SEED,
+            "k": K,
+            "queries": QUERIES_PER_TENANT,
+            "demand_per_query": DEMAND,
+            "budget_pool": POOL,
+            "min_concurrent": MIN_CONCURRENT,
+            "granted_units": grants[name]["granted"],
+            "consumed_units": grants[name]["consumed"],
+            "fair_share_spread": spread,
+            "peak_committed": stats["peak_committed"],
+            "bit_identical": identical,
+            "wall_seconds": wall,
+        })
+        if verbose:
+            print(f"n={n:,} {name}: granted {grants[name]['granted']:,} "
+                  f"identical={identical}")
+    if verbose:
+        print(f"spread {spread:.2%} (ceiling {FAIRNESS_SPREAD_CEILING:.0%}) "
+              f"peak committed {stats['peak_committed']:,}/{POOL:,} "
+              f"wall {wall:.3f}s")
+    return rows
+
+
+def fairness_table(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """The headline the gate reads: spread, saturation, identity."""
+    return {
+        "tenants": len(rows),
+        "fair_share_spread": max(row["fair_share_spread"] for row in rows),
+        "peak_committed": max(row["peak_committed"] for row in rows),
+        "budget_pool": rows[0]["budget_pool"],
+        "min_concurrent_demand": (rows[0]["min_concurrent"]
+                                  * rows[0]["demand_per_query"]),
+        "all_bit_identical": all(row["bit_identical"] for row in rows),
+    }
+
+
+def write_results(rows: List[Dict[str, object]], label: str = "after",
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (shared bench schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "service")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["fairness"] = fairness_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    rows = run_matrix()
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

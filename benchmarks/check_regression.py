@@ -36,6 +36,12 @@ a headline table) and hence the same gate machinery:
   alternating paired rounds so machine drift cancels, and every traced
   run is bit-identical with a non-empty span tree) and re-measures the
   cells live for the noise-immune invariants.
+* ``service`` — checks the committed ``BENCH_service.json`` rows
+  structurally (the fair-share grant spread across tenants stays under
+  the 10% ceiling, the scheduler's peak committed demand proves at
+  least 3 queries genuinely shared the pool at once, and every tenant's
+  answer under load is bit-identical to its solo run) and re-measures
+  the contended 20k matrix live.
 * ``shm`` — checks the committed ``BENCH_shm.json`` rows structurally
   (shm-path specs stay under the fixed wire-size ceiling at every table
   size, both modes give bit-identical answers, and on the 1M table the
@@ -55,6 +61,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_shm.py
     PYTHONPATH=src python benchmarks/bench_cache.py
     PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_service.py
 
 Standalone usage::
 
@@ -471,6 +478,59 @@ def check_cache(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_service(baseline_path: Optional[Path] = None,
+                  verbose: bool = True) -> List[str]:
+    """Service gate: fair shares, real concurrency, identity under load.
+
+    Two parts, mirroring the cache/filtered gates:
+
+    1. *Structural*: every committed ``BENCH_service.json`` row must
+       show a per-tenant granted-unit spread at or under
+       :data:`bench_service.FAIRNESS_SPREAD_CEILING` (10%), a
+       ``peak_committed`` proving at least
+       :data:`bench_service.MIN_CONCURRENT` queries' demand was
+       committed simultaneously (the pool was genuinely shared, not
+       serialized), and a bit-identical answer versus the tenant's solo
+       run.
+    2. *Re-measure*: drive the contended 20k matrix live and assert the
+       same invariants — all are hardware-noise free (grant accounting
+       and answers are deterministic; wall-clock is reported, not
+       gated).
+    """
+    bench_service = _bench("bench_service")
+
+    baseline_path = baseline_path or bench_service.DEFAULT_OUTPUT
+    failures: List[str] = []
+    ceiling = bench_service.FAIRNESS_SPREAD_CEILING
+
+    def assert_invariant(rows: List[dict], source: str) -> None:
+        for row in rows:
+            cell = f"{source} {row['tenant']} n={row['n']}"
+            if row["fair_share_spread"] > ceiling:
+                failures.append(
+                    f"{cell}: granted-unit spread "
+                    f"{row['fair_share_spread']:.1%} exceeds the "
+                    f"{ceiling:.0%} fairness ceiling"
+                )
+            floor = row["min_concurrent"] * row["demand_per_query"]
+            if row["peak_committed"] < floor:
+                failures.append(
+                    f"{cell}: peak committed {row['peak_committed']:,} "
+                    f"never reached {row['min_concurrent']} concurrent "
+                    f"queries' demand ({floor:,}) — the pool serialized"
+                )
+            if not row.get("bit_identical"):
+                failures.append(
+                    f"{cell}: answer under concurrent load diverges "
+                    f"from the solo run"
+                )
+
+    assert_invariant(load_rows(baseline_path), "committed")
+    assert_invariant(bench_service.run_matrix(verbose=verbose),
+                     "re-measured")
+    return failures
+
+
 def check_obs(baseline_path: Optional[Path] = None,
               tolerance: float = SHARDED_TOLERANCE,
               repeats: int = 5, verbose: bool = True) -> List[str]:
@@ -560,7 +620,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
                                  "confidence", "filtered", "shm", "cache",
-                                 "obs"),
+                                 "obs", "service"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -568,7 +628,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "obs":
+    if args.benchmark == "service":
+        failures = check_service(baseline_path=args.baseline)
+    elif args.benchmark == "obs":
         failures = check_obs(
             baseline_path=args.baseline,
             tolerance=(SHARDED_TOLERANCE if args.tolerance is None

@@ -26,6 +26,12 @@ Three commands, mirroring how the library is used (full walkthrough in
   FILE`` saves any run's span tree as Chrome trace-event JSON.
   Malformed queries fail with the offending column and a caret span
   under the query text.
+* ``serve``   — start the multi-tenant query service
+  (:mod:`repro.service`) on the same generated demo table, speaking the
+  newline-delimited-JSON line protocol over TCP.  ``--budget N`` meters
+  a global scorer budget across concurrent clients under ``--policy``
+  (fair-share or deadline); talk to it with
+  :class:`repro.service.ServiceClient` or plain ``netcat``.
 * ``info``    — print version, module inventory, the experiment index,
   the available execution backends, and the registered metrics.
 
@@ -49,6 +55,13 @@ def _backend_choices() -> List[str]:
     from repro.parallel import available_backends
 
     return available_backends()
+
+
+def _policy_choices() -> List[str]:
+    """Admission-policy vocabulary, introspected from the service."""
+    from repro.service.budget import POLICIES
+
+    return list(POLICIES)
 
 
 def _add_stream_flags(command: argparse.ArgumentParser) -> None:
@@ -139,6 +152,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cold ones; this flag only forces re-paying "
                             "the UDF calls)")
     _add_stream_flags(query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the demo table to concurrent clients over the "
+             "line protocol (repro.service; one JSON request line per "
+             "connection, snapshots + result lines back)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7654,
+                       help="TCP port (0 picks a free one; default 7654)")
+    serve.add_argument("--rows", type=int, default=5_000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--budget", type=int, default=None,
+                       help="global scorer budget shared by every query "
+                            "the service admits (default: unmetered)")
+    serve.add_argument("--policy", default="fair-share",
+                       choices=_policy_choices(),
+                       help="admission policy under budget contention")
 
     sub.add_parser("info",
                    help="print version, inventory, and execution backends")
@@ -236,24 +267,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro import OpaqueQuerySession, ReluScorer, parse_query
-    from repro.data.synthetic import SyntheticClustersDataset
-    from repro.index.builder import IndexConfig
-    from repro.scoring.base import FunctionScorer
+    from repro import parse_query
 
-    dataset = SyntheticClustersDataset.generate(
-        n_clusters=max(2, args.rows // 250),
-        per_cluster=250,
-        rng=args.seed,
-    )
-    session = OpaqueQuerySession()
-    session.register_table(
-        "demo", dataset,
-        index_config=IndexConfig(n_clusters=dataset.n_clusters),
-    )
-    session.register_udf("relu", ReluScorer())
-    session.register_udf("squared",
-                         FunctionScorer(lambda v: float(v) ** 2))
+    session = _demo_session(args.rows, args.seed)
     sql = args.sql
     explain_mode = args.explain
     streaming_mode = (args.stream or args.every is not None
@@ -332,6 +348,57 @@ def _write_trace_out(path: Optional[str], session) -> None:
           "(load in chrome://tracing or Perfetto)")
 
 
+def _demo_session(rows: int, seed: int):
+    """The demo table + UDFs behind both ``query`` and ``serve``."""
+    from repro import OpaqueQuerySession, ReluScorer
+    from repro.data.synthetic import SyntheticClustersDataset
+    from repro.index.builder import IndexConfig
+    from repro.scoring.base import FunctionScorer
+
+    dataset = SyntheticClustersDataset.generate(
+        n_clusters=max(2, rows // 250),
+        per_cluster=250,
+        rng=seed,
+    )
+    session = OpaqueQuerySession()
+    session.register_table(
+        "demo", dataset,
+        index_config=IndexConfig(n_clusters=dataset.n_clusters),
+    )
+    session.register_udf("relu", ReluScorer())
+    session.register_udf("squared",
+                         FunctionScorer(lambda v: float(v) ** 2))
+    return session
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import QueryService, serve
+
+    session = _demo_session(args.rows, args.seed)
+    service = QueryService(budget=args.budget, policy=args.policy,
+                           session=session)
+
+    async def run() -> None:
+        server = await serve(service, host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        budget = ("unmetered" if args.budget is None
+                  else f"budget {args.budget} ({args.policy})")
+        print(f"serving table 'demo' ({args.rows} rows, UDFs relu/squared) "
+              f"on {host}:{port} — {budget}")
+        print('try: echo \'{"query": "SELECT TOP 10 FROM demo ORDER BY '
+              f"relu BUDGET 500\"}}' | nc {host} {port}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import os
 
@@ -367,6 +434,10 @@ def _cmd_info(_args: argparse.Namespace) -> int:
                        "answers) + warm-start bandit priors"),
         ("repro.obs", "query-lifecycle span tracing, EXPLAIN ANALYZE "
                       "reports, process-wide metrics registry"),
+        ("repro.service", "multi-tenant asyncio query service: global "
+                          "scorer-budget scheduler (fair-share / "
+                          "deadline), per-connection sessions, line "
+                          "protocol (repro serve)"),
     ]
     for module, description in inventory:
         print(f"  {module:20s} {description}")
@@ -411,7 +482,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    handlers = {"demo": _cmd_demo, "query": _cmd_query, "info": _cmd_info}
+    handlers = {"demo": _cmd_demo, "query": _cmd_query,
+                "serve": _cmd_serve, "info": _cmd_info}
     try:
         return handlers[args.command](args)
     except Exception as exc:  # surfaced as a clean CLI error

@@ -89,6 +89,21 @@ class SupportsScore(Protocol):
         """Latency-model cost (seconds) of scoring one batch of this size."""
 
 
+def _fully_funded(gate, needed: int) -> bool:
+    """Draw ``needed`` UDF calls from a service budget gate, all or nothing.
+
+    A partial grant is refunded immediately — the engines stop at a whole
+    quantum boundary rather than score a fraction of a batch, which is what
+    keeps a funded run bit-identical to an ungated one.
+    """
+    funded = gate.acquire(needed)
+    if funded < needed:
+        if funded:
+            gate.refund(funded)
+        return False
+    return True
+
+
 @dataclass
 class EngineConfig:
     """All knobs of Algorithm 1 plus engine-level execution settings.
@@ -344,7 +359,8 @@ class TopKEngine:
     def run(self, dataset: SupportsFetch, scorer: SupportsScore,
             budget: Optional[int] = None,
             checkpoint_every: Optional[int] = None,
-            memo=None, trace: Optional[TraceContext] = None) -> QueryResult:
+            memo=None, trace: Optional[TraceContext] = None,
+            gate=None) -> QueryResult:
         """Execute the query end to end and return the result with its trace.
 
         Parameters
@@ -377,6 +393,15 @@ class TopKEngine:
             child per checkpoint interval, charging virtual-clock,
             UDF-call, and memo-hit counters as it goes.  ``None`` (the
             default) keeps the loop's fast path untouched.
+        gate:
+            Optional :class:`~repro.service.budget.QueryGrant`-shaped
+            budget gate (``acquire(n) -> int`` / ``refund(n)``).  Real
+            UDF calls — and only those; memo hits are free — are drawn
+            from it before scoring.  A fully funded query is granted
+            every batch in full, so the gate never perturbs the run; a
+            partial grant is refunded and the run stops early, exactly
+            like exhausting its own ``budget``.  Cancellation surfaces
+            here as :class:`~repro.errors.QueryCancelledError`.
         """
         limit = self.n_total if budget is None else min(budget, self.n_total)
         if checkpoint_every is None:
@@ -399,11 +424,16 @@ class TopKEngine:
             if not ids:
                 break
             if memo is None:
+                if gate is not None and not _fully_funded(gate, len(ids)):
+                    break
                 scores = scorer.score_batch(dataset.fetch_batch(ids))
             else:
                 scores, misses = memo.lookup(ids)
                 if misses:
                     miss_ids = [ids[position] for position in misses]
+                    if (gate is not None
+                            and not _fully_funded(gate, len(miss_ids))):
+                        break
                     fresh = np.asarray(
                         scorer.score_batch(dataset.fetch_batch(miss_ids)),
                         dtype=float,

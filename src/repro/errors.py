@@ -40,6 +40,18 @@ class NotFittedError(ReproError):
     """A model was used before :meth:`fit` was called."""
 
 
+class QueryCancelledError(ReproError):
+    """A running query was cancelled by its client or service.
+
+    Raised inside the engines by the budget gate
+    (:class:`repro.service.budget.QueryGrant`) at the next grant
+    quantum after :meth:`~repro.service.budget.QueryGrant.cancel`, so a
+    cancelled query unwinds through the normal error path — executors
+    close their engines, shared-memory segments are unlinked, and the
+    scheduler reclaims the query's unconsumed budget.
+    """
+
+
 class ReplayDivergenceError(ReproError):
     """A recorded arrival trace does not match the replayed execution.
 

@@ -19,6 +19,12 @@ The instrument set mirrors the query lifecycle:
   lagged behind at arrival (histogram).
 * ``bound_width{mode}`` — final displacement-bound width per query
   (gauge; ``inf`` while the bound is vacuous).
+* ``queries_inflight{tenant}`` — admitted, not-yet-retired queries per
+  service tenant (gauge, kept by the
+  :class:`~repro.service.budget.BudgetScheduler`).
+* ``budget_grants_total{tenant, policy}`` /
+  ``admissions_total{policy}`` — scorer-budget units granted and queries
+  admitted by the multi-tenant service scheduler.
 
 ``snapshot()`` returns a JSON-safe dict; ``describe()`` backs the CLI's
 ``info`` listing.  Everything is stdlib-only.
@@ -214,3 +220,12 @@ THRESHOLD_STALENESS = REGISTRY.histogram(
     "merges the threshold floor lagged behind at slice arrival")
 BOUND_WIDTH = REGISTRY.gauge(
     "bound_width", "final displacement-bound width per query, by mode")
+QUERIES_INFLIGHT = REGISTRY.gauge(
+    "queries_inflight", "admitted, not-yet-retired service queries, "
+                        "by tenant")
+BUDGET_GRANTS_TOTAL = REGISTRY.counter(
+    "budget_grants_total", "scorer-budget units granted by the service "
+                           "scheduler, by tenant and policy")
+ADMISSIONS_TOTAL = REGISTRY.counter(
+    "admissions_total", "queries admitted by the service scheduler, "
+                        "by policy")

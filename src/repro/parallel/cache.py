@@ -32,11 +32,20 @@ Sharing rules
 The cluster tree is read-only at query time — the bandit mirrors it into
 its own :class:`~repro.core.hierarchical.BanditNode` objects and arms copy
 their member lists — so one cached index may back many concurrent engines.
+
+The cache itself is **concurrency-safe**: one lock guards the LRU map
+and the hit/miss counters, because the multi-tenant service
+(:mod:`repro.service`) shares one cache per table across every in-flight
+query's coordinator thread.  Without the lock, a ``get`` racing an
+evicting ``put`` can ``KeyError`` inside ``move_to_end`` (the entry it
+just saw evaporates mid-touch) — ``tests/test_service.py`` hammers
+exactly that interleaving.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -87,21 +96,26 @@ class ShardIndexCache:
             raise ValueError(f"maxsize must be positive, got {maxsize!r}")
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        # Guards the LRU map and both counters: concurrent sessions (the
+        # multi-tenant service) share one cache per table.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: CacheKey) -> Optional[CacheEntry]:
         """Fetch (and LRU-touch) an entry; count the hit or miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: CacheKey, partitions: List[List[str]],
             indexes: List[ClusterTree]) -> None:
@@ -110,11 +124,14 @@ class ShardIndexCache:
             raise ValueError(
                 f"{len(partitions)} partitions for {len(indexes)} indexes"
             )
-        self._entries[key] = ([list(p) for p in partitions], list(indexes))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        entry = ([list(p) for p in partitions], list(indexes))
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, List, Optional, Sequence, Set, Tuple
 
 from repro.core.convergence import ConvergenceBound
-from repro.core.engine import EngineConfig
+from repro.core.engine import EngineConfig, _fully_funded
 from repro.core.minmax_heap import TopKBuffer
 from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
@@ -205,6 +205,15 @@ class ShardedTopKEngine:
         :attr:`~repro.parallel.worker.RoundOutcome.span`) under it, with
         the post-merge threshold and displacement bound as attributes.
         ``None`` (the default) keeps the round loop untouched.
+    gate:
+        Optional :class:`~repro.service.budget.QueryGrant`-shaped budget
+        gate (``acquire(n) -> int`` / ``refund(n)``).  Each round the
+        coordinator draws the round's worst-case fresh-call count
+        (``per_worker`` × active shards) before dispatch and refunds
+        whatever the shards did not actually spend on real UDF calls
+        (memo hits, early-exhausted shards).  Fully funded rounds leave
+        the schedule untouched — bit-identity is preserved; a partial
+        grant is refunded whole and the run stops at the round barrier.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -220,7 +229,8 @@ class ShardedTopKEngine:
                  shared_memory: Optional[bool] = None,
                  memo=None,
                  priors: Optional[List[Optional[dict]]] = None,
-                 trace: Optional[TraceContext] = None) -> None:
+                 trace: Optional[TraceContext] = None,
+                 gate=None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -258,6 +268,7 @@ class ShardedTopKEngine:
         self._memo = memo
         self._priors = priors
         self._trace = trace
+        self._gate = gate
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -369,13 +380,21 @@ class ShardedTopKEngine:
         run_hits = 0
         run_fresh = 0
         while self.total_scored < total_budget and any(self._active):
-            self.n_rounds += 1
-            run_rounds += 1
             remaining = total_budget - self.total_scored
             per_worker = max(1, min(
                 self.sync_interval,
                 remaining // max(1, sum(self._active)),
             ))
+            # Reserve the round's worst case from the service budget gate
+            # before dispatch; the unspent remainder (memo hits, exhausted
+            # shards) is refunded at the merge barrier below.
+            reserved = 0
+            if self._gate is not None:
+                reserved = per_worker * sum(self._active)
+                if not _fully_funded(self._gate, reserved):
+                    break
+            self.n_rounds += 1
+            run_rounds += 1
             if self._trace is not None:
                 self._trace.push(f"round[{self.n_rounds - 1}]",
                                  per_worker_cap=per_worker)
@@ -399,6 +418,10 @@ class ShardedTopKEngine:
                         self._memo.record_pairs(outcome.fresh_scores)
                     self._memo.count(outcome.memo_hits,
                                      len(outcome.fresh_scores))
+            if self._gate is not None:
+                round_fresh = sum(o.scored - o.memo_hits for o in outcomes)
+                if reserved > round_fresh:
+                    self._gate.refund(reserved - round_fresh)
             if self.backend.virtual_clock:
                 self.wall_time += max(o.cost for o in outcomes)
             else:

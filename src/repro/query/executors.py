@@ -167,7 +167,7 @@ class SingleExecutor(QueryExecutor):
             tracer.push(f"execute[{self.name}]")
         try:
             result = engine.run(dataset, scorer, budget=plan.budget,
-                                memo=memo, trace=tracer)
+                                memo=memo, trace=tracer, gate=plan.gate)
         finally:
             if tracer is not None:
                 tracer.pop()
@@ -209,6 +209,7 @@ class ShardedExecutor(QueryExecutor):
             ids=plan.allowed_ids,
             memo=session._memo_view_for(plan),
             trace=plan.trace,
+            gate=plan.gate,
         )
         # Priors are scoped by root entropy, which the engine only settles
         # at construction; shard specs are built lazily at first run, so
@@ -259,6 +260,7 @@ class StreamingExecutor(QueryExecutor):
             ids=plan.allowed_ids,
             memo=session._memo_view_for(plan),
             trace=plan.trace,
+            gate=plan.gate,
         )
         # Same lazy-spec trick as the sharded executor: the prior scope
         # needs the root entropy the constructor just settled.

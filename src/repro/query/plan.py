@@ -332,6 +332,11 @@ class ExecutionPlan:
     #: the executor when tracing is on; ``None`` otherwise.  Never
     #: rendered in :meth:`explain` — it is per-dispatch runtime state.
     trace: Optional[object] = None
+    #: Service budget gate (:class:`repro.service.budget.QueryGrant`)
+    #: threaded to the executor when the query runs under the multi-tenant
+    #: scheduler; ``None`` otherwise.  Like :attr:`trace`, per-dispatch
+    #: runtime state — never rendered in :meth:`explain`.
+    gate: Optional[object] = None
 
     @property
     def table(self) -> str:

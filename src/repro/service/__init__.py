@@ -1,0 +1,36 @@
+"""Multi-tenant query service: admission, budgets, sessions, wire protocol.
+
+The service layer turns the single-caller session into a long-lived
+multi-tenant front-end (the ROADMAP's "millions of users" tentpole):
+
+* :class:`~repro.service.budget.BudgetScheduler` /
+  :class:`~repro.service.budget.QueryGrant` — one global scorer-budget
+  pool, policy-ordered admission (fair-share round-robin or
+  earliest-deadline-first), non-blocking per-quantum grants that keep
+  fully funded queries bit-identical to solo runs;
+* :class:`~repro.service.service.QueryService` /
+  :class:`~repro.service.service.QueryHandle` — the asyncio front-end:
+  one forked session per query over shared transparent caches, engines
+  on executor threads, snapshot streaming, cancellation;
+* :func:`~repro.service.protocol.serve` /
+  :class:`~repro.service.protocol.ServiceClient` — the
+  newline-delimited-JSON TCP protocol (also behind ``repro serve``).
+
+See ``docs/service.md`` for the tour and ``docs/architecture.md`` for
+the admission/budget protocol.
+"""
+
+from repro.service.budget import POLICIES, BudgetScheduler, QueryGrant
+from repro.service.protocol import ServiceClient, ServiceError, serve
+from repro.service.service import QueryHandle, QueryService
+
+__all__ = [
+    "POLICIES",
+    "BudgetScheduler",
+    "QueryGrant",
+    "QueryHandle",
+    "QueryService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

@@ -52,6 +52,7 @@ configuration skip every per-partition k-means fit.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Union
@@ -147,6 +148,17 @@ class OpaqueQuerySession:
     preloads bandit histogram priors harvested from earlier runs on the
     same ``(table, udf)`` pair (opt-in — a warm-started run explores
     differently, deterministically, but not bit-identically).
+
+    A session instance serves **one caller at a time** — engines mutate
+    per-dispatch state (``last_trace``, prior harvests) through it.  For
+    concurrent callers, :meth:`fork` derives a connection-local session
+    that *shares* the registrations and every transparent cache (tables,
+    indexes, UDFs, shard-index caches, score memos — all safe to share
+    because hits are bit-identical to rebuilds/rescoring) while keeping
+    the non-transparent state private (warm-start prior stores — priors
+    change exploration, so one tenant's learning must never leak into
+    another's answers — and ``last_trace``).  The multi-tenant service
+    (:mod:`repro.service`) forks one child per query.
     """
 
     def __init__(self, default_index_config: Optional[IndexConfig] = None,
@@ -177,6 +189,41 @@ class OpaqueQuerySession:
         #: Span tree of the most recent traced dispatch (``trace=True``
         #: or ``EXPLAIN ANALYZE``); ``None`` until one runs.
         self.last_trace: Optional[TraceContext] = None
+        # Guards the lazy builders above (index/memo/cache creation) when
+        # forked sessions race on first touch; shared across forks.
+        self._registry_lock = threading.RLock()
+
+    # -- connection isolation ------------------------------------------------
+
+    def fork(self) -> "OpaqueQuerySession":
+        """Derive a connection-local session over the same registrations.
+
+        The fork shares every *transparent* structure with its parent —
+        tables, built indexes, index configs, UDFs and their
+        fingerprints, shard-index caches, and score memos (a hit in any
+        of them is bit-identical to the rebuild or rescore it skips, so
+        tenants warm each other without contaminating answers).  It gets
+        its **own** warm-start prior stores (priors deliberately change
+        exploration, so they stay per-connection) and its own
+        ``last_trace``.  Registrations made on either side after the
+        fork are visible to both — the registries are shared, not
+        copied.
+        """
+        child = OpaqueQuerySession(
+            default_index_config=self._default_index_config,
+            index_seed=self._index_seed,
+            sync_interval=self._sync_interval,
+            enable_cache=self._enable_cache,
+        )
+        child._tables = self._tables
+        child._indexes = self._indexes
+        child._index_configs = self._index_configs
+        child._udfs = self._udfs
+        child._udf_fingerprints = self._udf_fingerprints
+        child._shard_caches = self._shard_caches
+        child._memos = self._memos
+        child._registry_lock = self._registry_lock
+        return child
 
     # -- registration --------------------------------------------------------
 
@@ -225,37 +272,52 @@ class OpaqueQuerySession:
     # -- executor plumbing (shared with repro.query.executors) ---------------
 
     def _index_for(self, table: str) -> ClusterTree:
-        """Build (once) or fetch the table's task-independent index."""
-        if table not in self._indexes:
-            dataset = self._tables[table]
-            config = self._index_configs.get(
-                table,
-                self._default_index_config
-                or IndexConfig(n_clusters=max(2, min(64, len(dataset) // 50))),
-            )
-            self._indexes[table] = build_index(
-                dataset.features(), dataset.ids(), config,
-                rng=self._index_seed,
-            )
-        return self._indexes[table]
+        """Build (once) or fetch the table's task-independent index.
+
+        Serialized under the registry lock so racing forks build the
+        index exactly once (the build is deterministic, but one build is
+        still cheaper than two).
+        """
+        with self._registry_lock:
+            if table not in self._indexes:
+                dataset = self._tables[table]
+                config = self._index_configs.get(
+                    table,
+                    self._default_index_config
+                    or IndexConfig(
+                        n_clusters=max(2, min(64, len(dataset) // 50))),
+                )
+                self._indexes[table] = build_index(
+                    dataset.features(), dataset.ids(), config,
+                    rng=self._index_seed,
+                )
+            return self._indexes[table]
 
     def _shard_cache_for(self, table: str) -> ShardIndexCache:
         """The table's cross-run cache of per-shard partition indexes."""
-        if table not in self._shard_caches:
-            self._shard_caches[table] = ShardIndexCache()
-        return self._shard_caches[table]
+        with self._registry_lock:
+            if table not in self._shard_caches:
+                self._shard_caches[table] = ShardIndexCache()
+            return self._shard_caches[table]
 
     def _memo_for(self, table: str) -> MemoStore:
         """The table's cross-query score memo (created on first touch)."""
-        if table not in self._memos:
-            self._memos[table] = MemoStore()
-        return self._memos[table]
+        with self._registry_lock:
+            if table not in self._memos:
+                self._memos[table] = MemoStore()
+            return self._memos[table]
 
     def _prior_store_for(self, table: str) -> PriorStore:
-        """The table's warm-start prior store (created on first touch)."""
-        if table not in self._prior_stores:
-            self._prior_stores[table] = PriorStore()
-        return self._prior_stores[table]
+        """The table's warm-start prior store (created on first touch).
+
+        Prior stores are fork-private (see :meth:`fork`), but a fork's
+        executor threads may still race each other, so creation stays
+        under the shared lock.
+        """
+        with self._registry_lock:
+            if table not in self._prior_stores:
+                self._prior_stores[table] = PriorStore()
+            return self._prior_stores[table]
 
     def _memo_view_for(self, plan: ExecutionPlan):
         """The memo view an executor should thread, or ``None`` (off)."""
@@ -434,6 +496,7 @@ class OpaqueQuerySession:
                 use_cache: Optional[bool] = None,
                 warm_start: bool = False,
                 trace: bool = False,
+                budget_gate=None,
                 ) -> Union[ResultBase, ExecutionPlan,
                            ExplainAnalyzeReport]:
         """Parse, resolve, and dispatch one query.
@@ -457,6 +520,12 @@ class OpaqueQuerySession:
         answer — tracing observes totals the engines already account, so
         traced runs stay bit-identical.  The tree is attached to the
         result as ``result.trace`` and kept as :attr:`last_trace`.
+
+        ``budget_gate`` threads a service
+        :class:`~repro.service.budget.QueryGrant` (or anything with its
+        ``acquire``/``refund`` shape) to the engine, metering the
+        query's real UDF calls against a shared pool; a fully funded
+        gate never changes the answer.
         """
         t_parse = time.perf_counter()
         logical = parse(query) if isinstance(query, str) else query
@@ -483,6 +552,7 @@ class OpaqueQuerySession:
         if resolved.query.explain and not resolved.query.analyze:
             return resolved
         resolved.trace = tracer
+        resolved.gate = budget_gate
         if tracer is not None:
             self.last_trace = tracer
         stats_before = (self._memo_for(resolved.table).stats()
@@ -521,6 +591,7 @@ class OpaqueQuerySession:
                use_cache: Optional[bool] = None,
                warm_start: bool = False,
                trace: bool = False,
+               budget_gate=None,
                ) -> Iterator[ProgressiveResult]:
         """Run one query barrier-free, yielding progressive snapshots.
 
@@ -554,6 +625,7 @@ class OpaqueQuerySession:
                 "use execute() to inspect the plan"
             )
         resolved.trace = tracer
+        resolved.gate = budget_gate
         if tracer is not None:
             self.last_trace = tracer
         if resolved.n_candidates == 0:

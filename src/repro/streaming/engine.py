@@ -63,7 +63,7 @@ from typing import (ClassVar, Dict, Iterator, List, Optional, Sequence,
                     Set, Tuple, Union)
 
 from repro.core.convergence import ConvergenceBound, check_confidence
-from repro.core.engine import EngineConfig
+from repro.core.engine import EngineConfig, _fully_funded
 from repro.core.minmax_heap import TopKBuffer
 from repro.core.result import ResultBase
 from repro.data.dataset import Dataset
@@ -126,6 +126,28 @@ class ProgressiveResult:
     def ids(self) -> List[str]:
         """Element IDs of the current answer, best first."""
         return [element_id for element_id, _score in self.top_k]
+
+    def to_json(self) -> dict:
+        """JSON-safe dict of this snapshot (the service's wire format).
+
+        Everything a client needs to render anytime progress; consumed by
+        :mod:`repro.service` when streaming snapshots over the line
+        protocol.  ``json.dumps(snapshot.to_json())`` round-trips.
+        """
+        return {
+            "top_k": [[str(element_id), float(score)]
+                      for element_id, score in self.top_k],
+            "budget_spent": int(self.budget_spent),
+            "threshold": (None if self.threshold is None
+                          else float(self.threshold)),
+            "converged": bool(self.converged),
+            "stk": float(self.stk),
+            "wall_time": float(self.wall_time),
+            "n_merges": int(self.n_merges),
+            "backend": str(self.backend),
+            "displacement_bound": float(self.displacement_bound),
+            "exhaustive_bound": float(self.exhaustive_bound),
+        }
 
     def summary(self) -> str:
         """One-line progress report."""
@@ -258,6 +280,16 @@ class StreamingTopKEngine:
         arriving slice's ``shard[j].slice[s]`` fragment is stitched under
         it at merge time, annotated with its observed threshold
         staleness.  ``None`` (the default) keeps the event loop untouched.
+    gate:
+        Optional :class:`~repro.service.budget.QueryGrant`-shaped budget
+        gate (``acquire(n) -> int`` / ``refund(n)``).  Each slice cap is
+        drawn from it at submission and the slice's free portion (memo
+        hits, early exhaustion) refunded at merge.  Fully funded slices
+        leave submission order and caps untouched — bit-identity is
+        preserved; a partial grant is refunded whole and the shard is
+        simply not refilled, so the drive winds down at slice
+        boundaries.  Cancellation surfaces at the next refill as
+        :class:`~repro.errors.QueryCancelledError`.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -276,7 +308,8 @@ class StreamingTopKEngine:
                  shared_memory: Optional[bool] = None,
                  memo=None,
                  priors: Optional[List[Optional[dict]]] = None,
-                 trace: Optional[TraceContext] = None) -> None:
+                 trace: Optional[TraceContext] = None,
+                 gate=None) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -320,6 +353,7 @@ class StreamingTopKEngine:
         self._memo = memo
         self._priors = priors
         self._trace = trace
+        self._gate = gate
         self._drive_count = 0
         self._submit_merges: Dict[int, int] = {}
         self.backend: StreamBackend = (
@@ -447,6 +481,11 @@ class StreamingTopKEngine:
             cap = min(self.slice_budget,
                       max(1, unreserved // (len(idle) - position)),
                       unreserved)
+            # The service budget gate funds whole slices or none: an
+            # underfunded refill just leaves shards idle (the drive winds
+            # down), never shrinks a cap — that would perturb the run.
+            if self._gate is not None and not _fully_funded(self._gate, cap):
+                return
             floor = self._floor if self.share_threshold else None
             if self._recorder is not None:
                 self._recorder.submit(worker, cap, floor)
@@ -514,6 +553,10 @@ class StreamingTopKEngine:
         SLICES_TOTAL.inc(backend=backend)
         THRESHOLD_STALENESS.observe(staleness, backend=backend)
         fresh = outcome.scored - outcome.memo_hits
+        if self._gate is not None and cap > fresh:
+            # The slice reserved its full cap at submission; give back
+            # what never became a real UDF call (memo hits, exhaustion).
+            self._gate.refund(cap - fresh)
         if fresh:
             UDF_CALLS_TOTAL.inc(fresh, engine="streaming", backend=backend)
         if outcome.memo_hits:

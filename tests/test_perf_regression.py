@@ -113,6 +113,22 @@ def test_obs_disabled_tracing_free_enabled_bit_identical():
     assert not failures, "\n".join(failures)
 
 
+def test_service_fair_shares_concurrent_and_bit_identical():
+    """Acceptance gate: in the committed BENCH_service.json cells and in
+    a live re-drive of the contended 20k matrix, the per-tenant
+    granted-unit spread stays at or under the 10% fairness ceiling, the
+    scheduler's peak committed demand proves >= 3 queries shared the
+    pool simultaneously, and every answer under load is bit-identical
+    to its solo run."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from check_regression import check_service
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    failures = check_service(verbose=False)
+    assert not failures, "\n".join(failures)
+
+
 def test_cache_warm_repeat_saves_90pct_bit_identically():
     """Acceptance gate: in the committed BENCH_cache.json cells and in a
     live re-measurement of the 20k cells, a warm exact-repeat query
