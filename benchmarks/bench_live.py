@@ -1,0 +1,301 @@
+"""Live tables: incremental write+query cycles vs rebuild-per-write.
+
+A static table turns every write into a teardown: new dataset, new
+session, new index build, cold memo.  The live subsystem
+(:mod:`repro.live`) instead commits versioned writes into the standing
+table, routes them into the cluster tree incrementally, and invalidates
+only what the writes touched — so an append+query cycle costs the write
+batch, not the table.
+
+This benchmark pins that trade on the clustered setup shared with
+``bench_cache.py``, with the *blocking* ReLU scorer of
+``bench_sharded.py`` (``time.sleep`` for the latency-model cost — the
+regime the paper targets, where UDF scoring dominates):
+
+* **Cycles** — ``CYCLES`` rounds of "append ``APPEND_BATCH`` rows, run
+  the same exhaustive top-k query".  The *incremental* arm reuses one
+  live session (maintained index, memo-warm rescoring only the
+  appended rows); the *rebuild* arm does what the static world must —
+  a fresh session per write (full index build, every element scored).
+  Both arms run identical table states, so their exhaustive answers
+  must match cycle for cycle (``answers_match``); the headline is
+  ``speedup`` (rebuild wall / incremental wall), gated at
+  :data:`SPEEDUP_FLOOR` (5x) on the committed 200k rows.
+* **Continuous** — a standing ``CONTINUOUS`` query over the same
+  table: every append round must produce an emission whose top-k is
+  *exactly* the brute-force answer over the committed snapshot
+  (``continuous_exact``), with fresh UDF calls per round bounded by
+  the append batch plus :data:`CONTINUOUS_SLACK`
+  (``continuous_fresh_calls_max``) — unchanged elements come from the
+  memo, never from the scorer.
+
+Results go to ``BENCH_live.json`` (shared ``results[label]`` row
+schema).  ``benchmarks/check_regression.py --benchmark live`` (and the
+``pytest -m perf`` gate) asserts the invariants on the committed rows
+and on a live re-measurement of the small 20k cells (where the
+speedup floor relaxes to :data:`SMALL_SPEEDUP_FLOOR` — fixed costs
+weigh more at small n).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_live.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_live.py --small    # gate cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.builder import IndexConfig
+from repro.live import ContinuousQuery, LiveTable
+from repro.scoring.base import CountingScorer
+from repro.scoring.blocking import BlockingReluScorer
+from repro.session import OpaqueQuerySession
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_live.json"
+
+FULL_N = 200_000
+SMALL_N = 20_000
+K = 20
+BATCH_SIZE = 64
+PER_CALL = 5e-5          # really slept per UDF call (GIL-releasing)
+SEEDS = (0,)
+CYCLES = 5
+APPEND_BATCH = 100
+CONTINUOUS_ROUNDS = 3
+CONTINUOUS_APPEND = 50
+#: Committed 200k rows must show incremental cycles at least this much
+#: faster than rebuild-per-write.
+SPEEDUP_FLOOR = 5.0
+#: The 20k gate cells carry proportionally more fixed cost per cycle.
+SMALL_SPEEDUP_FLOOR = 1.5
+#: Allowed fresh UDF calls per continuous round beyond the append batch.
+CONTINUOUS_SLACK = 8
+
+INDEX_CONFIG = IndexConfig(n_clusters=16, subsample=2_000, flat=True)
+
+
+def build_values(n: int, seed: int = 0, leaf_size: int = 256) -> np.ndarray:
+    """The gamma-mean clustered values shared with the other benches."""
+    rng = np.random.default_rng(seed)
+    n_leaves = (n + leaf_size - 1) // leaf_size
+    means = rng.gamma(shape=2.0, scale=0.5, size=n_leaves)
+    values = rng.normal(loc=np.repeat(means, leaf_size)[:n], scale=0.25)
+    return np.maximum(values, 0.0)
+
+
+def build_live_table(n: int, seed: int = 0) -> LiveTable:
+    values = build_values(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    features = np.column_stack([values, rng.random(n)])
+    ids = [f"e{i}" for i in range(n)]
+    return LiveTable(ids, values.tolist(), features, name="t")
+
+
+def _live_session(table) -> Tuple[OpaqueQuerySession, CountingScorer]:
+    scorer = CountingScorer(BlockingReluScorer(PER_CALL))
+    session = OpaqueQuerySession()
+    session.register_table("t", table, index_config=INDEX_CONFIG)
+    session.register_udf("score", scorer)
+    return session, scorer
+
+
+def _query(seed: int) -> str:
+    # Exhaustive (no BUDGET): the exact answer is tree-shape independent,
+    # so the incremental and rebuild arms must agree cycle for cycle.
+    return (f"SELECT TOP {K} FROM t ORDER BY score "
+            f"BATCH {BATCH_SIZE} SEED {seed}")
+
+
+def _append_batches(n_batches: int, batch: int, floor: float,
+                    prefix: str) -> List[Tuple[List[str], List[float]]]:
+    """Deterministic append batches, strictly above ``floor`` so every
+    batch moves the top-k (and exhaustive answers stay tie-free)."""
+    batches = []
+    for round_index in range(n_batches):
+        base = floor + 10.0 * (round_index + 1)
+        values = [base + 0.001 * i for i in range(batch)]
+        ids = [f"{prefix}{round_index}-{i}" for i in range(batch)]
+        batches.append((ids, values))
+    return batches
+
+
+def _rows_for(values: Sequence[float], seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.column_stack([np.asarray(values, dtype=float),
+                            rng.random(len(values))])
+
+
+def run_cycles(n: int, seed: int) -> Dict[str, object]:
+    """The incremental vs rebuild-per-write comparison."""
+    query = _query(seed)
+    batches = _append_batches(CYCLES, APPEND_BATCH,
+                              floor=20.0, prefix="w")
+
+    # Incremental arm: one live session; the first (untimed) query is
+    # the initial load both arms share — index build + full scoring.
+    live = build_live_table(n, seed=seed)
+    session, scorer = _live_session(live)
+    session.execute(query)
+    calls_loaded = scorer.n_elements
+    incremental_answers = []
+    started = time.perf_counter()
+    for cycle, (ids, values) in enumerate(batches):
+        live.append(ids, values, _rows_for(values, seed + cycle))
+        incremental_answers.append(session.execute(query).ids)
+    incremental_wall = time.perf_counter() - started
+    fresh_calls = scorer.n_elements - calls_loaded
+    card = session.table_info("t")
+
+    # Rebuild arm: the static world — every write means a fresh
+    # session over the new contents (full index build, cold memo).
+    shadow = build_live_table(n, seed=seed)
+    rebuild_answers = []
+    started = time.perf_counter()
+    for cycle, (ids, values) in enumerate(batches):
+        shadow.append(ids, values, _rows_for(values, seed + cycle))
+        fresh, _ = _live_session(shadow.snapshot())
+        rebuild_answers.append(fresh.execute(query).ids)
+    rebuild_wall = time.perf_counter() - started
+
+    return {
+        "incremental_wall_seconds": incremental_wall,
+        "rebuild_wall_seconds": rebuild_wall,
+        "speedup": rebuild_wall / max(incremental_wall, 1e-9),
+        "answers_match": incremental_answers == rebuild_answers,
+        "incremental_fresh_calls": fresh_calls,
+        "index_freshness_final": card["index_freshness"],
+        "index_splits": card["index_splits"],
+        "index_rebuilds": card["index_rebuilds"],
+    }
+
+
+def run_continuous(n: int, seed: int) -> Dict[str, object]:
+    """The standing-query cell: exact emissions, memo-bounded rescoring."""
+    table = build_live_table(n, seed=seed)
+    session, scorer = _live_session(table)
+    standing = ContinuousQuery(session,
+                               _query(seed) + " STREAM CONTINUOUS")
+    batches = _append_batches(CONTINUOUS_ROUNDS, CONTINUOUS_APPEND,
+                              floor=20.0, prefix="c")
+
+    def exact_ids() -> List[str]:
+        snapshot = table.snapshot()
+        ids = snapshot.ids()
+        scores = np.maximum(
+            np.asarray(snapshot.fetch_batch(ids), dtype=float), 0.0)
+        order = np.argsort(-scores, kind="stable")[:K]
+        return [ids[i] for i in order]
+
+    exact = True
+    fresh_max = 0
+    snapshot = standing.refresh()
+    exact &= [i for i, _ in snapshot.top_k] == exact_ids()
+    calls_before = scorer.n_elements
+    for round_index, (ids, values) in enumerate(batches):
+        table.append(ids, values, _rows_for(values, seed + round_index))
+        snapshot = standing.refresh()
+        fresh = scorer.n_elements - calls_before
+        calls_before = scorer.n_elements
+        fresh_max = max(fresh_max, fresh)
+        exact &= (snapshot is not None
+                  and [i for i, _ in snapshot.top_k] == exact_ids())
+    standing.cancel()
+    return {
+        "continuous_rounds": CONTINUOUS_ROUNDS,
+        "continuous_append": CONTINUOUS_APPEND,
+        "continuous_emits": standing.n_emits,
+        "continuous_cycles": standing.n_cycles,
+        "continuous_fresh_calls_max": fresh_max,
+        "continuous_exact": bool(exact),
+    }
+
+
+def run_grid(n: int = FULL_N, seeds: Sequence[int] = SEEDS,
+             verbose: bool = True) -> List[Dict[str, object]]:
+    """One row per (n, seed): the cycles arm plus the continuous arm."""
+    rows: List[Dict[str, object]] = []
+    for seed in seeds:
+        row: Dict[str, object] = {
+            "mode": "live", "n": n, "seed": seed, "k": K,
+            "cycles": CYCLES, "append_batch": APPEND_BATCH,
+            "per_call_seconds": PER_CALL,
+        }
+        row.update(run_cycles(n, seed))
+        row.update(run_continuous(n, seed))
+        rows.append(row)
+        if verbose:
+            print(f"n={n:>9,} seed={seed}  incremental "
+                  f"{row['incremental_wall_seconds']:.2f}s vs rebuild "
+                  f"{row['rebuild_wall_seconds']:.2f}s "
+                  f"({row['speedup']:.1f}x)  match="
+                  f"{row['answers_match']}  continuous: "
+                  f"{row['continuous_emits']} emits, <= "
+                  f"{row['continuous_fresh_calls_max']} fresh calls/round, "
+                  f"exact={row['continuous_exact']}")
+    return rows
+
+
+def headline_table(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [
+        {
+            "n": row["n"],
+            "seed": row["seed"],
+            "speedup": row["speedup"],
+            "answers_match": row["answers_match"],
+            "continuous_fresh_calls_max": row["continuous_fresh_calls_max"],
+            "continuous_exact": row["continuous_exact"],
+        }
+        for row in sorted(rows, key=lambda r: (r["n"], r["seed"]))
+    ]
+
+
+def write_results(rows: List[Dict[str, object]], label: str,
+                  output: Path = DEFAULT_OUTPUT) -> None:
+    """Merge ``rows`` under ``results[label]`` (shared bench schema)."""
+    payload: Dict[str, object] = {}
+    if output.exists():
+        payload = json.loads(output.read_text())
+    payload.setdefault("benchmark", "live")
+    payload["machine"] = platform.platform()
+    results = payload.setdefault("results", {})
+    results[label] = rows
+    payload["headline"] = headline_table(results.get("after", rows))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"))
+    parser.add_argument("--small", action="store_true",
+                        help="only the 20k gate cells")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    if args.small:
+        rows = run_grid(n=SMALL_N)
+    else:
+        rows = run_grid(n=SMALL_N) + run_grid(n=FULL_N)
+    for line in headline_table(rows):
+        print(f"  n={line['n']:,} seed={line['seed']}: "
+              f"{line['speedup']:.1f}x incremental speedup, "
+              f"answers_match={line['answers_match']}, continuous "
+              f"exact={line['continuous_exact']} "
+              f"(<= {line['continuous_fresh_calls_max']} fresh/round)")
+    if not args.no_write:
+        write_results(rows, args.label, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,13 @@ a headline table) and hence the same gate machinery:
   least 3 queries genuinely shared the pool at once, and every tenant's
   answer under load is bit-identical to its solo run) and re-measures
   the contended 20k matrix live.
+* ``live`` — checks the committed ``BENCH_live.json`` rows structurally
+  (incremental append+query cycles beat rebuild-per-write by the 5x
+  floor at 200k with cycle-for-cycle identical exhaustive answers, and
+  the standing ``CONTINUOUS`` query emits the exact top-k per append
+  round while re-scoring no more than the appended batch plus slack)
+  and re-measures the small 20k cells live under the relaxed small-n
+  speedup floor.
 * ``shm`` — checks the committed ``BENCH_shm.json`` rows structurally
   (shm-path specs stay under the fixed wire-size ceiling at every table
   size, both modes give bit-identical answers, and on the 1M table the
@@ -60,6 +67,7 @@ hardware regenerate them first with::
     PYTHONPATH=src python benchmarks/bench_confidence.py
     PYTHONPATH=src python benchmarks/bench_shm.py
     PYTHONPATH=src python benchmarks/bench_cache.py
+    PYTHONPATH=src python benchmarks/bench_live.py
     PYTHONPATH=src python benchmarks/bench_obs.py
     PYTHONPATH=src python benchmarks/bench_service.py
 
@@ -478,6 +486,79 @@ def check_cache(baseline_path: Optional[Path] = None,
     return failures
 
 
+def check_live(baseline_path: Optional[Path] = None,
+               verbose: bool = True) -> List[str]:
+    """Live gate: incremental cycles win big, continuous emits exactly.
+
+    Two parts, mirroring the cache/filtered gates:
+
+    1. *Structural*: every committed ``BENCH_live.json`` row must show
+       (a) the incremental append+query cycles beating the
+       rebuild-per-write arm by :data:`bench_live.SPEEDUP_FLOOR` (5x)
+       at :data:`bench_live.FULL_N` (the relaxed
+       :data:`bench_live.SMALL_SPEEDUP_FLOOR` below it — fixed costs
+       weigh more at small n), (b) cycle-for-cycle identical exhaustive
+       answers between the arms (the differential contract), and (c)
+       the standing ``CONTINUOUS`` query emitting once per
+       answer-moving append round, each emission exactly the
+       brute-force top-k, with fresh UDF calls per round bounded by
+       the append batch plus :data:`bench_live.CONTINUOUS_SLACK`.
+    2. *Re-measure*: re-run the small 20k cells live and assert the
+       same invariants under the small-n speedup floor.
+    """
+    bench_live = _bench("bench_live")
+
+    baseline_path = baseline_path or bench_live.DEFAULT_OUTPUT
+    failures: List[str] = []
+
+    def assert_invariant(rows: List[dict], source: str) -> None:
+        for row in rows:
+            cell = f"{source} n={row['n']} seed={row['seed']}"
+            floor = (bench_live.SPEEDUP_FLOOR
+                     if row["n"] >= bench_live.FULL_N
+                     else bench_live.SMALL_SPEEDUP_FLOOR)
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{cell}: incremental cycles only "
+                    f"{row['speedup']:.1f}x faster than rebuild-per-write "
+                    f"(floor {floor:.0f}x)"
+                )
+            if not row.get("answers_match"):
+                failures.append(
+                    f"{cell}: incremental answers diverge from the "
+                    f"rebuild-per-write arm — the maintained index is "
+                    f"not differentially correct"
+                )
+            if not row.get("continuous_exact"):
+                failures.append(
+                    f"{cell}: a CONTINUOUS emission diverges from the "
+                    f"brute-force top-k over the committed snapshot"
+                )
+            allowed = (row["continuous_append"]
+                       + bench_live.CONTINUOUS_SLACK)
+            if row["continuous_fresh_calls_max"] > allowed:
+                failures.append(
+                    f"{cell}: a continuous round scored "
+                    f"{row['continuous_fresh_calls_max']} fresh elements, "
+                    f"over the append batch + slack ({allowed}) — "
+                    f"memoized elements are being re-scored"
+                )
+            expected_emits = row["continuous_rounds"] + 1
+            if row["continuous_emits"] < expected_emits:
+                failures.append(
+                    f"{cell}: only {row['continuous_emits']} continuous "
+                    f"emissions for {row['continuous_rounds']} "
+                    f"answer-moving rounds (+1 initial)"
+                )
+
+    assert_invariant(load_rows(baseline_path), "committed")
+    assert_invariant(
+        bench_live.run_grid(n=bench_live.SMALL_N, verbose=verbose),
+        "re-measured",
+    )
+    return failures
+
+
 def check_service(baseline_path: Optional[Path] = None,
                   verbose: bool = True) -> List[str]:
     """Service gate: fair shares, real concurrency, identity under load.
@@ -620,7 +701,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--benchmark", default="engine",
                         choices=("engine", "sharded", "streaming",
                                  "confidence", "filtered", "shm", "cache",
-                                 "obs", "service"),
+                                 "obs", "service", "live"),
                         help="which committed baseline to gate against")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed fractional regression "
@@ -628,7 +709,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
-    if args.benchmark == "service":
+    if args.benchmark == "live":
+        failures = check_live(baseline_path=args.baseline)
+    elif args.benchmark == "service":
         failures = check_service(baseline_path=args.baseline)
     elif args.benchmark == "obs":
         failures = check_obs(

@@ -103,6 +103,13 @@ from repro.memo import (
     PriorStore,
     udf_fingerprint,
 )
+from repro.live import (
+    ContinuousQuery,
+    IndexMaintainer,
+    LiveTable,
+    TableSnapshot,
+    WriteDelta,
+)
 from repro.index.btree import BPlusTree
 from repro.applications import (
     AcquisitionReport,
@@ -251,6 +258,11 @@ __all__ = [
     "MemoView",
     "PriorStore",
     "udf_fingerprint",
+    "LiveTable",
+    "TableSnapshot",
+    "WriteDelta",
+    "IndexMaintainer",
+    "ContinuousQuery",
     "ScoreSketch",
     "ReservoirSketch",
     "EquiDepthSketch",

@@ -14,7 +14,16 @@ Three commands, mirroring how the library is used (full walkthrough in
   (see :mod:`repro.replay`).
 * ``query``   — execute one SQL-ish opaque top-k query (see
   :mod:`repro.session` and :mod:`repro.query`) against a generated demo
-  table.  The dialect's ``WORKERS <w>`` / ``BACKEND <b>`` and
+  table.  ``--live`` registers the table as a mutable
+  :class:`repro.live.LiveTable`; ``--append N`` (implies ``--live``)
+  appends N fresh rows after the first run and re-runs the same query,
+  showing the incrementally maintained index and the memo serving every
+  unchanged element.  Every run ends with the table's card — rows,
+  ``table_version``, and index freshness (``static`` / ``built`` /
+  ``incremental`` / ``rebuilt``) — from
+  :meth:`repro.session.OpaqueQuerySession.table_info`.  Standing
+  ``CONTINUOUS`` queries are subscriptions and are redirected to
+  :class:`repro.live.ContinuousQuery` / the service with a clean error.  The dialect's ``WORKERS <w>`` / ``BACKEND <b>`` and
   ``STREAM`` / ``EVERY <n>`` / ``CONFIDENCE <p>`` clauses — or the
   equivalent ``--workers`` / ``--backend`` / ``--stream`` / ``--every``
   / ``--confidence`` flags — select the execution mode; an explicit
@@ -146,6 +155,15 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default=None, choices=backends,
                        help="default backend when the query has no "
                             "BACKEND clause; registry-driven choices")
+    query.add_argument("--live", action="store_true",
+                       help="register the demo table as a mutable "
+                            "LiveTable (versioned writes, incrementally "
+                            "maintained index; see docs/live.md)")
+    query.add_argument("--append", type=int, default=0, metavar="N",
+                       help="append N fresh demo rows after the first run "
+                            "and re-run the same query (implies --live); "
+                            "the re-run scores only the appended rows — "
+                            "every unchanged element comes from the memo")
     query.add_argument("--no-cache", action="store_true",
                        help="disable the cross-query score memo for this "
                             "query (warm answers are bit-identical to "
@@ -269,7 +287,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro import parse_query
 
-    session = _demo_session(args.rows, args.seed)
+    live_mode = args.live or args.append > 0
+    session = _demo_session(args.rows, args.seed, live=live_mode)
     sql = args.sql
     explain_mode = args.explain
     streaming_mode = (args.stream or args.every is not None
@@ -306,33 +325,70 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(plan.explain())
         return 0
     trace = args.trace_out is not None
-    if streaming_mode:
-        snapshot = None
-        for snapshot in session.stream(args.sql, workers=args.workers,
-                                       backend=args.backend,
-                                       every=args.every,
-                                       confidence=args.confidence,
-                                       use_cache=use_cache,
-                                       trace=trace):
-            _print_progressive(snapshot)
-        items = snapshot.top_k if snapshot is not None else []
-    else:
-        result = session.execute(args.sql, workers=args.workers,
-                                 backend=args.backend,
-                                 use_cache=use_cache,
-                                 trace=trace)
-        print(result.summary())
-        items = result.items
-    for element_id, score in items[:10]:
-        print(f"  {element_id}\t{score:.4f}")
-    if len(items) > 10:
-        print(f"  ... {len(items) - 10} more rows")
-    if not args.no_cache:
-        stats = session.cache_stats("demo")
-        print(f"cache: {stats['hits']} hits / {stats['misses']} misses, "
-              f"{stats['entries']} scores memoized")
+
+    def run_query() -> None:
+        if streaming_mode:
+            snapshot = None
+            for snapshot in session.stream(args.sql, workers=args.workers,
+                                           backend=args.backend,
+                                           every=args.every,
+                                           confidence=args.confidence,
+                                           use_cache=use_cache,
+                                           trace=trace):
+                _print_progressive(snapshot)
+            items = snapshot.top_k if snapshot is not None else []
+        else:
+            result = session.execute(args.sql, workers=args.workers,
+                                     backend=args.backend,
+                                     use_cache=use_cache,
+                                     trace=trace)
+            print(result.summary())
+            items = result.items
+        for element_id, score in items[:10]:
+            print(f"  {element_id}\t{score:.4f}")
+        if len(items) > 10:
+            print(f"  ... {len(items) - 10} more rows")
+        if not args.no_cache:
+            stats = session.cache_stats("demo")
+            print(f"cache: {stats['hits']} hits / {stats['misses']} misses, "
+                  f"{stats['entries']} scores memoized")
+
+    run_query()
+    if args.append > 0:
+        _append_demo_rows(session, args.append, args.seed)
+        print(f"\nappended {args.append} rows; re-running (the memo keeps "
+              "every pre-existing score warm)")
+        run_query()
+    _print_table_card(session,
+                      parsed.table if parsed is not None else "demo")
     _write_trace_out(args.trace_out, session)
     return 0
+
+
+def _append_demo_rows(session, n: int, seed: int) -> None:
+    """Commit ``n`` fresh rows to the live demo table (one write batch)."""
+    live = session._live_table("demo")
+    rng = np.random.default_rng(seed + 1)
+    values = rng.uniform(0.0, 25.0, size=n)
+    live.append([f"new-{i:05d}" for i in range(n)],
+                [float(value) for value in values],
+                values.reshape(-1, 1))
+
+
+def _print_table_card(session, table: str) -> None:
+    """One-line per-table card: rows, version, index freshness, writes."""
+    info = session.table_info(table)
+    line = (f"table: {info['table']} — {info['rows']:,} rows, "
+            f"version {info['version']}, index {info['index_freshness']}")
+    if info.get("writes"):
+        writes = info["writes"]
+        line += (f" (writes: {writes['append']} append / "
+                 f"{writes['update']} update / {writes['delete']} delete")
+        if "index_splits" in info:
+            line += (f"; {info['index_splits']} splits, "
+                     f"{info['index_rebuilds']} rebuilds")
+        line += ")"
+    print(line)
 
 
 def _write_trace_out(path: Optional[str], session) -> None:
@@ -348,8 +404,14 @@ def _write_trace_out(path: Optional[str], session) -> None:
           "(load in chrome://tracing or Perfetto)")
 
 
-def _demo_session(rows: int, seed: int):
-    """The demo table + UDFs behind both ``query`` and ``serve``."""
+def _demo_session(rows: int, seed: int, live: bool = False):
+    """The demo table + UDFs behind both ``query`` and ``serve``.
+
+    With ``live=True`` the generated rows seed a mutable
+    :class:`repro.live.LiveTable` instead of a static dataset, so the
+    session plans against pinned snapshots and maintains the index
+    incrementally as writes commit.
+    """
     from repro import OpaqueQuerySession, ReluScorer
     from repro.data.synthetic import SyntheticClustersDataset
     from repro.index.builder import IndexConfig
@@ -360,10 +422,17 @@ def _demo_session(rows: int, seed: int):
         per_cluster=250,
         rng=seed,
     )
+    n_clusters = dataset.n_clusters
+    if live:
+        from repro.live import LiveTable
+
+        ids = dataset.ids()
+        dataset = LiveTable(ids, [dataset.fetch(i) for i in ids],
+                            dataset.features(), name="demo")
     session = OpaqueQuerySession()
     session.register_table(
         "demo", dataset,
-        index_config=IndexConfig(n_clusters=dataset.n_clusters),
+        index_config=IndexConfig(n_clusters=n_clusters),
     )
     session.register_udf("relu", ReluScorer())
     session.register_udf("squared",
@@ -432,6 +501,9 @@ def _cmd_info(_args: argparse.Namespace) -> int:
                          "replay of real streaming runs"),
         ("repro.memo", "cross-query score memo (bit-identical warm "
                        "answers) + warm-start bandit priors"),
+        ("repro.live", "mutable versioned tables (snapshot-isolated "
+                       "writes), incremental index maintenance, "
+                       "standing CONTINUOUS queries"),
         ("repro.obs", "query-lifecycle span tracing, EXPLAIN ANALYZE "
                       "reports, process-wide metrics registry"),
         ("repro.service", "multi-tenant asyncio query service: global "
@@ -458,6 +530,10 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print("score cache: on by default (per-table cross-query memo, keyed "
           "by UDF fingerprint; warm answers bit-identical to cold; "
           "opt out per query with --no-cache)")
+    print("live tables: repro query --live / --append N (per-table "
+          "version, row count, and index freshness printed after every "
+          "query; standing queries via the CONTINUOUS clause — "
+          "repro.live.ContinuousQuery or the query service)")
     from repro.obs.metrics import REGISTRY
 
     print("\nmetrics (repro.obs.metrics.REGISTRY.snapshot()):")

@@ -166,7 +166,7 @@ def restore_engine(index: ClusterTree, snapshot: dict,
 _MEMO_FORMAT = "repro-memo-snapshot/1"
 
 
-def snapshot_memo(memo, priors=None) -> dict:
+def snapshot_memo(memo, priors=None, table_version=None) -> dict:
     """Capture a table's cross-query state (JSON-safe).
 
     ``memo`` is a :class:`~repro.memo.store.MemoStore`; ``priors`` an
@@ -177,19 +177,36 @@ def snapshot_memo(memo, priors=None) -> dict:
     under a different Python version keys stale fingerprints — entries
     are then simply never hit (never wrong), and the first queries re-pay
     their UDF calls.
+
+    ``table_version`` stamps the payload with the live-table version the
+    scores were computed against (defaults to the store's own
+    ``table_version`` counter, 0 for immutable tables).  On restore the
+    stamp is checked: scores of a table that has since been written to
+    would be silently wrong, so a mismatch clears instead of reviving.
     """
+    version = (memo.table_version if table_version is None
+               else int(table_version))
     return {
         "format": _MEMO_FORMAT,
         "memo": memo.to_dict(),
         "priors": None if priors is None else priors.to_dict(),
+        "table_version": int(version),
     }
 
 
-def restore_memo(payload: dict):
+def restore_memo(payload: dict, expected_table_version=None):
     """Rebuild ``(MemoStore, PriorStore)`` from :func:`snapshot_memo`.
 
     The prior store is always returned (empty when none was captured), so
     callers can unpack unconditionally.
+
+    When ``expected_table_version`` is given (the current version of the
+    live table the memo will serve), it is compared against the
+    snapshot's stamp: on mismatch the payload's scores and priors are
+    *discarded* and fresh empty stores are returned — a memo carried
+    across writes would otherwise serve element scores computed from
+    rows that no longer exist.  The returned stores are stamped with the
+    expected version so subsequent reconciliation starts clean.
     """
     from repro.memo import MemoStore, PriorStore
 
@@ -197,6 +214,12 @@ def restore_memo(payload: dict):
         raise SerializationError(
             f"unrecognized memo snapshot format {payload.get('format')!r}"
         )
+    stamped = int(payload.get("table_version", 0))
+    if (expected_table_version is not None
+            and stamped != int(expected_table_version)):
+        memo = MemoStore()
+        memo.table_version = int(expected_table_version)
+        return memo, PriorStore()
     memo = MemoStore.from_dict(payload["memo"])
     priors_payload = payload.get("priors")
     priors = (PriorStore() if priors_payload is None

@@ -1,0 +1,365 @@
+"""Versioned mutable tables: append/update/delete with COW snapshots.
+
+A :class:`LiveTable` is a :class:`~repro.data.dataset.Dataset` whose
+contents change over time.  Every committed write batch — one
+``append``/``update``/``delete`` call — advances a monotone
+``table_version`` and is recorded as a :class:`WriteDelta` in the
+table's write log, which downstream consumers (incremental index
+maintenance, memo/prior/shard-cache invalidation, standing
+``CONTINUOUS`` queries) replay to catch up from any older version.
+
+Snapshot isolation is structural, not locked-in-time: feature rows live
+in an append-only block — an ``update`` writes a *new* row and repoints
+the element's locator, it never mutates the old row in place — so a
+:class:`TableSnapshot` taken at version ``v`` keeps reading exactly the
+rows that were current at ``v`` no matter how many writes commit while
+a query over it is still in flight.  Writers pay a gather per snapshot
+(amortized by per-version caching); readers pay nothing.
+
+Writes are observable: each commit increments the process-wide
+``writes_total{table, kind}`` counter and records a ``write[kind]``
+span fragment (:attr:`LiveTable.spans`, stitchable into any
+:class:`~repro.obs.spans.TraceContext` via ``attach``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, InMemoryDataset
+from repro.errors import ConfigurationError
+from repro.obs.metrics import WRITES_TOTAL
+from repro.obs.spans import Span
+
+#: Write-span fragments retained per table (oldest dropped first).
+MAX_WRITE_SPANS = 64
+
+
+@dataclass(frozen=True)
+class WriteDelta:
+    """One committed write batch, as replayed by downstream consumers.
+
+    ``rows`` are the new feature rows (``None`` for deletes);
+    ``old_rows`` the rows the batch replaced (``None`` for appends) —
+    incremental maintenance needs both to move centroid aggregates.
+    """
+
+    version: int
+    kind: str  # "append" | "update" | "delete"
+    ids: Tuple[str, ...]
+    rows: Optional[np.ndarray] = None
+    old_rows: Optional[np.ndarray] = None
+
+
+class TableSnapshot(InMemoryDataset):
+    """An immutable view of one :class:`LiveTable` version.
+
+    A plain :class:`~repro.data.dataset.InMemoryDataset` (so every
+    engine, shard builder, and shared-memory path consumes it
+    unchanged) plus the ``version`` stamp queries pin at plan time.
+    """
+
+    def __init__(self, ids: Sequence[str], objects: Sequence[Any],
+                 features: np.ndarray, version: int,
+                 table: str = "") -> None:
+        super().__init__(ids, objects, features)
+        self.version = int(version)
+        self.table = table
+
+
+class LiveTable(Dataset):
+    """A mutable, versioned dataset with copy-on-write feature blocks.
+
+    Parameters
+    ----------
+    ids, objects, features:
+        Optional initial contents (committed as version 0).
+    dim:
+        Feature dimensionality; required when starting empty, otherwise
+        inferred from ``features``.
+    name:
+        Label used in metrics and span fragments.
+    """
+
+    def __init__(self, ids: Sequence[str] = (),
+                 objects: Optional[Sequence[Any]] = None,
+                 features: Optional[np.ndarray] = None,
+                 *, dim: Optional[int] = None, name: str = "live") -> None:
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self.name = str(name)
+
+        ids = [str(element_id) for element_id in ids]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("element ids must be unique")
+        if objects is None:
+            objects = list(ids)
+        if len(objects) != len(ids):
+            raise ConfigurationError(
+                f"{len(ids)} ids for {len(objects)} objects")
+        if features is None:
+            if ids:
+                raise ConfigurationError("initial rows need features")
+            if dim is None:
+                raise ConfigurationError(
+                    "an empty LiveTable needs an explicit dim=")
+            features = np.empty((0, int(dim)), dtype=float)
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if len(features) != len(ids):
+            raise ConfigurationError(
+                f"{len(ids)} ids for {len(features)} feature rows")
+        if dim is not None and features.shape[1] != int(dim):
+            raise ConfigurationError(
+                f"features have dim {features.shape[1]}, expected {dim}")
+
+        self._dim = int(features.shape[1])
+        capacity = max(16, 2 * len(ids))
+        self._block = np.empty((capacity, self._dim), dtype=float)
+        self._block[:len(ids)] = features
+        self._n_rows = len(ids)  # rows ever written into the block
+        self._order: List[str] = list(ids)  # live ids, insertion order
+        self._row_of: Dict[str, int] = {eid: row
+                                        for row, eid in enumerate(ids)}
+        self._objects: Dict[str, Any] = dict(zip(ids, objects))
+        self._version = 0
+        self._deltas: List[WriteDelta] = []
+        self._snapshot_cache: Optional[TableSnapshot] = None
+        self.spans: List[dict] = []
+        self._write_counts = {"append": 0, "update": 0, "delete": 0}
+
+    # -- write surface -------------------------------------------------------
+
+    def append(self, ids: Sequence[str], objects: Optional[Sequence[Any]],
+               features: np.ndarray) -> int:
+        """Add new elements; returns the new ``table_version``."""
+        started = time.perf_counter()
+        ids = [str(element_id) for element_id in ids]
+        if not ids:
+            raise ConfigurationError("append needs at least one element")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("appended ids must be unique")
+        if objects is None:
+            objects = list(ids)
+        if len(objects) != len(ids):
+            raise ConfigurationError(
+                f"{len(ids)} ids for {len(objects)} objects")
+        rows = self._coerce_rows(features, len(ids))
+        with self._cond:
+            for element_id in ids:
+                if element_id in self._row_of:
+                    raise ConfigurationError(
+                        f"element id {element_id!r} already present")
+            base = self._reserve(len(ids))
+            self._block[base:base + len(ids)] = rows
+            for offset, element_id in enumerate(ids):
+                self._row_of[element_id] = base + offset
+                self._order.append(element_id)
+            self._objects.update(zip(ids, objects))
+            return self._commit("append", ids, rows=rows, started=started)
+
+    def update(self, ids: Sequence[str], features: np.ndarray,
+               objects: Optional[Sequence[Any]] = None) -> int:
+        """Replace existing elements' features (and optionally objects)."""
+        started = time.perf_counter()
+        ids = [str(element_id) for element_id in ids]
+        if not ids:
+            raise ConfigurationError("update needs at least one element")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("updated ids must be unique")
+        rows = self._coerce_rows(features, len(ids))
+        if objects is not None and len(objects) != len(ids):
+            raise ConfigurationError(
+                f"{len(ids)} ids for {len(objects)} objects")
+        with self._cond:
+            self._require_known(ids)
+            old_rows = self._block[[self._row_of[eid] for eid in ids]].copy()
+            # COW: the old rows stay untouched for pinned snapshots; the
+            # locator now points at freshly appended rows.
+            base = self._reserve(len(ids))
+            self._block[base:base + len(ids)] = rows
+            for offset, element_id in enumerate(ids):
+                self._row_of[element_id] = base + offset
+            if objects is not None:
+                self._objects.update(zip(ids, objects))
+            return self._commit("update", ids, rows=rows, old_rows=old_rows,
+                                started=started)
+
+    def delete(self, ids: Sequence[str]) -> int:
+        """Remove elements; returns the new ``table_version``."""
+        started = time.perf_counter()
+        ids = [str(element_id) for element_id in ids]
+        if not ids:
+            raise ConfigurationError("delete needs at least one element")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("deleted ids must be unique")
+        with self._cond:
+            self._require_known(ids)
+            old_rows = self._block[[self._row_of[eid] for eid in ids]].copy()
+            doomed = set(ids)
+            self._order = [eid for eid in self._order if eid not in doomed]
+            for element_id in ids:
+                del self._row_of[element_id]
+                del self._objects[element_id]
+            return self._commit("delete", ids, old_rows=old_rows,
+                                started=started)
+
+    # -- read surface --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone version of the latest committed write."""
+        with self._lock:
+            return self._version
+
+    def snapshot(self) -> TableSnapshot:
+        """Immutable view of the current version (cached per version)."""
+        with self._lock:
+            if self._snapshot_cache is None:
+                rows = [self._row_of[eid] for eid in self._order]
+                self._snapshot_cache = TableSnapshot(
+                    list(self._order),
+                    [self._objects[eid] for eid in self._order],
+                    self._block[rows].copy(),
+                    version=self._version,
+                    table=self.name,
+                )
+            return self._snapshot_cache
+
+    def deltas_since(self, version: int,
+                     upto: Optional[int] = None) -> List[WriteDelta]:
+        """Committed deltas with ``version < delta.version <= upto``."""
+        with self._lock:
+            return [delta for delta in self._deltas
+                    if delta.version > version
+                    and (upto is None or delta.version <= upto)]
+
+    def wait_for_commit(self, after_version: int,
+                        timeout: Optional[float] = None) -> int:
+        """Block until a write past ``after_version`` commits.
+
+        Returns the current version (which may still equal
+        ``after_version`` if the timeout elapsed first) — standing
+        continuous queries park here between emissions.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: self._version > after_version,
+                                timeout=timeout)
+            return self._version
+
+    def stats(self) -> Dict[str, Any]:
+        """Version, live-row count, and per-kind write counters."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "version": self._version,
+                "rows": len(self._order),
+                "rows_written": self._n_rows,
+                "dim": self._dim,
+                "writes": dict(self._write_counts),
+            }
+
+    # -- Dataset protocol (reads the *current* version) ----------------------
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._order)
+
+    def fetch(self, element_id: str) -> Any:
+        with self._lock:
+            try:
+                return self._objects[element_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown element id {element_id!r}") from None
+
+    def fetch_batch(self, element_ids: Sequence[str]) -> List[Any]:
+        with self._lock:
+            try:
+                objects = self._objects
+                return [objects[element_id] for element_id in element_ids]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"unknown element id {exc.args[0]!r}") from None
+
+    def features(self) -> np.ndarray:
+        return self.snapshot().features()
+
+    def feature_of(self, element_id: str) -> np.ndarray:
+        with self._lock:
+            try:
+                return self._block[self._row_of[element_id]].copy()
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown element id {element_id!r}") from None
+
+    def features_of(self, element_ids: Sequence[str]) -> np.ndarray:
+        with self._lock:
+            try:
+                row_of = self._row_of
+                rows = [row_of[element_id] for element_id in element_ids]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"unknown element id {exc.args[0]!r}") from None
+            return self._block[rows].copy()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    # -- internals -----------------------------------------------------------
+
+    def _coerce_rows(self, features: np.ndarray, n: int) -> np.ndarray:
+        rows = np.asarray(features, dtype=float)
+        if rows.ndim == 1:
+            rows = rows.reshape(-1, 1) if self._dim == 1 else rows.reshape(1, -1)
+        if rows.shape != (n, self._dim):
+            raise ConfigurationError(
+                f"expected a ({n}, {self._dim}) feature block, "
+                f"got {rows.shape}")
+        return rows.copy()
+
+    def _require_known(self, ids: Sequence[str]) -> None:
+        for element_id in ids:
+            if element_id not in self._row_of:
+                raise ConfigurationError(
+                    f"unknown element id {element_id!r}")
+
+    def _reserve(self, n: int) -> int:
+        """Grow the append-only block so ``n`` more rows fit; return base."""
+        base = self._n_rows
+        needed = base + n
+        if needed > len(self._block):
+            capacity = max(needed, 2 * len(self._block))
+            block = np.empty((capacity, self._dim), dtype=float)
+            block[:base] = self._block[:base]
+            self._block = block
+        self._n_rows = needed
+        return base
+
+    def _commit(self, kind: str, ids: Sequence[str], *,
+                rows: Optional[np.ndarray] = None,
+                old_rows: Optional[np.ndarray] = None,
+                started: float = 0.0) -> int:
+        self._version += 1
+        self._snapshot_cache = None
+        self._deltas.append(WriteDelta(
+            version=self._version, kind=kind, ids=tuple(ids),
+            rows=rows, old_rows=old_rows))
+        self._write_counts[kind] += 1
+        WRITES_TOTAL.inc(table=self.name, kind=kind)
+        wall = max(0.0, time.perf_counter() - started)
+        self.spans.append(Span(
+            f"write[{kind}]", wall=wall,
+            attrs={"table": self.name, "version": self._version,
+                   "n": len(ids)},
+        ).to_dict())
+        del self.spans[:-MAX_WRITE_SPANS]
+        self._cond.notify_all()
+        return self._version

@@ -129,6 +129,31 @@ class PriorStore:
         with self._lock:
             self._priors.clear()
 
+    def drop_nodes(self, node_ids) -> int:
+        """Dirty specific tree nodes: remove their histograms everywhere.
+
+        Incremental index maintenance reports which nodes' membership a
+        write batch touched; their stored posteriors now describe a
+        different subtree, so the session drops exactly those (across
+        every ``(udf, scope)`` payload) and keeps the rest warm.
+        Payloads emptied by the drop are removed.  Returns the number of
+        node histograms dropped.
+        """
+        doomed = {str(node_id) for node_id in node_ids}
+        if not doomed:
+            return 0
+        dropped = 0
+        with self._lock:
+            for key in list(self._priors):
+                nodes = self._priors[key]
+                hit = doomed.intersection(nodes)
+                for node_id in hit:
+                    del nodes[node_id]
+                dropped += len(hit)
+                if not nodes:
+                    del self._priors[key]
+        return dropped
+
     def to_dict(self) -> dict:
         """JSON-safe payload of every stored prior."""
         with self._lock:

@@ -25,6 +25,18 @@ the savings appear where they are real: UDF call counts and wall clock.
 This also requires UDFs to be *element-wise pure*: an element's score
 must not depend on its batch-mates (every scorer in
 :mod:`repro.scoring` qualifies).
+
+Live tables add a version dimension.  The store tracks, per element id,
+the latest ``table_version`` that rewrote the element's features
+(:meth:`MemoStore.apply_writes` — called by the session when it
+reconciles a mutable table's write log).  A write both evicts the
+element's memoized scores and stamps ``last_write[id]``; from then on a
+reader pinned to an *older* snapshot can neither be served a score
+computed against the newer features (its lookups miss) nor poison the
+store with a score computed against the older ones (its records are
+dropped).  Memo hits are therefore only ever served for the table
+version that produced them.  Appends of brand-new ids evict nothing, so
+standing queries keep every hit for unchanged elements.
 """
 
 from __future__ import annotations
@@ -46,16 +58,51 @@ class MemoStore:
         self._lock = threading.RLock()
         #: fingerprint -> {element id -> score}
         self._scores: Dict[str, Dict[str, float]] = {}
+        #: element id -> latest table_version that rewrote its features
+        self._last_write: Dict[str, int] = {}
+        #: highest table_version reconciled into this store
+        self.table_version = 0
         self.hits = 0
         self.misses = 0
 
     # -- views ---------------------------------------------------------------
 
-    def view(self, fingerprint: str) -> "MemoView":
-        """The per-UDF view the engines consume (creates the shard lazily)."""
+    def view(self, fingerprint: str,
+             reader_version: Optional[int] = None) -> "MemoView":
+        """The per-UDF view the engines consume (creates the shard lazily).
+
+        ``reader_version`` pins the view to one table snapshot: lookups
+        miss on (and records are dropped for) any element rewritten
+        after that version.  ``None`` means the table is immutable.
+        """
         with self._lock:
             self._scores.setdefault(fingerprint, {})
-        return MemoView(self, fingerprint)
+        return MemoView(self, fingerprint, reader_version=reader_version)
+
+    # -- live-table reconciliation -------------------------------------------
+
+    def apply_writes(self, changed_ids: Iterable[str], version: int) -> None:
+        """Fold one committed write batch into the store.
+
+        Evicts every memoized score for ``changed_ids`` (a no-op for
+        brand-new ids) and stamps their last-write version, so stale
+        snapshots can neither hit on nor re-record those elements.
+        """
+        version = int(version)
+        with self._lock:
+            for element_id in changed_ids:
+                element_id = str(element_id)
+                for shard in self._scores.values():
+                    shard.pop(element_id, None)
+                self._last_write[element_id] = version
+            if version > self.table_version:
+                self.table_version = version
+
+    def _valid_for(self, element_id: str,
+                   reader_version: Optional[int]) -> bool:
+        if reader_version is None:
+            return True
+        return self._last_write.get(element_id, 0) <= reader_version
 
     # -- introspection -------------------------------------------------------
 
@@ -127,11 +174,16 @@ class MemoStore:
     def to_dict(self) -> dict:
         """JSON-safe payload of every memoized score."""
         with self._lock:
-            return {
+            payload = {
                 "format": _FORMAT,
                 "scores": {fp: dict(shard)
                            for fp, shard in self._scores.items() if shard},
             }
+            if self.table_version:
+                payload["table_version"] = self.table_version
+            if self._last_write:
+                payload["last_write"] = dict(self._last_write)
+            return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MemoStore":
@@ -146,16 +198,28 @@ class MemoStore:
                 str(element_id): float(score)
                 for element_id, score in shard.items()
             }
+        store.table_version = int(payload.get("table_version", 0))
+        store._last_write = {
+            str(element_id): int(version)
+            for element_id, version in payload.get("last_write", {}).items()
+        }
         return store
 
     # -- internal (MemoView plumbing) ----------------------------------------
 
     def _lookup(self, fingerprint: str, ids: Sequence[str],
+                reader_version: Optional[int] = None,
                 ) -> Tuple[List[Optional[float]], List[int]]:
         with self._lock:
             shard = self._scores.get(fingerprint, {})
-            scores: List[Optional[float]] = [shard.get(element_id)
-                                             for element_id in ids]
+            if reader_version is None or not self._last_write:
+                scores: List[Optional[float]] = [shard.get(element_id)
+                                                 for element_id in ids]
+            else:
+                scores = [shard.get(element_id)
+                          if self._valid_for(element_id, reader_version)
+                          else None
+                          for element_id in ids]
             misses = [position for position, value in enumerate(scores)
                       if value is None]
             self.hits += len(ids) - len(misses)
@@ -163,15 +227,23 @@ class MemoStore:
             return scores, misses
 
     def _record(self, fingerprint: str,
-                pairs: Iterable[Tuple[str, float]]) -> None:
+                pairs: Iterable[Tuple[str, float]],
+                reader_version: Optional[int] = None) -> None:
         with self._lock:
             shard = self._scores.setdefault(fingerprint, {})
             for element_id, score in pairs:
-                shard[element_id] = float(score)
+                if self._valid_for(element_id, reader_version):
+                    shard[element_id] = float(score)
 
-    def _snapshot(self, fingerprint: str) -> Dict[str, float]:
+    def _snapshot(self, fingerprint: str,
+                  reader_version: Optional[int] = None) -> Dict[str, float]:
         with self._lock:
-            return dict(self._scores.get(fingerprint, ()))
+            shard = self._scores.get(fingerprint, ())
+            if reader_version is None or not self._last_write:
+                return dict(shard)
+            return {element_id: score
+                    for element_id, score in shard.items()
+                    if self._valid_for(element_id, reader_version)}
 
 
 class MemoView:
@@ -182,9 +254,12 @@ class MemoView:
     and nothing else, so an engine can never cross UDF shards.
     """
 
-    def __init__(self, store: MemoStore, fingerprint: str) -> None:
+    def __init__(self, store: MemoStore, fingerprint: str,
+                 reader_version: Optional[int] = None) -> None:
         self.store = store
         self.fingerprint = str(fingerprint)
+        #: Table snapshot this view reads/writes against (None = immutable).
+        self.reader_version = reader_version
 
     def __len__(self) -> int:
         return self.store.n_entries(self.fingerprint)
@@ -192,17 +267,19 @@ class MemoView:
     def lookup(self, ids: Sequence[str],
                ) -> Tuple[List[Optional[float]], List[int]]:
         """``(scores-with-None-at-misses, miss positions)`` for a batch."""
-        return self.store._lookup(self.fingerprint, ids)
+        return self.store._lookup(self.fingerprint, ids,
+                                  self.reader_version)
 
     def record(self, ids: Sequence[str],
                scores: Sequence[float]) -> None:
         """Memoize freshly computed scores (id-aligned)."""
         values = np.asarray(scores, dtype=float).reshape(-1).tolist()
-        self.store._record(self.fingerprint, zip(ids, values))
+        self.store._record(self.fingerprint, zip(ids, values),
+                           self.reader_version)
 
     def record_pairs(self, pairs: Iterable[Tuple[str, float]]) -> None:
         """Memoize ``(id, score)`` pairs — the coordinator write-back."""
-        self.store._record(self.fingerprint, pairs)
+        self.store._record(self.fingerprint, pairs, self.reader_version)
 
     def count(self, hits: int, misses: int) -> None:
         """Report shard-observed hit/miss totals (coordinator write-back)."""
@@ -210,7 +287,7 @@ class MemoView:
 
     def snapshot(self) -> Dict[str, float]:
         """Frozen copy of this UDF's memo (what ships to shard specs)."""
-        return self.store._snapshot(self.fingerprint)
+        return self.store._snapshot(self.fingerprint, self.reader_version)
 
     def to_payload(self) -> dict:
         """JSON-safe ``(fingerprint, scores)`` payload for engine snapshots."""

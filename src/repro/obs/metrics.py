@@ -25,6 +25,12 @@ The instrument set mirrors the query lifecycle:
 * ``budget_grants_total{tenant, policy}`` /
   ``admissions_total{policy}`` — scorer-budget units granted and queries
   admitted by the multi-tenant service scheduler.
+* ``writes_total{table, kind}`` — committed live-table write batches
+  (append / update / delete).
+* ``index_splits_total{table}`` — leaf splits performed by incremental
+  cluster-tree maintenance.
+* ``continuous_emits_total{table}`` — result snapshots re-emitted by
+  standing ``CONTINUOUS`` queries.
 
 ``snapshot()`` returns a JSON-safe dict; ``describe()`` backs the CLI's
 ``info`` listing.  Everything is stdlib-only.
@@ -229,3 +235,12 @@ BUDGET_GRANTS_TOTAL = REGISTRY.counter(
 ADMISSIONS_TOTAL = REGISTRY.counter(
     "admissions_total", "queries admitted by the service scheduler, "
                         "by policy")
+WRITES_TOTAL = REGISTRY.counter(
+    "writes_total", "committed live-table write batches, by table and "
+                    "kind (append/update/delete)")
+INDEX_SPLITS_TOTAL = REGISTRY.counter(
+    "index_splits_total", "leaf splits performed by incremental "
+                          "cluster-tree maintenance, by table")
+CONTINUOUS_EMITS = REGISTRY.counter(
+    "continuous_emits_total", "result snapshots re-emitted by standing "
+                              "CONTINUOUS queries, by table")

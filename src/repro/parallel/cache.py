@@ -53,8 +53,9 @@ from repro.index.builder import IndexConfig
 from repro.index.tree import ClusterTree
 
 #: (root_entropy, n_workers, index-config fingerprint, n_elements,
-#:  candidate-subset fingerprint — "" when the whole table runs)
-CacheKey = Tuple[int, int, str, int, str]
+#:  candidate-subset fingerprint — "" when the whole table runs,
+#:  table_version — 0 for immutable datasets)
+CacheKey = Tuple[int, int, str, int, str, int]
 
 #: (partitions, per-worker indexes), id-aligned with worker order.
 CacheEntry = Tuple[List[List[str]], List[ClusterTree]]
@@ -82,10 +83,17 @@ def subset_fingerprint(ids: Optional[Sequence[str]]) -> str:
 def shard_cache_key(root_entropy: int, n_workers: int,
                     index_config: Optional[IndexConfig],
                     n_elements: int,
-                    subset: str = "") -> CacheKey:
-    """The full determinism fingerprint of one sharded index build."""
+                    subset: str = "",
+                    table_version: int = 0) -> CacheKey:
+    """The full determinism fingerprint of one sharded index build.
+
+    ``table_version`` keys live-table builds: a committed write changes
+    the dataset, so partitions/indexes built at version ``v`` must never
+    serve a query pinned at ``v+1`` (and vice versa).  Immutable
+    datasets stay at 0.
+    """
     return (int(root_entropy), int(n_workers), repr(index_config),
-            int(n_elements), str(subset))
+            int(n_elements), str(subset), int(table_version))
 
 
 class ShardIndexCache:
@@ -135,3 +143,19 @@ class ShardIndexCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def evict_stale(self, table_version: int) -> int:
+        """Drop entries built against any *other* table version.
+
+        Called by the session when it reconciles a live table's write
+        log: stale-version partitions could only serve queries pinned to
+        versions that no longer plan, so holding them just squeezes live
+        entries out of the LRU.  Returns the number of entries dropped.
+        """
+        table_version = int(table_version)
+        with self._lock:
+            stale = [key for key in self._entries
+                     if key[5] != table_version]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)

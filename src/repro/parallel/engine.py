@@ -214,6 +214,13 @@ class ShardedTopKEngine:
         (memo hits, early-exhausted shards).  Fully funded rounds leave
         the schedule untouched — bit-identity is preserved; a partial
         grant is refunded whole and the run stops at the round barrier.
+    table_version:
+        Version of the live-table snapshot this run executes against
+        (0 for immutable datasets).  Keys the shard-index cache so
+        partitions built at one version never serve another, stamps
+        every :class:`~repro.parallel.worker.ShardSpec` and snapshot
+        payload, and is asserted against each
+        :class:`~repro.parallel.worker.RoundOutcome` at the merge.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -230,7 +237,8 @@ class ShardedTopKEngine:
                  memo=None,
                  priors: Optional[List[Optional[dict]]] = None,
                  trace: Optional[TraceContext] = None,
-                 gate=None) -> None:
+                 gate=None,
+                 table_version: int = 0) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -269,6 +277,7 @@ class ShardedTopKEngine:
         self._priors = priors
         self._trace = trace
         self._gate = gate
+        self._table_version = int(table_version)
         self.backend: ShardBackend = make_backend(backend)
         # Coordinator state (persists across run() calls for resumption).
         self._started = False
@@ -327,6 +336,7 @@ class ShardedTopKEngine:
                            if self._memo is not None else None),
             priors=self._priors,
             trace=self._trace is not None,
+            table_version=self._table_version,
         )
         return specs
 
@@ -361,6 +371,7 @@ class ShardedTopKEngine:
                 partitions=self._partitions,
                 workers=self.backend.inline_workers(),
                 subset=subset_fingerprint(self._ids),
+                table_version=self._table_version,
             )
 
     # -- execution -----------------------------------------------------------
@@ -404,6 +415,12 @@ class ShardedTopKEngine:
             )
             round_elapsed = time.perf_counter() - round_started
             for outcome in outcomes:
+                if outcome.table_version != self._table_version:
+                    raise ConfigurationError(
+                        f"shard {outcome.worker_id} reported table version "
+                        f"{outcome.table_version}, coordinator pinned "
+                        f"{self._table_version}"
+                    )
                 run_hits += outcome.memo_hits
                 run_fresh += outcome.scored - outcome.memo_hits
                 self.total_scored += outcome.scored
@@ -518,6 +535,7 @@ class ShardedTopKEngine:
             "backend": self.backend.name,
             "root_entropy": self._root_entropy,
             "resume_count": self._resume_count,
+            "table_version": self._table_version,
             "coordinator": {
                 "buffer": [[score, element_id]
                            for score, element_id in self._buffer.items()],
@@ -553,6 +571,7 @@ class ShardedTopKEngine:
                 engine_config: Optional[EngineConfig] = None,
                 index_cache: Optional[ShardIndexCache] = None,
                 memo=None,
+                table_version: int = 0,
                 ) -> "ShardedTopKEngine":
         """Rebuild a sharded run from :meth:`snapshot` output.
 
@@ -567,11 +586,23 @@ class ShardedTopKEngine:
         :class:`~repro.memo.store.MemoView`; the snapshot's stored memo
         slice is merged into it (or, with no view supplied, revived into a
         standalone store) so the resumed run stays warm.
+
+        ``table_version`` must repeat the live-table version the run was
+        snapshotted against (0 for immutable datasets): a paused run
+        holds per-shard engine state valid only for the rows it saw, so
+        restoring it onto a table that has since committed writes is
+        rejected rather than silently resumed against different data.
         """
         if snapshot.get("format") != _SNAPSHOT_FORMAT:
             raise SerializationError(
                 f"unrecognized sharded snapshot format "
                 f"{snapshot.get('format')!r}"
+            )
+        stored_version = int(snapshot.get("table_version", 0))
+        if stored_version != int(table_version):
+            raise ConfigurationError(
+                f"snapshot was taken at table version {stored_version}, "
+                f"cannot restore against version {int(table_version)}"
             )
         subset = snapshot.get("ids")
         engine = cls(
@@ -585,6 +616,7 @@ class ShardedTopKEngine:
             seed=None,
             index_cache=index_cache,
             ids=None if subset is None else [str(i) for i in subset],
+            table_version=stored_version,
         )
         # Re-anchor the RNG streams to the original run's root entropy so
         # partitions and shard indexes rebuild identically.

@@ -147,6 +147,11 @@ class ShardSpec:
     #: :class:`~repro.obs.spans.TraceContext` to stitch.  Off by default:
     #: the round loop then never touches the tracing layer.
     trace: bool = False
+    #: Live tables: the pinned :class:`~repro.live.table.TableSnapshot`
+    #: version this shard's partition was cut from.  Echoed back on every
+    #: :attr:`RoundOutcome.table_version` so the coordinator can assert
+    #: no cross-version outcome ever merges.  0 for immutable datasets.
+    table_version: int = 0
 
 
 @dataclass
@@ -177,6 +182,10 @@ class RoundOutcome:
     #: asked for tracing.  Rides the existing wire format, so process
     #: backends ship it through the same pickle as the answer rows.
     span: Optional[dict] = None
+    #: The table version this outcome was scored against (echoed from
+    #: :attr:`ShardSpec.table_version`); the coordinator refuses to merge
+    #: an outcome from any other version than its own pinned snapshot.
+    table_version: int = 0
 
 
 def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
@@ -192,6 +201,7 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
                       memo_snapshot: Optional[dict] = None,
                       priors: Optional[List[Optional[dict]]] = None,
                       trace: bool = False,
+                      table_version: int = 0,
                       ) -> Tuple[List[List[str]], List[ShardSpec], bool,
                                  Optional[SharedFeatureTable]]:
     """Partition the dataset and assemble one :class:`ShardSpec` per worker.
@@ -232,7 +242,8 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
     if index_cache is not None:
         key = shard_cache_key(root_entropy, n_workers, index_config,
                               len(population),
-                              subset=subset_fingerprint(ids))
+                              subset=subset_fingerprint(ids),
+                              table_version=table_version)
         cached = index_cache.get(key)
     if cached is not None:
         partitions, indexes = cached
@@ -304,6 +315,7 @@ def build_shard_specs(dataset, scorer: Scorer, *, n_workers: int, k: int,
             memo=shard_memo,
             priors=priors[worker] if priors is not None else None,
             trace=trace,
+            table_version=int(table_version),
         ))
     return partitions, specs, cached is not None, table
 
@@ -313,7 +325,8 @@ def harvest_shard_indexes(index_cache, *, root_entropy: int,
                           n_elements: int,
                           partitions: List[List[str]],
                           workers: Optional[List["ShardWorker"]],
-                          subset: str = "") -> None:
+                          subset: str = "",
+                          table_version: int = 0) -> None:
     """Store freshly built shard indexes from in-process workers.
 
     No-op when there is no cache, the entry already exists, or the backend
@@ -326,7 +339,8 @@ def harvest_shard_indexes(index_cache, *, root_entropy: int,
     if index_cache is None or workers is None or not partitions:
         return
     key = shard_cache_key(root_entropy, len(partitions), index_config,
-                          n_elements, subset=subset)
+                          n_elements, subset=subset,
+                          table_version=table_version)
     index_cache.put(key, partitions, [worker.index for worker in workers])
 
 
@@ -487,6 +501,7 @@ class ShardWorker:
             fresh_scores=fresh_scores,
             memo_hits=memo_hits,
             span=span,
+            table_version=self.spec.table_version,
         )
 
     def snapshot(self) -> dict:

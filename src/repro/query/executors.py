@@ -139,9 +139,14 @@ class SingleExecutor(QueryExecutor):
                 n_explore=0, n_exploit=0, virtual_time=0.0,
                 overhead_time=0.0, exhausted=True,
             )
-        dataset = session._tables[plan.table]
+        # Live-table plans pin an immutable snapshot at plan time; the
+        # index request carries the pinned version so a write racing the
+        # dispatch serves a one-off tree over exactly those rows.
+        dataset = (plan.dataset if plan.dataset is not None
+                   else session._tables[plan.table])
         scorer = session._udfs[plan.udf]
-        index = session._index_for(plan.table)
+        index = session._index_for(plan.table, version=plan.table_version,
+                                   dataset=plan.dataset)
         if plan.allowed_ids is not None:
             index = index.restricted(plan.allowed_ids)
         engine = TopKEngine(
@@ -193,8 +198,10 @@ class ShardedExecutor(QueryExecutor):
                 plan: ExecutionPlan) -> "ResultBase":
         from repro.parallel.engine import ShardedTopKEngine
 
+        dataset = (plan.dataset if plan.dataset is not None
+                   else session._tables[plan.table])
         sharded = ShardedTopKEngine(
-            session._tables[plan.table], session._udfs[plan.udf],
+            dataset, session._udfs[plan.udf],
             k=plan.k,
             n_workers=plan.workers,
             backend=plan.backend,
@@ -210,6 +217,7 @@ class ShardedExecutor(QueryExecutor):
             memo=session._memo_view_for(plan),
             trace=plan.trace,
             gate=plan.gate,
+            table_version=plan.table_version,
         )
         # Priors are scoped by root entropy, which the engine only settles
         # at construction; shard specs are built lazily at first run, so
@@ -243,8 +251,10 @@ class StreamingExecutor(QueryExecutor):
                plan: ExecutionPlan) -> "StreamingTopKEngine":
         from repro.streaming.engine import StreamingTopKEngine
 
+        dataset = (plan.dataset if plan.dataset is not None
+                   else session._tables[plan.table])
         streaming = StreamingTopKEngine(
-            session._tables[plan.table], session._udfs[plan.udf],
+            dataset, session._udfs[plan.udf],
             k=plan.k,
             n_workers=plan.workers,
             backend=plan.backend,
@@ -261,6 +271,7 @@ class StreamingExecutor(QueryExecutor):
             memo=session._memo_view_for(plan),
             trace=plan.trace,
             gate=plan.gate,
+            table_version=plan.table_version,
         )
         # Same lazy-spec trick as the sharded executor: the prior scope
         # needs the root entropy the constructor just settled.

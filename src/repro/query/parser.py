@@ -18,7 +18,7 @@ most once; keywords are case-insensitive; an optional trailing ``;``::
         [BATCH <b>]
         [SEED <s>]
         [WORKERS <w>] [BACKEND <name>]
-        [STREAM] [EVERY <n>] [CONFIDENCE <p>]
+        [STREAM] [EVERY <n>] [CONFIDENCE <p>] [CONTINUOUS]
 
     <predicate>  := <or>
     <or>         := <and> (OR <and>)*
@@ -129,6 +129,16 @@ percentage.
     ...       "STREAM EVERY 100 CONFIDENCE 95%").confidence
     0.95
 
+``CONTINUOUS`` — mark the statement a *standing* query over a live
+table (requires ``STREAM``): instead of terminating, it re-emits
+progressive snapshots whenever committed writes change the answer.
+Standing queries are driven by :class:`repro.live.ContinuousQuery` (or
+a :class:`repro.service.QueryService`); ``execute``/``stream`` reject
+them with that guidance.
+
+    >>> parse("SELECT TOP 5 FROM t ORDER BY f STREAM CONTINUOUS").continuous
+    True
+
 ``EXPLAIN <query>`` — do not execute; return the resolved execution plan
 instead (:class:`~repro.query.plan.ExecutionPlan`).
 
@@ -206,6 +216,7 @@ KEYWORDS: Dict[str, str] = {
     "STREAM": "barrier-free execution with progressive snapshots",
     "EVERY": "snapshot granularity in scored elements (requires STREAM)",
     "CONFIDENCE": "certified early stop level (requires STREAM)",
+    "CONTINUOUS": "standing query over a live table (requires STREAM)",
     "AND": "predicate conjunction",
     "OR": "predicate disjunction",
     "NOT": "predicate negation",
@@ -214,7 +225,8 @@ KEYWORDS: Dict[str, str] = {
 
 #: The optional clauses of the statement (each at most once, any order).
 _CLAUSE_KEYWORDS = ("WHERE", "BUDGET", "BATCH", "SEED", "WORKERS",
-                    "BACKEND", "STREAM", "EVERY", "CONFIDENCE")
+                    "BACKEND", "STREAM", "EVERY", "CONFIDENCE",
+                    "CONTINUOUS")
 
 #: Maximum WHERE nesting (parens / NOT) — keeps the recursive-descent
 #: predicate parser inside Python's stack, so malformed-input failures
@@ -361,7 +373,8 @@ class _Parser:
         # Co-occurrence rules, reported at the dependent clause's span.
         for dependent, requirement in (("BACKEND", "WORKERS"),
                                        ("EVERY", "STREAM"),
-                                       ("CONFIDENCE", "STREAM")):
+                                       ("CONFIDENCE", "STREAM"),
+                                       ("CONTINUOUS", "STREAM")):
             if dependent in seen and requirement not in seen:
                 raise token_error(self.text, seen[dependent],
                                   f"{dependent} requires {requirement}")
@@ -417,6 +430,9 @@ class _Parser:
 
     def clause_every(self, values: dict) -> None:
         values["every"] = self.expect_int("EVERY")
+
+    def clause_continuous(self, values: dict) -> None:
+        values["continuous"] = True
 
     def clause_confidence(self, values: dict) -> None:
         token = self.peek()

@@ -236,6 +236,7 @@ class QueryPlan:
     stream: bool = False
     every: Optional[int] = None
     confidence: Optional[float] = None
+    continuous: bool = False
     where: Optional[Predicate] = None
     explain: bool = False
     analyze: bool = False
@@ -285,6 +286,8 @@ class QueryPlan:
             parts.append(f"EVERY {self.every}")
         if self.confidence is not None:
             parts.append(f"CONFIDENCE {_format_number(self.confidence)}")
+        if self.continuous:
+            parts.append("CONTINUOUS")
         text = " ".join(parts)
         if self.analyze:
             text = f"EXPLAIN ANALYZE {text}"
@@ -337,6 +340,18 @@ class ExecutionPlan:
     #: scheduler; ``None`` otherwise.  Like :attr:`trace`, per-dispatch
     #: runtime state — never rendered in :meth:`explain`.
     gate: Optional[object] = None
+    #: For live (mutable) tables: the immutable
+    #: :class:`~repro.live.table.TableSnapshot` this query is pinned to.
+    #: ``None`` for ordinary registered datasets — executors fall back to
+    #: the session registry.  Never rendered in :meth:`explain`.
+    dataset: Optional[object] = None
+    #: The pinned snapshot's ``table_version`` (0 for static tables);
+    #: keys the shard-index cache and the memo's MVCC validity checks.
+    table_version: int = 0
+    #: Live tables only: how the index serving this plan was maintained
+    #: (``built`` / ``incremental`` / ``rebuilt``); ``None`` for static
+    #: tables, keeping the pinned EXPLAIN rendering unchanged for them.
+    index_freshness: Optional[str] = None
 
     @property
     def table(self) -> str:
@@ -406,6 +421,12 @@ class ExecutionPlan:
                 f"{self.expected_hit_rate:.1%}: {memoized} of "
                 f"{self.n_candidates} candidates memoized)"
             )
+        if self.index_freshness is not None:
+            lines.append(f"live:      table version {self.table_version}, "
+                         f"index {self.index_freshness}")
+        if self.query.continuous:
+            lines.append("standing:  CONTINUOUS (re-emits on committed "
+                         "writes)")
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -31,6 +31,15 @@ Clients hold a :class:`QueryHandle`:
   and unwinds through the executors' normal cleanup (pools closed, shm
   unlinked) before the budget returns to the pool.
 
+Queries carrying the dialect's ``CONTINUOUS`` clause are *standing*:
+the service hosts one :class:`~repro.live.continuous.ContinuousQuery`
+per submission, pushing a snapshot through ``handle.snapshots()``
+whenever committed writes change the answer.  The tenant's grant meters
+each recomputation cycle and is re-armed between cycles (a standing
+query holds a per-cycle reservation, it does not drain the pool
+forever); ``handle.cancel()`` is the disconnect — the stream ends and
+``result()`` returns the last emitted answer.
+
 Every terminal path — completion, cancellation, client disconnect,
 worker-pool death — funnels through one ``finally`` that retires the
 grant, so no failure mode leaks budget.  ``tests/test_service.py`` holds
@@ -45,6 +54,8 @@ import functools
 from typing import AsyncIterator, Dict, List, Optional
 
 from repro.errors import ConfigurationError, QueryCancelledError
+from repro.live.continuous import DEFAULT_POLL, ContinuousQuery
+from repro.query.parser import parse
 from repro.service.budget import BudgetScheduler, QueryGrant
 from repro.session import OpaqueQuerySession
 
@@ -96,7 +107,10 @@ class QueryHandle:
 
         Safe from any thread and at any stage: a query still waiting for
         admission is failed on admit; a running one unwinds when its
-        engine next touches the budget gate.
+        engine next touches the budget gate.  For a standing
+        ``CONTINUOUS`` query this is the *disconnect*: the snapshot
+        stream ends cleanly and :meth:`result` returns the last emitted
+        answer instead of raising.
         """
         self._cancelled = True
         if self._grant is not None:
@@ -191,6 +205,12 @@ class QueryService:
         (converged) snapshot doubles as :meth:`QueryHandle.result`.
         ``deadline`` orders contended admissions under the ``deadline``
         policy (smaller = sooner).
+
+        A query with the ``CONTINUOUS`` clause becomes a *standing*
+        subscription: :meth:`QueryHandle.snapshots` yields the initial
+        answer and then one snapshot per answer-changing write batch
+        (regardless of ``snapshots=``), until :meth:`QueryHandle.cancel`
+        disconnects it; a ``poll=`` kwarg tunes its wait granularity.
         """
         if self._closed:
             raise ConfigurationError("service is closed")
@@ -227,7 +247,13 @@ class QueryService:
                     f"query of tenant {handle.tenant!r} cancelled before start"
                 )
             handle.state = "running"
-            if handle._wants_snapshots:
+            if parse(handle.query).continuous:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    functools.partial(self._drive_continuous, session,
+                                      handle, grant, execute_kwargs),
+                )
+            elif handle._wants_snapshots:
                 result = await loop.run_in_executor(
                     self._executor,
                     functools.partial(self._drive_stream, session, handle,
@@ -289,6 +315,35 @@ class QueryService:
                                        **kwargs):
             last = snapshot
             handle._push_snapshot(snapshot)
+        return last
+
+    @staticmethod
+    def _drive_continuous(session: OpaqueQuerySession, handle: QueryHandle,
+                          grant: QueryGrant, execute_kwargs: Dict):
+        """Host one standing ``CONTINUOUS`` query on this worker thread.
+
+        Each answer-changing write batch pushes a snapshot to the
+        handle; the grant meters every recomputation cycle and is
+        re-armed by the standing query between cycles.  The loop runs
+        until the client disconnects (``handle.cancel()``), which ends
+        the stream and returns the last emitted answer — cancellation
+        of a standing query is its normal completion, not an error.
+        """
+        kwargs = dict(execute_kwargs)
+        poll = kwargs.pop("poll", DEFAULT_POLL)
+        standing = ContinuousQuery(session, handle.query, gate=grant,
+                                   poll=poll, **kwargs)
+        last = None
+        try:
+            while not (handle._cancelled or grant.cancelled):
+                snapshot = standing.refresh(timeout=poll)
+                if snapshot is not None:
+                    last = snapshot
+                    handle._push_snapshot(snapshot)
+        except QueryCancelledError:
+            pass  # grant cancelled mid-cycle: the disconnect path
+        finally:
+            standing.cancel()
         return last
 
     # -- lifecycle -----------------------------------------------------------

@@ -54,8 +54,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -64,7 +64,9 @@ from repro.core.result import QueryResult, ResultBase
 from repro.data.dataset import Dataset
 from repro.errors import ConfigurationError
 from repro.index.builder import IndexConfig, build_index
-from repro.index.tree import ClusterTree
+from repro.index.tree import ClusterNode, ClusterTree
+from repro.live.maintenance import IndexMaintainer
+from repro.live.table import LiveTable, TableSnapshot
 from repro.memo import MemoStore, PriorStore, udf_fingerprint
 from repro.obs.analyze import ExplainAnalyzeReport
 from repro.obs.metrics import BOUND_WIDTH, MEMO_HIT_RATE, QUERIES_TOTAL
@@ -183,6 +185,13 @@ class OpaqueQuerySession:
         self._enable_cache = bool(enable_cache)
         self._memos: Dict[str, "MemoStore"] = {}
         self._prior_stores: Dict[str, "PriorStore"] = {}
+        # Live tables: one incremental index maintainer per mutable
+        # table (shared across forks — the maintained tree is as
+        # transparent as a built one), plus this fork's high-water mark
+        # of the maintainer's touched-node log (prior stores are
+        # fork-private, so each fork dirties its own priors).
+        self._maintainers: Dict[str, IndexMaintainer] = {}
+        self._prior_versions: Dict[str, int] = {}
         # Fingerprint taken at registration time (refreshed at plan time,
         # so post-registration parameter mutation invalidates cleanly).
         self._udf_fingerprints: Dict[str, Optional[str]] = {}
@@ -222,6 +231,7 @@ class OpaqueQuerySession:
         child._udf_fingerprints = self._udf_fingerprints
         child._shard_caches = self._shard_caches
         child._memos = self._memos
+        child._maintainers = self._maintainers
         child._registry_lock = self._registry_lock
         return child
 
@@ -271,14 +281,34 @@ class OpaqueQuerySession:
 
     # -- executor plumbing (shared with repro.query.executors) ---------------
 
-    def _index_for(self, table: str) -> ClusterTree:
+    def _index_for(self, table: str, version: Optional[int] = None,
+                   dataset: Optional[Dataset] = None) -> ClusterTree:
         """Build (once) or fetch the table's task-independent index.
 
         Serialized under the registry lock so racing forks build the
         index exactly once (the build is deterministic, but one build is
         still cheaper than two).
+
+        For live tables the maintained tree is served after catching the
+        maintainer up to the write log.  ``version`` pins the request to
+        one snapshot version: when it no longer matches the maintained
+        tree (a write committed between plan and dispatch), a one-off
+        tree is built from the pinned ``dataset`` instead — the query
+        keeps its snapshot-isolated answer, uncached.
         """
         with self._registry_lock:
+            live = self._live_table(table)
+            if live is not None:
+                _snapshot, maintainer = self._reconcile_writes(table, live)
+                if version is not None and version != maintainer.version:
+                    if dataset is None:
+                        raise ConfigurationError(
+                            f"table {table!r} is at version "
+                            f"{maintainer.version}; cannot serve version "
+                            f"{version} without its pinned snapshot"
+                        )
+                    return self._build_tree(table, dataset)
+                return maintainer.tree
             if table not in self._indexes:
                 dataset = self._tables[table]
                 config = self._index_configs.get(
@@ -292,6 +322,139 @@ class OpaqueQuerySession:
                     rng=self._index_seed,
                 )
             return self._indexes[table]
+
+    # -- live tables ---------------------------------------------------------
+
+    def _live_table(self, table: str) -> Optional[LiveTable]:
+        """The registered :class:`LiveTable`, or ``None`` (static)."""
+        dataset = self._tables.get(table)
+        return dataset if isinstance(dataset, LiveTable) else None
+
+    def _build_tree(self, table: str, snapshot: Dataset) -> ClusterTree:
+        """Full index build over one snapshot (the rebuild fallback).
+
+        Applies the same sizing policy as the static path, clamped to
+        the snapshot's current row count (a live table may have shrunk
+        below the configured cluster count).
+        """
+        if len(snapshot) == 0:
+            return ClusterTree(ClusterNode(node_id="root"))
+        config = self._index_configs.get(
+            table,
+            self._default_index_config
+            or IndexConfig(
+                n_clusters=max(2, min(64, len(snapshot) // 50))),
+        )
+        if config.n_clusters > len(snapshot):
+            config = replace(config, n_clusters=max(1, len(snapshot)))
+        return build_index(snapshot.features(), snapshot.ids(), config,
+                           rng=self._index_seed)
+
+    def _maintainer_for(self, table: str,
+                        live: LiveTable) -> IndexMaintainer:
+        """The table's incremental index maintainer (lazily created).
+
+        Caller holds the registry lock.  A registration-time prebuilt
+        index is adopted only when it still covers exactly the live ids;
+        otherwise the first touch rebuilds.
+        """
+        maintainer = self._maintainers.get(table)
+        if maintainer is None:
+            snapshot = live.snapshot()
+            tree = self._indexes.get(table)
+            if tree is not None:
+                covered = {member for leaf in tree.leaves()
+                           for member in leaf.member_ids}
+                if covered != set(snapshot.ids()):
+                    tree = None
+            if tree is None:
+                tree = self._build_tree(table, snapshot)
+                self._indexes[table] = tree
+            maintainer = IndexMaintainer(
+                tree, snapshot,
+                lambda snap, _table=table: self._build_tree(_table, snap),
+                table=table,
+            )
+            self._maintainers[table] = maintainer
+        return maintainer
+
+    def _reconcile_writes(
+            self, table: str, live: LiveTable,
+    ) -> Tuple[TableSnapshot, IndexMaintainer]:
+        """Catch every version-keyed structure up to the write log.
+
+        Caller holds the registry lock.  Shared structures — the
+        maintained index, the memo's MVCC write stamps, the shard-index
+        cache — advance exactly once across forks; the fork-private
+        warm-start prior store replays the maintainer's touched-node log
+        from wherever *this* fork last synced, dropping exactly the node
+        histograms whose subtrees changed.  Returns the snapshot the
+        reconciliation ran against (callers pin queries to it).
+        """
+        maintainer = self._maintainer_for(table, live)
+        snapshot = live.snapshot()
+        if maintainer.version < snapshot.version:
+            deltas = live.deltas_since(maintainer.version,
+                                       upto=snapshot.version)
+            maintainer.advance(deltas, snapshot)
+            self._indexes[table] = maintainer.tree
+            self._shard_cache_for(table).evict_stale(maintainer.version)
+        memo = self._memo_for(table)
+        for delta in live.deltas_since(memo.table_version,
+                                       upto=maintainer.version):
+            memo.apply_writes(delta.ids, delta.version)
+        synced = self._prior_versions.get(table, 0)
+        if synced < maintainer.version:
+            store = self._prior_store_for(table)
+            if synced < maintainer.log_floor:
+                store.clear()  # the log no longer reaches back that far
+            else:
+                doomed = set()
+                for version, nodes in maintainer.touched_log:
+                    if version > synced:
+                        doomed.update(nodes)
+                store.drop_nodes(doomed)
+            self._prior_versions[table] = maintainer.version
+        return snapshot, maintainer
+
+    def table_info(self, table: str) -> dict:
+        """Version, row count, and index-freshness card of one table.
+
+        The per-table surface behind ``repro info``: static tables
+        report version 0 and a ``static``/``unbuilt`` index; live tables
+        report their current ``table_version``, per-kind write counters,
+        and how the maintained index last caught up (``built`` /
+        ``incremental`` / ``rebuilt``).
+        """
+        if table not in self._tables:
+            raise ConfigurationError(
+                f"unknown table {table!r}; registered: "
+                f"{sorted(self._tables)}"
+            )
+        with self._registry_lock:
+            dataset = self._tables[table]
+            live = self._live_table(table)
+            info = {
+                "table": table,
+                "rows": len(dataset),
+                "live": live is not None,
+                "version": 0,
+                "index_freshness": ("static" if table in self._indexes
+                                    else "unbuilt"),
+            }
+            if live is not None:
+                stats = live.stats()
+                info["version"] = stats["version"]
+                info["writes"] = stats["writes"]
+                maintainer = self._maintainers.get(table)
+                if maintainer is None:
+                    info["index_freshness"] = "unbuilt"
+                else:
+                    info["index_freshness"] = maintainer.freshness
+                    info["index_version"] = maintainer.version
+                    info["index_splits"] = maintainer.n_splits
+                    info["index_rebuilds"] = maintainer.n_rebuilds
+            return info
 
     def _shard_cache_for(self, table: str) -> ShardIndexCache:
         """The table's cross-run cache of per-shard partition indexes."""
@@ -320,10 +483,20 @@ class OpaqueQuerySession:
             return self._prior_stores[table]
 
     def _memo_view_for(self, plan: ExecutionPlan):
-        """The memo view an executor should thread, or ``None`` (off)."""
+        """The memo view an executor should thread, or ``None`` (off).
+
+        Live-table plans carry their pinned snapshot's version; the view
+        then refuses hits on — and never records scores for — elements
+        rewritten after that version (the MVCC rule in
+        :mod:`repro.memo.store`), so a reader over an old snapshot can
+        neither consume nor poison newer scores.
+        """
         if not plan.cache_enabled or plan.fingerprint is None:
             return None
-        return self._memo_for(plan.table).view(plan.fingerprint)
+        reader_version = (plan.table_version if plan.dataset is not None
+                          else None)
+        return self._memo_for(plan.table).view(
+            plan.fingerprint, reader_version=reader_version)
 
     def cache_stats(self, table: str) -> dict:
         """Hit/miss/entry statistics of one table's score memo."""
@@ -370,6 +543,20 @@ class OpaqueQuerySession:
                 f"{sorted(self._udfs)}"
             )
         dataset = self._tables[logical.table]
+        # Live tables: reconcile the write log (index maintenance, memo
+        # stamps, cache eviction, prior dirtying), then pin this query to
+        # an immutable snapshot — concurrent writers can no longer change
+        # what it reads.
+        live = self._live_table(logical.table)
+        table_version = 0
+        index_freshness = None
+        if live is not None:
+            with self._registry_lock:
+                pinned, maintainer = self._reconcile_writes(
+                    logical.table, live)
+            dataset = pinned
+            table_version = pinned.version
+            index_freshness = maintainer.freshness
         # Merge caller-side defaults under clause-wins precedence; every
         # merged value passes the same validation as its clause.
         n_workers = self._check_workers(
@@ -452,6 +639,9 @@ class OpaqueQuerySession:
             warm_start=bool(warm_start) and cache_on,
             memo_entries=memo_entries,
             expected_hit_rate=expected_hit_rate,
+            dataset=dataset if live is not None else None,
+            table_version=table_version,
+            index_freshness=index_freshness,
         )
 
     @staticmethod
@@ -551,6 +741,13 @@ class OpaqueQuerySession:
                                  use_cache=use_cache, warm_start=warm_start)
         if resolved.query.explain and not resolved.query.analyze:
             return resolved
+        if resolved.query.continuous:
+            raise ConfigurationError(
+                "CONTINUOUS queries are standing subscriptions, not "
+                "one-shot dispatches; drive one with "
+                "repro.live.ContinuousQuery or submit it to the "
+                "multi-tenant repro.service.QueryService"
+            )
         resolved.trace = tracer
         resolved.gate = budget_gate
         if tracer is not None:
@@ -623,6 +820,13 @@ class OpaqueQuerySession:
             raise ConfigurationError(
                 "EXPLAIN queries return a plan and cannot be streamed; "
                 "use execute() to inspect the plan"
+            )
+        if resolved.query.continuous:
+            raise ConfigurationError(
+                "CONTINUOUS queries are standing subscriptions; stream() "
+                "yields one drive's snapshots and then stops — drive a "
+                "standing query with repro.live.ContinuousQuery or the "
+                "multi-tenant repro.service.QueryService"
             )
         resolved.trace = tracer
         resolved.gate = budget_gate

@@ -290,6 +290,11 @@ class StreamingTopKEngine:
         simply not refilled, so the drive winds down at slice
         boundaries.  Cancellation surfaces at the next refill as
         :class:`~repro.errors.QueryCancelledError`.
+    table_version:
+        Version of the live-table snapshot this run executes against
+        (0 for immutable datasets).  Keys the shard-index cache, stamps
+        every spec and snapshot payload, and is asserted against each
+        arriving :class:`~repro.parallel.worker.RoundOutcome`.
     """
 
     def __init__(self, dataset: Dataset, scorer: Scorer, k: int,
@@ -309,7 +314,8 @@ class StreamingTopKEngine:
                  memo=None,
                  priors: Optional[List[Optional[dict]]] = None,
                  trace: Optional[TraceContext] = None,
-                 gate=None) -> None:
+                 gate=None,
+                 table_version: int = 0) -> None:
         if n_workers <= 0:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers!r}"
@@ -354,6 +360,7 @@ class StreamingTopKEngine:
         self._priors = priors
         self._trace = trace
         self._gate = gate
+        self._table_version = int(table_version)
         self._drive_count = 0
         self._submit_merges: Dict[int, int] = {}
         self.backend: StreamBackend = (
@@ -439,6 +446,7 @@ class StreamingTopKEngine:
                            if self._memo is not None else None),
             priors=self._priors,
             trace=self._trace is not None,
+            table_version=self._table_version,
         )
         try:
             self.backend.start(specs, self.dataset, self.scorer,
@@ -458,6 +466,7 @@ class StreamingTopKEngine:
                 partitions=self._partitions,
                 workers=self.backend.inline_workers(),
                 subset=subset_fingerprint(self._ids),
+                table_version=self._table_version,
             )
 
     # -- execution -----------------------------------------------------------
@@ -501,6 +510,12 @@ class StreamingTopKEngine:
         """Merge one arrived slice into the global state."""
         outcome = event.outcome
         worker = outcome.worker_id
+        if outcome.table_version != self._table_version:
+            raise ConfigurationError(
+                f"shard {worker} reported table version "
+                f"{outcome.table_version}, coordinator pinned "
+                f"{self._table_version}"
+            )
         cap = self._inflight.pop(worker)
         # Merges that landed while this slice was in flight — exactly how
         # stale the threshold floor it ran under had become by arrival.
@@ -774,6 +789,7 @@ class StreamingTopKEngine:
             "backend": self.backend.name,
             "root_entropy": self._root_entropy,
             "resume_count": self._resume_count,
+            "table_version": self._table_version,
             "coordinator": {
                 "exhaustive_bound": self._bound.exhaustive_bound,
                 "buffer": [[score, element_id]
@@ -810,6 +826,7 @@ class StreamingTopKEngine:
                 engine_config: Optional[EngineConfig] = None,
                 index_cache: Optional[ShardIndexCache] = None,
                 memo=None,
+                table_version: int = 0,
                 ) -> "StreamingTopKEngine":
         """Rebuild a streaming run from :meth:`snapshot` output.
 
@@ -821,11 +838,22 @@ class StreamingTopKEngine:
         :class:`~repro.memo.store.MemoView`; the snapshot's stored memo
         slice is merged into it (or revived standalone) so the resumed
         run stays warm.
+
+        ``table_version`` must repeat the live-table version the run was
+        snapshotted against (0 for immutable datasets); a snapshot taken
+        before a committed write is rejected rather than silently
+        resumed against different rows.
         """
         if snapshot.get("format") != _SNAPSHOT_FORMAT:
             raise SerializationError(
                 f"unrecognized streaming snapshot format "
                 f"{snapshot.get('format')!r}"
+            )
+        stored_version = int(snapshot.get("table_version", 0))
+        if stored_version != int(table_version):
+            raise ConfigurationError(
+                f"snapshot was taken at table version {stored_version}, "
+                f"cannot restore against version {int(table_version)}"
             )
         stable = snapshot.get("stable_slices")
         confidence = snapshot.get("confidence")
@@ -843,6 +871,7 @@ class StreamingTopKEngine:
             seed=None,
             index_cache=index_cache,
             ids=None if subset is None else [str(i) for i in subset],
+            table_version=stored_version,
         )
         # Re-anchor the RNG streams to the original run's root entropy so
         # partitions and shard indexes rebuild identically.

@@ -1,0 +1,578 @@
+"""Live tables: versioned writes, incremental maintenance, standing queries.
+
+Four contracts under test:
+
+* **Snapshot isolation** — a query plans against one pinned
+  ``TableSnapshot``; writes racing the execution (or landing mid-drive)
+  never change that query's answer vs its pre-write solo run, on every
+  backend.
+* **Incremental index maintenance** — after appends/updates/deletes the
+  incrementally maintained cluster tree answers exhaustive queries
+  *identically* to a freshly rebuilt index, across the full
+  {single, sharded, streaming} x {serial, thread, process} matrix, warm
+  and cold memo (the differential the tentpole demands: tree shape may
+  differ, answers may not).
+* **MVCC memo** — a committed write invalidates exactly the rewritten
+  ids; re-running after a write scores only those, and version-stamped
+  memo snapshots refuse to revive against a different table version.
+* **Standing queries** — ``CONTINUOUS`` re-emits exact top-k snapshots
+  on answer-changing commits only, without rescoring unchanged
+  memoized elements, re-arms its budget grant between cycles, and
+  disconnects cleanly (driver-level and service-hosted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live import ContinuousQuery, IndexMaintainer, LiveTable
+
+EXHAUSTIVE = "SELECT TOP 5 FROM t ORDER BY f SEED 3"
+
+#: The full execution matrix (mode label -> execute kwargs).
+MATRIX = {
+    "single": {},
+    "sharded-serial": {"workers": 2, "backend": "serial"},
+    "sharded-thread": {"workers": 2, "backend": "thread"},
+    "sharded-process": {"workers": 2, "backend": "process"},
+    "streaming-serial": {"workers": 2, "backend": "serial", "stream": True},
+    "streaming-thread": {"workers": 2, "backend": "thread", "stream": True},
+    "streaming-process": {"workers": 2, "backend": "process", "stream": True},
+}
+
+
+def make_live_table(n_rows: int = 100, seed: int = 0, n_features: int = 3,
+                    name: str = "t") -> LiveTable:
+    """The live twin of :func:`tests.conftest.make_table`."""
+    generator = np.random.default_rng(seed)
+    features = generator.normal(size=(n_rows, n_features))
+    features[:, 1] = (np.arange(n_rows) % 10) / 10.0
+    ids = [f"e{i:05d}" for i in range(n_rows)]
+    return LiveTable(ids, features[:, 0].tolist(), features, name=name)
+
+
+def make_live_session(table: LiveTable | None = None, *, n_clusters: int = 5,
+                      enable_cache: bool = True):
+    """``(session, scorer, table)`` with live table ``t`` and UDF ``f``."""
+    from repro.index.builder import IndexConfig
+    from repro.scoring.base import CountingScorer, FunctionScorer
+    from repro.session import OpaqueQuerySession
+
+    if table is None:
+        table = make_live_table()
+    scorer = CountingScorer(FunctionScorer(lambda v: max(0.0, float(v))))
+    session = OpaqueQuerySession(enable_cache=enable_cache)
+    session.register_table("t", table,
+                           index_config=IndexConfig(n_clusters=n_clusters))
+    session.register_udf("f", scorer)
+    return session, scorer, table
+
+
+def append_rows(table: LiveTable, values, prefix: str = "new") -> list:
+    """Append scalar-valued rows matching the test table's feature layout."""
+    values = [float(v) for v in values]
+    ids = [f"{prefix}-{i:04d}" for i in range(len(values))]
+    features = np.zeros((len(values), table._dim))
+    features[:, 0] = values
+    table.append(ids, values, features)
+    return ids
+
+
+def answer(result):
+    """The order-sensitive exact answer: ((id, score), ...) plus stk."""
+    items = getattr(result, "items", None)
+    if items is None:          # ProgressiveResult carries top_k instead
+        items = result.top_k
+    return tuple((str(i), float(s)) for i, s in items), float(result.stk)
+
+
+# -- the versioned write surface ---------------------------------------------
+
+
+class TestLiveTable:
+    def test_writes_commit_monotone_versions(self):
+        table = make_live_table(n_rows=10)
+        assert table.version == 0
+        v1 = append_rows(table, [3.0]) and table.version
+        v2 = table.update(["e00001"], np.zeros((1, 3)))
+        v3 = table.delete(["e00002"])
+        assert (v1, v2, v3) == (1, 2, 3)
+        deltas = table.deltas_since(0)
+        assert [d.kind for d in deltas] == ["append", "update", "delete"]
+        assert [d.version for d in deltas] == [1, 2, 3]
+        assert table.deltas_since(2, upto=3)[0].kind == "delete"
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        table = make_live_table(n_rows=10)
+        before = table.snapshot()
+        old_row = before.feature_of("e00003").copy()
+        table.update(["e00003"], np.full((1, 3), 9.0))
+        table.delete(["e00004"])
+        append_rows(table, [1.0])
+        # The pinned snapshot still sees version-0 rows and membership.
+        assert np.array_equal(before.feature_of("e00003"), old_row)
+        assert "e00004" in before.ids()
+        assert len(before) == 10
+        after = table.snapshot()
+        assert after.version == 3
+        assert np.all(after.feature_of("e00003") == 9.0)
+        assert "e00004" not in after.ids()
+
+    def test_write_validation(self):
+        table = make_live_table(n_rows=5)
+        with pytest.raises(ConfigurationError):
+            table.append(["e00001"], [0.0], np.zeros((1, 3)))  # duplicate
+        with pytest.raises(ConfigurationError):
+            table.update(["ghost"], np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            table.delete([])
+        with pytest.raises(ConfigurationError):
+            LiveTable()  # empty without dim=
+        assert len(LiveTable(dim=4)) == 0
+
+    def test_wait_for_commit_wakes_on_write(self):
+        table = make_live_table(n_rows=5)
+        assert table.wait_for_commit(0, timeout=0.01) == 0  # timeout path
+        timer = threading.Timer(0.05, append_rows, (table, [1.0]))
+        timer.start()
+        try:
+            assert table.wait_for_commit(0, timeout=5.0) == 1
+        finally:
+            timer.cancel()
+
+
+# -- incremental maintenance == fresh rebuild (the tentpole differential) ----
+
+
+def _mutate(table: LiveTable) -> list:
+    """A mixed write burst: dominating appends, updates, and deletes."""
+    appended = append_rows(table, [5.5, 6.25, 7.125, 0.01, 0.02], "hi")
+    table.update(["e00010", "e00011"],
+                 np.column_stack([[4.75, 4.875],
+                                  np.zeros(2), np.zeros(2)]),
+                 objects=[4.75, 4.875])
+    table.delete(["e00020", "e00021"])
+    return appended
+
+
+class TestIncrementalDifferential:
+    @pytest.mark.parametrize("mode", list(MATRIX))
+    def test_matches_fresh_rebuild_warm_and_cold(self, mode):
+        kwargs = MATRIX[mode]
+        table = make_live_table(n_rows=120, seed=5)
+        session, _, _ = make_live_session(table)
+        session.execute(EXHAUSTIVE, **kwargs)           # builds the index
+        _mutate(table)
+
+        warm = session.execute(EXHAUSTIVE, **kwargs)    # incremental + warm memo
+        assert session.table_info("t")["index_freshness"] == "incremental"
+
+        cold_session, _, _ = make_live_session(table)   # fresh build, cold memo
+        cold = cold_session.execute(EXHAUSTIVE, **kwargs)
+        assert cold_session.table_info("t")["index_freshness"] == "built"
+
+        assert answer(warm) == answer(cold)
+        assert {i for i, _ in warm.items} >= {"hi-0000", "hi-0001", "hi-0002"}
+
+    def test_rebuild_threshold_fallback_matches_too(self):
+        table = make_live_table(n_rows=40, seed=2)
+        session, _, _ = make_live_session(table)
+        session.execute(EXHAUSTIVE)
+        # Churn past the threshold (0.5 x 40): the maintainer gives up on
+        # routing and rebuilds — a fallback, not a failure.
+        for burst in range(5):
+            append_rows(table, 1.0 + np.arange(5) * 0.25 + burst,
+                        prefix=f"b{burst}")
+        incremental = session.execute(EXHAUSTIVE)
+        assert session.table_info("t")["index_freshness"] == "rebuilt"
+        fresh_session, _, _ = make_live_session(table)
+        assert answer(incremental) == answer(fresh_session.execute(EXHAUSTIVE))
+
+    def test_leaf_overflow_splits_and_preserves_membership(self):
+        from repro.index.builder import IndexConfig, build_index
+
+        table = make_live_table(n_rows=24, seed=9)
+        snapshot = table.snapshot()
+        tree = build_index(snapshot.features(), snapshot.ids(),
+                           IndexConfig(n_clusters=3), rng=0)
+        maintainer = IndexMaintainer(
+            tree, snapshot, lambda snap: build_index(
+                snap.features(), snap.ids(), IndexConfig(n_clusters=3),
+                rng=0),
+            max_leaf_size=6, rebuild_threshold=10.0)
+        # A tight burst: every row routes to the same nearest-mean leaf,
+        # overflowing it well past max_leaf_size.
+        append_rows(table, 2.5 + np.arange(10) * 1e-4)
+        report = maintainer.advance(table.deltas_since(0), table.snapshot())
+        assert report.splits >= 1 and maintainer.n_splits >= 1
+        assert maintainer.freshness == "incremental"
+        members = {m for leaf in maintainer.tree.leaves()
+                   for m in leaf.member_ids}
+        assert members == set(table.snapshot().ids())
+        # Every leaf the burst landed in was split back under the cap
+        # (untouched leaves keep whatever size the builder gave them).
+        assert all(len(leaf.member_ids) <= 6
+                   for leaf in maintainer.tree.leaves()
+                   if any(m.startswith("new-") for m in leaf.member_ids))
+
+    def test_advance_never_mutates_published_tree(self):
+        from repro.index.builder import IndexConfig, build_index
+
+        table = make_live_table(n_rows=20, seed=1)
+        snapshot = table.snapshot()
+        tree = build_index(snapshot.features(), snapshot.ids(),
+                           IndexConfig(n_clusters=3), rng=0)
+        maintainer = IndexMaintainer(
+            tree, snapshot, lambda snap: build_index(
+                snap.features(), snap.ids(), IndexConfig(n_clusters=3),
+                rng=0))
+        pinned = maintainer.tree
+        pinned_members = {m for leaf in pinned.leaves()
+                          for m in leaf.member_ids}
+        append_rows(table, [4.0, 5.0])
+        maintainer.advance(table.deltas_since(0), table.snapshot())
+        # An in-flight query holding the old tree sees exactly what it saw.
+        assert {m for leaf in pinned.leaves()
+                for m in leaf.member_ids} == pinned_members
+        assert maintainer.tree is not pinned
+
+
+# -- concurrent writers vs in-flight readers (snapshot isolation) ------------
+
+
+class TestWriterReaderRace:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_append_mid_stream_never_changes_the_answer(self, backend):
+        """An append racing a streaming drive is invisible to that drive."""
+        query = "SELECT TOP 5 FROM t ORDER BY f SEED 3 STREAM EVERY 20"
+        solo_session, _, _ = make_live_session(make_live_table(seed=13))
+        baseline = None
+        for baseline in solo_session.stream(query, workers=2,
+                                            backend=backend):
+            pass
+
+        table = make_live_table(seed=13)
+        session, _, _ = make_live_session(table)
+        stream = session.stream(query, workers=2, backend=backend)
+        next(stream)                       # plan pinned, shards running
+        append_rows(table, [50.0, 60.0])   # would dominate the top-k
+        last = None
+        for last in stream:
+            pass
+        # Exact same top-k; stk only approx — racy arrival order on the
+        # thread/process backends permutes the float summation.
+        assert answer(last)[0] == answer(baseline)[0]
+        assert last.stk == pytest.approx(baseline.stk)
+        assert all(not i.startswith("new-") for i, _ in last.top_k)
+        # The *next* query sees the committed rows.
+        after = session.execute(EXHAUSTIVE)
+        assert {i for i, _ in after.items[:2]} == {"new-0000", "new-0001"}
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_append_from_inside_the_scorer_is_invisible(self, backend):
+        """A write committed *during* scoring doesn't leak into the run."""
+        from repro.scoring.base import FunctionScorer
+
+        solo_session, _, _ = make_live_session(make_live_table(seed=13))
+        baseline = solo_session.execute(EXHAUSTIVE, workers=2,
+                                        backend=backend)
+
+        table = make_live_table(seed=13)
+        session, _, _ = make_live_session(table)
+        fired = threading.Event()
+
+        def scoring_writer(value):
+            if not fired.is_set():
+                fired.set()
+                append_rows(table, [50.0, 60.0])
+            return max(0.0, float(value))
+
+        # Same relu math as "f", but committing a write on first call.
+        session.register_udf("w", FunctionScorer(scoring_writer))
+        racy = session.execute(EXHAUSTIVE.replace("ORDER BY f",
+                                                  "ORDER BY w"),
+                               workers=2, backend=backend)
+        assert fired.is_set() and table.version == 1
+        assert [i for i, _ in racy.items] == [i for i, _ in baseline.items]
+
+
+# -- MVCC memo and version-stamped snapshots ---------------------------------
+
+
+class TestMemoVersioning:
+    def test_update_invalidates_only_rewritten_ids(self):
+        session, scorer, table = make_live_session()
+        first = session.execute(EXHAUSTIVE)
+        cold_calls = scorer.n_elements
+        top_id = first.items[0][0]
+        table.update([top_id], np.zeros((1, 3)), objects=[0.0])
+        second = session.execute(EXHAUSTIVE)
+        # Exactly one fresh UDF call: the rewritten element.
+        assert scorer.n_elements - cold_calls == 1
+        assert top_id not in [i for i, _ in second.items]
+
+    def test_append_scores_only_the_new_rows(self):
+        session, scorer, table = make_live_session()
+        session.execute(EXHAUSTIVE)
+        cold_calls = scorer.n_elements
+        appended = append_rows(table, [9.0, 8.0, 0.5])
+        second = session.execute(EXHAUSTIVE)
+        assert scorer.n_elements - cold_calls == len(appended)
+        assert [i for i, _ in second.items[:2]] == ["new-0000", "new-0001"]
+
+    def test_store_pins_readers_to_their_snapshot(self):
+        from repro.memo.store import MemoStore
+
+        store = MemoStore()
+        store.view("fp").record(["a", "b"], [1.0, 2.0])
+        store.apply_writes(["a"], version=1)
+        stale = store.view("fp", reader_version=0)
+        scores, misses = stale.lookup(["a", "b"])
+        assert scores == [None, 2.0] and misses == [0]
+        # A stale reader's fresh score for a rewritten id is dropped, not
+        # recorded — it describes rows that no longer exist.
+        stale.record(["a"], [7.0])
+        assert store.view("fp", reader_version=1).lookup(["a"])[0] == [None]
+        store.view("fp", reader_version=1).record(["a"], [3.0])
+        assert store.view("fp", reader_version=1).lookup(["a"])[0] == [3.0]
+
+    def test_restore_memo_rejects_version_mismatch(self):
+        from repro.core.snapshot import restore_memo, snapshot_memo
+
+        session, _, table = make_live_session()
+        session.execute(EXHAUSTIVE)
+        append_rows(table, [2.0])
+        session.execute(EXHAUSTIVE)
+        store = session._memo_for("t")
+        assert store.table_version == 1 and store.n_entries() > 0
+        payload = snapshot_memo(store)
+        assert payload["table_version"] == 1
+
+        same, _ = restore_memo(payload, expected_table_version=1)
+        assert same.n_entries() == store.n_entries()
+        drifted, priors = restore_memo(payload, expected_table_version=4)
+        # Mismatch: cleared, not silently served stale.
+        assert drifted.n_entries() == 0 and drifted.table_version == 4
+        assert len(priors) == 0
+
+    @pytest.mark.parametrize("engine_mod", ["parallel", "streaming"])
+    def test_engine_restore_rejects_version_drift(self, engine_mod):
+        from repro.scoring.base import FunctionScorer
+        from tests.conftest import make_table
+
+        if engine_mod == "parallel":
+            from repro.parallel.engine import ShardedTopKEngine as Engine
+        else:
+            from repro.streaming.engine import StreamingTopKEngine as Engine
+        dataset = make_table()
+        scorer = FunctionScorer(lambda v: max(0.0, float(v)))
+        engine = Engine(dataset, scorer, k=5, n_workers=2, seed=0,
+                        table_version=2)
+        try:
+            engine.run(60)
+            payload = engine.snapshot()
+        finally:
+            engine.close()
+        assert payload["table_version"] == 2
+        restored = Engine.restore(dataset, scorer, payload, table_version=2)
+        restored.close()
+        with pytest.raises(ConfigurationError, match="table version"):
+            Engine.restore(dataset, scorer, payload, table_version=3)
+
+    def test_shard_cache_evicts_stale_versions(self):
+        session, _, table = make_live_session()
+        session.execute(EXHAUSTIVE, workers=2)
+        cache = session._shard_cache_for("t")
+        assert all(key[5] == 0 for key in cache._entries)
+        append_rows(table, [1.0])
+        session.execute(EXHAUSTIVE, workers=2)
+        assert cache._entries and all(key[5] == 1 for key in cache._entries)
+
+
+# -- standing CONTINUOUS queries ---------------------------------------------
+
+
+CONTINUOUS = "SELECT TOP 3 FROM t ORDER BY f SEED 3 STREAM CONTINUOUS"
+
+
+class TestContinuousQuery:
+    def test_emits_initial_then_only_on_answer_change(self):
+        session, scorer, table = make_live_session()
+        standing = ContinuousQuery(session, CONTINUOUS)
+        initial = standing.refresh()
+        assert initial is not None and len(initial.top_k) == 3
+        assert standing.refresh(timeout=0.01) is None      # nothing committed
+        cold_calls = scorer.n_elements
+
+        append_rows(table, [9.5], prefix="hot")
+        changed = standing.refresh(timeout=5.0)
+        assert changed is not None
+        assert changed.top_k[0][0] == "hot-0000"
+        # The cycle rescored only the appended element — everything else
+        # was served by the memo.
+        assert scorer.n_elements - cold_calls == 1
+
+        # A commit that leaves the top-k intact runs a cycle, emits nothing.
+        append_rows(table, [0.001], prefix="dud")
+        assert standing.refresh(timeout=5.0) is None
+        assert standing.n_emits == 2 and standing.n_cycles == 3
+
+    def test_snapshots_iterator_and_cancel(self):
+        session, _, table = make_live_session()
+        standing = ContinuousQuery(session, CONTINUOUS, poll=0.01)
+        emitted = []
+
+        def consume():
+            for snapshot in standing.snapshots():
+                emitted.append(snapshot)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        try:
+            deadline = 50
+            while not emitted and deadline:
+                deadline -= 1
+                threading.Event().wait(0.05)
+            append_rows(table, [9.9], prefix="hot")
+            while len(emitted) < 2 and deadline:
+                deadline -= 1
+                threading.Event().wait(0.05)
+        finally:
+            standing.cancel()
+            consumer.join(timeout=10)
+        assert not consumer.is_alive() and standing.cancelled
+        assert len(emitted) == 2
+        assert emitted[1].top_k[0][0] == "hot-0000"
+        assert standing.refresh(timeout=0.01) is None  # cancelled stays quiet
+
+    def test_grant_rearmed_between_cycles(self):
+        from repro.service.budget import BudgetScheduler
+
+        session, _, table = make_live_session()
+        scheduler = BudgetScheduler(budget=500)
+        grant = scheduler.admit("tenant", 200)
+        standing = ContinuousQuery(session, CONTINUOUS, gate=grant)
+        try:
+            standing.run_once()
+            assert grant.granted_units > 0     # the cycle was metered...
+            assert grant.consumed == 0         # ...and re-armed afterwards
+            append_rows(table, [9.0])
+            standing.run_once()
+            assert grant.consumed == 0
+        finally:
+            grant.retire()
+        assert scheduler.stats()["committed"] == 0
+
+    def test_rejections(self):
+        session, _, _ = make_live_session()
+        static_session, *_ = __import__("tests.conftest",
+                                        fromlist=["make_session"]
+                                        ).make_session()
+        with pytest.raises(ConfigurationError, match="CONTINUOUS"):
+            ContinuousQuery(session, EXHAUSTIVE)
+        with pytest.raises(ConfigurationError, match="LiveTable"):
+            ContinuousQuery(static_session, CONTINUOUS)
+        with pytest.raises(ConfigurationError, match="standing"):
+            session.execute(CONTINUOUS)
+        with pytest.raises(ConfigurationError, match="standing"):
+            next(session.stream(CONTINUOUS))
+
+    def test_explain_renders_live_and_standing_lines(self):
+        session, _, table = make_live_session()
+        append_rows(table, [1.0])
+        plan = session.execute(f"EXPLAIN {CONTINUOUS}")
+        rendered = plan.explain()
+        assert "standing:  CONTINUOUS (re-emits on committed writes)" in rendered
+        assert "live:      table version 1" in rendered
+
+
+class TestServiceHostedContinuous:
+    def test_standing_query_emits_meters_and_disconnects(self):
+        from repro.service import QueryService
+
+        async def scenario():
+            table = make_live_table(seed=21)
+            session, _, _ = make_live_session(table)
+            service = QueryService(budget=5_000, session=session)
+            handle = await service.submit(CONTINUOUS, tenant="alice",
+                                          poll=0.01)
+            stream = handle.snapshots()
+            first = await asyncio.wait_for(stream.__anext__(), timeout=60)
+            assert len(first.top_k) == 3
+            assert handle.state == "running"
+            committed = service.stats()["scheduler"]["committed"]
+            assert 0 < committed <= 5_000
+
+            append_rows(table, [42.0], prefix="hot")
+            second = await asyncio.wait_for(stream.__anext__(), timeout=60)
+            assert second.top_k[0][0] == "hot-0000"
+
+            handle.cancel()   # the disconnect: normal completion, no error
+            final = await asyncio.wait_for(handle.result(), timeout=60)
+            assert handle.state == "done"
+            assert final.top_k == second.top_k
+            with pytest.raises(StopAsyncIteration):
+                await asyncio.wait_for(stream.__anext__(), timeout=60)
+            await service.close()
+            assert service.scheduler.stats()["committed"] == 0
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=180))
+
+
+# -- observability + table cards ---------------------------------------------
+
+
+class TestLiveObservability:
+    def test_write_metrics_and_spans(self):
+        from repro.obs.metrics import REGISTRY
+
+        def total(snap, kind):
+            return sum(cell["value"]
+                       for cell in snap.get("writes_total",
+                                            {}).get("values", [])
+                       if cell["labels"] == {"table": "obs-t",
+                                             "kind": kind})
+
+        table = make_live_table(n_rows=10, name="obs-t")
+        before = REGISTRY.snapshot()
+        append_rows(table, [1.0])
+        table.delete(["e00001"])
+        after = REGISTRY.snapshot()
+
+        assert total(after, "append") - total(before, "append") == 1
+        assert total(after, "delete") - total(before, "delete") == 1
+        assert [s["name"] for s in table.spans] == ["write[append]",
+                                                    "write[delete]"]
+        assert [s["attrs"]["version"] for s in table.spans] == [1, 2]
+
+    def test_table_info_cards(self):
+        session, _, table = make_live_session()
+        card = session.table_info("t")
+        assert card == {"table": "t", "rows": 100, "live": True,
+                        "version": 0, "index_freshness": "unbuilt",
+                        "writes": {"append": 0, "update": 0, "delete": 0}}
+        session.execute(EXHAUSTIVE)
+        append_rows(table, [3.0])
+        session.execute(EXHAUSTIVE)
+        card = session.table_info("t")
+        assert card["version"] == 1 and card["rows"] == 101
+        assert card["index_freshness"] == "incremental"
+        assert card["writes"]["append"] == 1
+        with pytest.raises(ConfigurationError):
+            session.table_info("ghost")
+
+    def test_cli_live_append_reports_card(self, capsys):
+        from repro.cli import main
+
+        code = main(["query", "SELECT TOP 5 FROM demo ORDER BY relu",
+                     "--rows", "500", "--append", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "appended 10 rows" in out
+        assert "version 1, index incremental" in out
+        assert "510 rows" in out
